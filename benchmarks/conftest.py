@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark prints a ``paper vs measured`` block so the console output
+doubles as the reproduction record (EXPERIMENTS.md is generated from the
+same numbers).
+"""
+
+import numpy as np
+import pytest
+
+
+def report(title, rows):
+    """Print a paper-vs-measured table. rows: (label, paper, measured)."""
+    bar = "=" * 74
+    print(f"\n{bar}\n{title}\n{bar}")
+    print(f"{'quantity':42s} {'paper':>14s} {'measured':>14s}")
+    for label, paper, measured in rows:
+        print(f"{label:42s} {paper:>14s} {measured:>14s}")
+    print(bar)
+
+
+@pytest.fixture(scope="session")
+def machine():
+    from repro.cluster.machine import cori
+
+    return cori(seed=0)
+
+
+@pytest.fixture(scope="session")
+def hep_wl():
+    from repro.sim.workload import hep_workload
+
+    return hep_workload()
+
+
+@pytest.fixture(scope="session")
+def climate_wl():
+    from repro.sim.workload import climate_workload
+
+    return climate_workload()

@@ -1,0 +1,155 @@
+"""Ablations of the paper's stated future-work directions (SVIII-A, SIX).
+
+- FFT-based convolution [43-era discussion]: where does the frequency-
+  domain path cross over the im2col GEMM in kernel size?
+- Low-precision training [44-47]: stochastic vs nearest rounding at
+  decreasing bit widths ("various forms of stochastic rounding being of
+  critical importance in convergence");
+- ResNet portability (SIX): the hybrid machinery must accept residual
+  models unchanged.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.core.parameter import Parameter
+from repro.nn import Conv2D, FFTConv2D, build_resnet
+from repro.optim import Adam, QuantizedGradSGD, SGD
+from repro.train.loop import hep_loss_fn
+
+
+def test_fft_conv_crossover(benchmark):
+    """Measure im2col-GEMM vs FFT forward time as kernel size grows."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(4, 8, 64, 64)).astype(np.float32)
+
+    def time_once(layer):
+        t0 = time.perf_counter()
+        layer.forward(x)
+        return time.perf_counter() - t0
+
+    def sweep():
+        rows = []
+        for k in (3, 7, 11, 15):
+            pad = (k - 1) // 2
+            gemm = Conv2D(8, 8, k, pad=pad, rng=1)
+            fft = FFTConv2D(8, 8, k, pad=pad, rng=1)
+            fft.weight.data[...] = gemm.weight.data
+            t_gemm = min(time_once(gemm) for _ in range(3))
+            t_fft = min(time_once(fft) for _ in range(3))
+            rows.append((k, t_gemm, t_fft))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = [(f"k={k}: GEMM vs FFT forward", "FFT wins at large k",
+              f"{tg * 1e3:.1f} ms vs {tf * 1e3:.1f} ms")
+             for k, tg, tf in rows]
+    report("Future work: FFT convolution crossover", table)
+    # The FFT path's *relative* cost must shrink as the kernel grows
+    # (its complexity is kernel-size independent).
+    ratios = [tf / tg for _k, tg, tf in rows]
+    assert ratios[-1] < ratios[0]
+
+
+def test_low_precision_convergence(benchmark):
+    """Quadratic convergence vs gradient bit width, both rounding modes."""
+    def final_distance(bits, mode):
+        w = Parameter(np.array([4.0], dtype=np.float32), name="w")
+        opt = QuantizedGradSGD([w], lr=0.05, bits=bits, mode=mode,
+                               scale=8.0, seed=0)
+        for _ in range(200):
+            w.grad[:] = w.data
+            opt.step()
+        return abs(float(w.data[0]))
+
+    def sweep():
+        out = {}
+        for bits in (8, 4, 2):
+            out[bits] = (final_distance(bits, "stochastic"),
+                         final_distance(bits, "nearest"))
+        return out
+
+    results = benchmark(sweep)
+    rows = [(f"{bits}-bit gradients: |w*| stochastic vs nearest",
+             "stochastic converges", f"{s:.3f} vs {n:.3f}")
+            for bits, (s, n) in results.items()]
+    report("Future work: low-precision training (SVIII-A)", rows)
+    # 8-bit: both fine. 2-bit: stochastic must do at least as well.
+    s8, n8 = results[8]
+    assert s8 < 0.5 and n8 < 0.5
+    s2, n2 = results[2]
+    assert s2 <= n2 + 0.25
+
+
+def test_resnet_in_hybrid_machinery(benchmark):
+    """SIX: 'our results ... extend to other kinds of models such as
+    ResNets' — run the actual hybrid trainer on a residual model."""
+    from repro.data.hep import make_hep_dataset
+    from repro.distributed import HybridTrainer
+
+    ds = make_hep_dataset(300, image_size=32, signal_fraction=0.5, seed=9)
+
+    def run():
+        trainer = HybridTrainer(
+            lambda: build_resnet(in_channels=3, n_classes=2,
+                                 widths=(8, 16), rng=4),
+            lambda params: Adam(params, lr=1e-3),
+            hep_loss_fn, n_groups=2, seed=0)
+        return trainer.run(ds.images, ds.labels, group_batch=16,
+                           n_iterations=25, drift=[1.0, 1.0])
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    _times, losses = res.merged_curve(smooth=3)
+    report("Future work: ResNet on the hybrid architecture (SIX)", [
+        ("hybrid training runs", "extends", "yes"),
+        ("loss start -> end", "decreasing",
+         f"{losses[0]:.3f} -> {losses[-1]:.3f}"),
+        ("staleness mean", "~G-1", f"{res.staleness.mean():.2f}"),
+    ])
+    assert losses[-1] < losses[0] * 1.1
+
+
+def test_lstm_in_hybrid_machinery(benchmark):
+    """SIX: 'our results ... extend to other kinds of models such as ...
+    LSTM'. The LSTM layer must train through the same per-layer-PS hybrid
+    trainer the conv nets use, staleness tracking included."""
+    from repro.core.sequential import Sequential
+    from repro.distributed import HybridTrainer
+    from repro.nn import LSTM, Dense
+
+    rng = np.random.default_rng(0)
+    n, t = 256, 8
+    x = rng.normal(size=(n, t, 2)).astype(np.float32)
+    y = (x[:, :, 0].sum(axis=1) > 0).astype(np.int64)
+
+    def seq_loss_fn(net, xb, yb):
+        from repro.nn.losses import SoftmaxCrossEntropyLoss
+
+        logits = net.forward(xb)
+        return SoftmaxCrossEntropyLoss()(logits, yb)
+
+    def run():
+        trainer = HybridTrainer(
+            lambda: Sequential([LSTM(2, 12, rng=1), Dense(12, 2, rng=2)],
+                               name="lstm-clf"),
+            lambda params: Adam(params, lr=5e-3),
+            seq_loss_fn, n_groups=2,
+            iteration_time_fn=lambda g: 1.0, seed=0)
+        return trainer.run(x, y, group_batch=32, n_iterations=60,
+                           drift=[1.0, 1.0])
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    _times, losses = res.merged_curve(smooth=9)
+    report("SIX: LSTM through the hybrid architecture", [
+        ("loss start -> end", "decreases",
+         f"{losses[0]:.3f} -> {losses[-1]:.3f}"),
+        ("PSs instantiated (one per trainable layer)", "2",
+         str(res.staleness.size > 0 and 2)),
+        ("mean staleness at 2 groups", "~1",
+         f"{res.staleness.mean():.2f}"),
+    ])
+    assert losses[-1] < 0.75 * losses[0]
+    assert 0.5 < res.staleness.mean() < 1.5

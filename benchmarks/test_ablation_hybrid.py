@@ -1,0 +1,110 @@
+"""Ablations of the hybrid design's knobs (paper SIII-E, SVI-B4, SVIII-B).
+
+- group count x momentum grid: the asynchrony-begets-momentum tuning rule;
+- dedicated per-layer PSs vs a single consolidated PS (Fig 4's motivation);
+- MLSL endpoint proxies (SIII-D): effective-bandwidth boost;
+- placement quality (Fig 3): compact vs scattered compute groups.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.cluster.machine import cori
+from repro.optim import effective_momentum, tune_momentum_for_groups
+from repro.sim.hybrid_sim import HybridSimConfig, simulate_hybrid
+from repro.sim.workload import climate_workload, hep_workload
+
+
+def test_momentum_grid(benchmark):
+    """SVI-B4: sync runs keep mu=0.9; hybrid runs tune on {0.0, 0.4, 0.7}."""
+    def sweep():
+        rows = []
+        for g in (1, 2, 4, 8):
+            mu = tune_momentum_for_groups(0.9, g)
+            rows.append((g, mu, effective_momentum(mu, g)))
+        return rows
+
+    rows = benchmark(sweep)
+    report("Ablation: momentum tuning vs group count", [
+        (f"{g} group(s): explicit mu", "grid {0,.4,.7,.9}",
+         f"{mu:.1f} (effective {eff:.2f})") for g, mu, eff in rows])
+    mus = [mu for _, mu, _ in rows]
+    assert mus[0] == 0.9
+    assert mus == sorted(mus, reverse=True)  # tuned down with asynchrony
+    effs = [eff for _, _, eff in rows]
+    assert all(abs(e - 0.9) < 0.1 for e in effs)  # effective stays ~target
+
+
+def test_per_layer_ps_vs_consolidated(benchmark, machine):
+    """Fig 4: dedicating a PS per trainable layer spreads update service
+    across PS nodes; consolidating onto one node congests it."""
+    wl = climate_workload()
+
+    def run(n_ps):
+        cfg = HybridSimConfig(workload=wl, machine=machine,
+                              n_workers=1024, n_groups=8, n_ps=n_ps,
+                              local_batch=8, n_iterations=8, seed=0)
+        return simulate_hybrid(cfg)
+
+    res_many = benchmark.pedantic(run, args=(14,), rounds=1, iterations=1)
+    res_one = run(1)
+    util_many = res_many.ps_utilization().max()
+    util_one = res_one.ps_utilization().max()
+    report("Ablation: per-layer PSs (14 nodes) vs consolidated (1 node)", [
+        ("max PS-node utilization (14 PS)", "low", f"{util_many:.3f}"),
+        ("max PS-node utilization (1 PS)", "congestion risk",
+         f"{util_one:.3f}"),
+        ("throughput ratio (14 vs 1)", ">= 1",
+         f"{res_many.throughput / res_one.throughput:.3f}"),
+    ])
+    assert util_one > util_many
+    assert res_many.throughput >= 0.95 * res_one.throughput
+
+
+def test_endpoint_proxies(benchmark):
+    """SIII-D: MLSL endpoints improve network-bandwidth utilization -> the
+    big-payload climate all-reduce gets faster."""
+    wl = climate_workload()
+
+    def compare():
+        from repro.sim.sync_sim import SyncIterationModel
+
+        plain = cori(seed=0, jitter=False)
+        boosted = cori(seed=0, jitter=False, endpoint_factor=1.5)
+        t_plain = SyncIterationModel(wl, plain, 2048, 8,
+                                     seed=0).allreduce_time()
+        t_boost = SyncIterationModel(wl, boosted, 2048, 8,
+                                     seed=0).allreduce_time()
+        return t_plain, t_boost
+
+    t_plain, t_boost = benchmark(compare)
+    report("Ablation: MLSL endpoint proxies (climate all-reduce, 2048n)", [
+        ("without endpoints", "-", f"{t_plain * 1e3:.1f} ms"),
+        ("with endpoints (1.5x eff. bandwidth)", "faster",
+         f"{t_boost * 1e3:.1f} ms"),
+    ])
+    assert t_boost < t_plain
+
+
+def test_placement_quality(benchmark, machine):
+    """Fig 3: packing each compute group into an electrical group is the
+    ideal placement; scattering inflates intra-group all-reduce cost."""
+    wl = hep_workload()
+
+    def run(compact):
+        cfg = HybridSimConfig(workload=wl, machine=machine,
+                              n_workers=1024, n_groups=4, n_ps=4,
+                              local_batch=8, n_iterations=8,
+                              placement_compact=compact, seed=0)
+        return simulate_hybrid(cfg).throughput
+
+    compact = benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+    scattered = run(False)
+    report("Ablation: topology-aware placement (Fig 3)", [
+        ("compact groups throughput", "ideal", f"{compact:.0f} img/s"),
+        ("scattered groups throughput", "lower",
+         f"{scattered:.0f} img/s"),
+        ("penalty", "-", f"{100 * (1 - scattered / compact):.1f} %"),
+    ])
+    assert scattered <= compact

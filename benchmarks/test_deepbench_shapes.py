@@ -1,0 +1,104 @@
+"""DeepBench-style kernel-shape study (paper SII-A).
+
+"[DeepBench's] results show that while performance can be as high as
+75-80% of peak flops for some kernels, decreasing minibatch size
+(dimension 'N' for matrix multiply and convolutions) results in
+significant efficiency drops to as low as 20-30% (at minibatch sizes of
+4-16) on all architectures. As we shall see, this has implications on
+performance at scale."
+
+Two reproductions of that observation:
+
+1. on the calibrated KNL node model (the efficiency curve that drives
+   every scaling figure);
+2. live, on this machine's BLAS: tall-skinny GEMMs at DL-layer shapes,
+   relative to the same machine's fat-GEMM rate.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.cluster.knl import KNLNodeModel
+
+
+def test_knl_efficiency_vs_minibatch(benchmark):
+    """The model's efficiency-vs-N curve hits the DeepBench anchors.
+
+    DeepBench's "20-30 % at minibatch 4-16" is the LOW end over its kernel
+    sweep, so the comparison point is the minimum over a set of DL-layer
+    shapes (16-128 channel 3x3 convs), not a single friendly kernel.
+    """
+    node = KNLNodeModel()
+    depths = [c * 9 for c in (16, 32, 64, 128)]
+
+    def curve():
+        best = {n: node.conv_efficiency(n, depths[-1])
+                for n in (1, 2, 4, 8, 16, 64, 256)}
+        small_n_worst = min(node.conv_efficiency(n, d)
+                            for n in (4, 8, 16) for d in depths)
+        return best, small_n_worst
+
+    eff, small_n_worst = benchmark.pedantic(curve, rounds=1, iterations=1)
+    report("SII-A: DeepBench efficiency vs minibatch (KNL model)", [
+        ("best-case efficiency (N=256, 128ch)", "75-80 % of peak",
+         f"{eff[256] * 100:.0f}%"),
+        ("worst over kernels at N in [4,16]", "as low as 20-30 %",
+         f"{small_n_worst * 100:.0f}%"),
+        ("efficiency at N=1", "worse still", f"{eff[1] * 100:.0f}%"),
+    ])
+    assert 0.70 <= eff[256] <= 0.80
+    assert 0.15 <= small_n_worst <= 0.35
+    assert eff[1] < eff[4] < eff[8] < eff[64]
+
+
+def test_knl_efficiency_vs_reduction_depth(benchmark):
+    """The few-channel first conv starves the VPUs (Fig 5's 1.25 TF/s)."""
+    node = KNLNodeModel()
+
+    def curve():
+        return {c: node.conv_efficiency(8, c * 9) for c in (3, 16, 64, 128)}
+
+    eff = benchmark.pedantic(curve, rounds=1, iterations=1)
+    report("SII-A: efficiency vs GEMM reduction depth (batch 8)", [
+        ("3-channel conv (first layer)", "low", f"{eff[3] * 100:.0f}%"),
+        ("128-channel conv (deep layers)", "~3x higher",
+         f"{eff[128] * 100:.0f}%"),
+    ])
+    assert eff[3] < 0.5 * eff[128]
+    assert all(a <= b for a, b in
+               zip([eff[3], eff[16], eff[64], eff[128]],
+                   [eff[16], eff[64], eff[128], 1.0]))
+
+
+def test_live_gemm_minibatch_cliff(benchmark):
+    """The same cliff on this machine's BLAS: a (N x K) @ (K x M) GEMM at
+    DL-layer shapes loses throughput as N shrinks — the hardware-agnostic
+    fact ('on all architectures') behind the paper's scale-out ceiling."""
+    rng = np.random.default_rng(0)
+    k, m = 1152, 128  # 128-filter 3x3 conv as GEMM
+
+    def rate(n, reps=5):
+        a = rng.normal(size=(n * 196, k)).astype(np.float32)
+        b = rng.normal(size=(k, m)).astype(np.float32)
+        a @ b  # warm
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            a @ b
+            best = min(best, time.perf_counter() - t0)
+        return 2.0 * a.shape[0] * k * m / best
+
+    def sweep():
+        return {n: rate(n) for n in (1, 4, 64)}
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("SII-A live: GEMM throughput vs minibatch (this machine's BLAS)",
+           [(f"N={n}", "grows with N",
+             f"{r / 1e9:.1f} GF/s ({r / rates[64] * 100:.0f}% of N=64)")
+            for n, r in rates.items()])
+    # Shape claim only (absolute rates are machine-specific): the small-N
+    # GEMM runs at a clearly lower rate than the large-N one.
+    assert rates[1] < 0.9 * rates[64]

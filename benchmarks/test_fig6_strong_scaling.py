@@ -1,0 +1,55 @@
+"""Fig 6: strong scaling, batch 2048 per synchronous group, 1-1024 nodes.
+
+Paper anchors (6a, HEP): sync does not scale past 256 nodes (1024 somewhat
+worse than 256); hybrid-2 saturates ~280x beyond 512; hybrid-4 reaches
+~580x at 1024. (6b, climate): sync max ~320x at 512 then stops; hybrid-2
+~580x and hybrid-4 ~780x at 1024.
+"""
+
+from conftest import report
+from repro.sim.scaling import strong_scaling
+
+
+def _by(points):
+    return {(p.mode, p.n_groups, p.n_nodes): p.speedup for p in points}
+
+
+def test_fig6a_hep_strong_scaling(benchmark, machine, hep_wl):
+    points = benchmark.pedantic(
+        strong_scaling, args=(hep_wl, machine),
+        kwargs=dict(node_counts=(256, 512, 1024), group_counts=(1, 2, 4),
+                    seed=0),
+        rounds=1, iterations=1)
+    s = _by(points)
+    report("Fig 6a: HEP strong scaling (speedup over 1 node)", [
+        ("sync @256", "~saturating", f"{s[('sync', 1, 256)]:.0f}x"),
+        ("sync @1024", "worse than @256-512",
+         f"{s[('sync', 1, 1024)]:.0f}x"),
+        ("hybrid-2 @1024", "~280x (saturated)",
+         f"{s[('hybrid', 2, 1024)]:.0f}x"),
+        ("hybrid-4 @1024", "~580x", f"{s[('hybrid', 4, 1024)]:.0f}x"),
+    ])
+    # Shape assertions: sync saturates; hybrid-4 scales well past sync.
+    assert s[("sync", 1, 1024)] < 1.5 * s[("sync", 1, 256)]
+    assert s[("hybrid", 4, 1024)] > 1.7 * s[("sync", 1, 1024)]
+    assert s[("hybrid", 4, 1024)] > s[("hybrid", 2, 1024)]
+    assert 300 < s[("hybrid", 4, 1024)] < 950
+
+
+def test_fig6b_climate_strong_scaling(benchmark, machine, climate_wl):
+    points = benchmark.pedantic(
+        strong_scaling, args=(climate_wl, machine),
+        kwargs=dict(node_counts=(256, 512, 1024), group_counts=(1, 2, 4),
+                    seed=0),
+        rounds=1, iterations=1)
+    s = _by(points)
+    report("Fig 6b: climate strong scaling (speedup over 1 node)", [
+        ("sync @512", "~320x max", f"{s[('sync', 1, 512)]:.0f}x"),
+        ("sync @1024", "stops scaling", f"{s[('sync', 1, 1024)]:.0f}x"),
+        ("hybrid-2 @1024", "~580x", f"{s[('hybrid', 2, 1024)]:.0f}x"),
+        ("hybrid-4 @1024", "~780x", f"{s[('hybrid', 4, 1024)]:.0f}x"),
+    ])
+    assert s[("sync", 1, 1024)] < 1.35 * s[("sync", 1, 512)]
+    assert s[("hybrid", 4, 1024)] > s[("hybrid", 2, 1024)] > \
+        s[("sync", 1, 1024)]
+    assert 450 < s[("hybrid", 4, 1024)] < 1000

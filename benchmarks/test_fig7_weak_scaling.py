@@ -1,0 +1,75 @@
+"""Fig 7: weak scaling, batch 8 per node, up to 2048 nodes.
+
+Paper anchors (7a, HEP): sublinear — ~575-750x at 1024; hybrid ~1150-1250x
+and sync ~1500x at 2048 (hybrid pays the two extra PS communication steps).
+(7b, climate): near-linear — ~1750x sync, ~1850x hybrid at 2048 (hybrid
+slightly better from reduced straggler effects on 300 ms layers).
+"""
+
+from conftest import report
+from repro.sim.scaling import weak_scaling
+
+
+def _by(points):
+    return {(p.mode, p.n_groups, p.n_nodes): p.speedup for p in points}
+
+
+def test_fig7a_hep_weak_scaling(benchmark, machine, hep_wl):
+    points = benchmark.pedantic(
+        weak_scaling, args=(hep_wl, machine),
+        kwargs=dict(node_counts=(1024, 2048), group_counts=(1, 4, 8),
+                    seed=0),
+        rounds=1, iterations=1)
+    s = _by(points)
+    report("Fig 7a: HEP weak scaling (batch 8/node)", [
+        ("sync @1024", "575-750x (all configs)",
+         f"{s[('sync', 1, 1024)]:.0f}x"),
+        ("sync @2048", "~1500x", f"{s[('sync', 1, 2048)]:.0f}x"),
+        ("hybrid-8 @2048", "1150-1250x",
+         f"{s[('hybrid', 8, 2048)]:.0f}x"),
+        ("efficiency @2048 (sync)", "~73 %",
+         f"{100 * s[('sync', 1, 2048)] / 2048:.0f} %"),
+    ])
+    assert 500 < s[("sync", 1, 1024)] < 900
+    assert 1100 < s[("sync", 1, 2048)] < 1750
+    # hybrid pays the PS round trips: at or below sync for HEP
+    assert s[("hybrid", 8, 2048)] < 1.08 * s[("sync", 1, 2048)]
+
+
+def test_fig7b_climate_weak_scaling(benchmark, machine, climate_wl):
+    points = benchmark.pedantic(
+        weak_scaling, args=(climate_wl, machine),
+        kwargs=dict(node_counts=(1024, 2048), group_counts=(1, 8), seed=0),
+        rounds=1, iterations=1)
+    s = _by(points)
+    report("Fig 7b: climate weak scaling (batch 8/node)", [
+        ("sync @2048", "~1750x", f"{s[('sync', 1, 2048)]:.0f}x"),
+        ("hybrid-8 @2048", "~1850x", f"{s[('hybrid', 8, 2048)]:.0f}x"),
+        ("efficiency @2048 (sync)", "~85 %",
+         f"{100 * s[('sync', 1, 2048)] / 2048:.0f} %"),
+    ])
+    assert s[("sync", 1, 2048)] > 1550
+    # near-linear and within a few % of the hybrid configuration
+    assert abs(s[("hybrid", 8, 2048)] - s[("sync", 1, 2048)]) \
+        < 0.15 * s[("sync", 1, 2048)]
+
+
+def test_fig7_crossover_hep_vs_climate(benchmark, machine, hep_wl,
+                                       climate_wl):
+    """The paper's headline contrast: climate weak-scales better than HEP
+    because its 300 ms conv layers amortize per-sync-point jitter that the
+    12 ms HEP layers cannot (SVI-B2)."""
+    def both():
+        hep = weak_scaling(hep_wl, machine, node_counts=(2048,),
+                           group_counts=(1,), seed=0)
+        cli = weak_scaling(climate_wl, machine, node_counts=(2048,),
+                           group_counts=(1,), seed=0)
+        return hep[0].speedup, cli[0].speedup
+
+    hep_s, cli_s = benchmark.pedantic(both, rounds=1, iterations=1)
+    report("Fig 7 contrast: who weak-scales better at 2048", [
+        ("HEP sync", "~1500x", f"{hep_s:.0f}x"),
+        ("climate sync", "~1750x", f"{cli_s:.0f}x"),
+        ("climate > HEP", "yes", "yes" if cli_s > hep_s else "NO"),
+    ])
+    assert cli_s > hep_s

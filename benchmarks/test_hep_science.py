@@ -1,0 +1,67 @@
+"""SVII-A: HEP science result — signal efficiency at very low FPR.
+
+Paper anchors: the cut-based baseline (selections of the ATLAS multi-jet
+search) reaches TPR 42 % at FPR 0.02 % (2e-4); the CNN reaches 72 % — a
+1.7x improvement — and the SGD full-system model still beats the baseline
+by 1.3x.
+
+Statistics note: the paper's test sample has millions of background events;
+ours has thousands, so the quoted operating point moves to FPR 1e-3..1e-2
+where our sample resolves the rates. The reproduced claims are (a) the
+baseline's absolute TPR at its tightest measurable working point and
+(b) the CNN's multiplicative gain over the baseline, growing toward low FPR.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.data.hep import CutBaseline, make_hep_dataset
+from repro.models import build_hep_net
+from repro.optim import Adam
+from repro.train import auc, fit_classifier, tpr_at_fpr
+from repro.train.loop import predict_proba
+
+
+def test_hep_science_tpr_at_low_fpr(benchmark):
+    def train_and_eval():
+        ds = make_hep_dataset(5000, image_size=64, signal_fraction=0.35,
+                              seed=2)
+        train, test = ds.split(0.5, seed=0)
+        net = build_hep_net(filters=16, rng=0)
+        fit_classifier(net, Adam(net.params(), lr=1e-3), train.images,
+                       train.labels, batch=32, n_iterations=160, seed=0)
+        fit_classifier(net, Adam(net.params(), lr=5e-4), train.images,
+                       train.labels, batch=32, n_iterations=160, seed=1)
+        cnn = predict_proba(net, test.images)[:, 1]
+        cut = CutBaseline().score(test.events)
+        return cnn, cut, test.labels
+
+    cnn, cut, labels = benchmark.pedantic(train_and_eval, rounds=1,
+                                          iterations=1)
+    n_bkg = int((labels == 0).sum())
+    fpr_op = max(2e-4, 5.0 / n_bkg)   # tightest resolvable working point
+    cnn_tpr = tpr_at_fpr(cnn, labels, fpr_op)
+    cut_tpr = tpr_at_fpr(cut, labels, fpr_op)
+    ratio = cnn_tpr / cut_tpr if cut_tpr > 0 else float("inf")
+    rows = [
+        ("operating point (FPR)", "2e-4", f"{fpr_op:.1e} "
+         f"({n_bkg} bkg events)"),
+        ("cut baseline TPR", "0.42", f"{cut_tpr:.2f}"),
+        ("CNN TPR", "0.72", f"{cnn_tpr:.2f}"),
+        ("CNN / baseline", "1.7x", f"{ratio:.2f}x"),
+        ("AUC (CNN vs cuts)", "-",
+         f"{auc(cnn, labels):.3f} vs {auc(cut, labels):.3f}"),
+    ]
+    for fpr in (2e-2, 1e-2):
+        c, b = tpr_at_fpr(cnn, labels, fpr), tpr_at_fpr(cut, labels, fpr)
+        rows.append((f"TPR at FPR {fpr:g} (CNN vs cut)", "-",
+                     f"{c:.2f} vs {b:.2f}"))
+    report("SVII-A: HEP science result", rows)
+
+    # Reproduced claims: CNN beats the baseline at the low-FPR operating
+    # point, by a factor comparable to the paper's 1.3-1.7x.
+    assert cnn_tpr > cut_tpr
+    assert ratio > 1.1
+    # baseline is a genuinely strong benchmark (not a strawman)
+    assert cut_tpr > 0.2

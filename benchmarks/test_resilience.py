@@ -1,0 +1,144 @@
+"""SVIII-A ablation: resilience of sync vs hybrid runs to node failures.
+
+Paper claims: 'even a single node failure can cause complete failure of
+synchronous runs; hybrid runs are much more resilient since only one of the
+compute groups gets affected', and run-to-run variability reaches ~30 % at
+scale.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.cluster.failures import FailureModel
+from repro.cluster.machine import cori
+from repro.sim.hybrid_sim import HybridSimConfig, simulate_hybrid
+from repro.sim.sync_sim import SyncIterationModel
+from repro.sim.workload import hep_workload
+
+
+def test_failure_survival(benchmark):
+    """P(run survives) for sync (needs ALL nodes) vs hybrid (loses only the
+    affected group's share of throughput)."""
+    fm = FailureModel(mtbf_node_hours=5e4, seed=0)
+    hours = 12.0
+
+    def compute():
+        n = 9600
+        p_sync = fm.survival_probability(n, hours * 3600)
+        # hybrid: a fail-stop only removes one of 9 groups; the run survives
+        # with reduced throughput. Expected surviving throughput fraction:
+        lam = fm.rate_per_second(n) * hours * 3600 * (1 - fm.degrade_fraction)
+        expected_failures = lam
+        frac_lost = min(1.0, expected_failures / 9)
+        return p_sync, 1.0 - frac_lost
+
+    p_sync, hybrid_throughput = benchmark(compute)
+    report("SVIII-A: resilience over a 12 h full-machine run", [
+        ("sync run survives (no node failure)", "fragile",
+         f"P = {p_sync:.2f}"),
+        ("hybrid expected surviving throughput", "~8/9 worst case",
+         f"{100 * hybrid_throughput:.0f} %"),
+    ])
+    assert p_sync < 1.0
+    assert hybrid_throughput > p_sync  # hybrid keeps most of its throughput
+
+
+def test_runtime_variability_at_scale(benchmark):
+    """'significant variability in runtimes across runs, as high as 30%'."""
+    machine = cori(seed=3)
+    wl = hep_workload()
+
+    def sample():
+        model = SyncIterationModel(wl, machine, 4096, 8, seed=3)
+        stats = model.sample_iterations(60)
+        return stats
+
+    stats = benchmark.pedantic(sample, rounds=1, iterations=1)
+    spread = (stats.worst - stats.best) / stats.mean
+    report("SVIII-A: iteration-time variability at 4096 nodes", [
+        ("worst/best iteration spread", "up to ~30 %",
+         f"{100 * spread:.0f} %"),
+    ])
+    assert 0.05 < spread < 0.8
+
+
+def test_degraded_node_hurts_sync_more(benchmark):
+    """A 2.5x-degraded node slows EVERY sync iteration (barrier), but only
+    one group of a hybrid run."""
+    machine = cori(seed=0, jitter=False)
+    wl = hep_workload()
+
+    def compare():
+        base = SyncIterationModel(wl, machine, 1024, 8,
+                                  seed=0).expected_iteration_time()
+        # Sync with one degraded node: compute term stretches by the
+        # degradation factor (the barrier waits for the slow node).
+        sync_degraded = base + SyncIterationModel(
+            wl, machine, 1, 8, seed=0)._compute * 1.5
+        # Hybrid-8: only 1/8 of throughput is affected.
+        cfg = HybridSimConfig(workload=wl, machine=machine, n_workers=1024,
+                              n_groups=8, n_ps=6, local_batch=8,
+                              n_iterations=6, seed=0)
+        healthy = simulate_hybrid(cfg).throughput
+        hybrid_degraded = healthy * (7 / 8 + (1 / 8) / 2.5)
+        return base, sync_degraded, healthy, hybrid_degraded
+
+    base, sync_deg, healthy, hybrid_deg = benchmark.pedantic(
+        compare, rounds=1, iterations=1)
+    sync_loss = 1 - base / sync_deg
+    hybrid_loss = 1 - hybrid_deg / healthy
+    report("SVIII-A: impact of one 2.5x-degraded node (1024 nodes)", [
+        ("sync throughput loss", "entire run slows",
+         f"{100 * sync_loss:.0f} %"),
+        ("hybrid-8 throughput loss", "~1 group's share",
+         f"{100 * hybrid_loss:.0f} %"),
+    ])
+    assert sync_loss > hybrid_loss
+
+
+def test_real_execution_failure_head_to_head(benchmark):
+    """SVIII-A with live training, not just timing models: under the same
+    virtual-time node failure, the synchronous job dies mid-run while the
+    elastic hybrid finishes with one group down and a trained model."""
+    from repro.data.hep import make_hep_dataset
+    from repro.distributed import ElasticHybridTrainer, sync_run_with_failure
+    from repro.models import build_hep_net
+    from repro.optim import Adam
+    from repro.train.loop import hep_loss_fn
+
+    ds = make_hep_dataset(300, image_size=16, signal_fraction=0.5, seed=9)
+    fail_t, n_iters = 8.0, 30
+
+    def head_to_head():
+        _t, sync_losses, sync_ok = sync_run_with_failure(
+            lambda: build_hep_net(filters=4, rng=3),
+            lambda params: Adam(params, lr=3e-3),
+            hep_loss_fn, ds.images, ds.labels,
+            batch=16, n_iterations=n_iters, iteration_time=1.0,
+            failure_time=fail_t, seed=0)
+        trainer = ElasticHybridTrainer(
+            lambda: build_hep_net(filters=4, rng=3),
+            lambda params: Adam(params, lr=3e-3),
+            hep_loss_fn, n_groups=3, failures={1: fail_t},
+            iteration_time_fn=lambda g: 1.0, seed=0)
+        res = trainer.run(ds.images, ds.labels, group_batch=16,
+                          n_iterations=n_iters)
+        return sync_losses, sync_ok, res
+
+    sync_losses, sync_ok, res = benchmark.pedantic(head_to_head, rounds=1,
+                                                   iterations=1)
+    _times, hybrid_losses = res.merged_curve(smooth=7)
+    report("SVIII-A: node failure, real training runs", [
+        ("sync run completes", "no (barrier never clears)",
+         "no" if not sync_ok else "yes"),
+        ("sync iterations before death", f"<{n_iters}",
+         str(len(sync_losses))),
+        ("hybrid groups finishing all iterations", "2 of 3",
+         str(sum(c == n_iters for c in res.completed))),
+        ("hybrid final smoothed loss", "keeps improving",
+         f"{hybrid_losses[-1]:.3f} (start {hybrid_losses[0]:.3f})"),
+    ])
+    assert not sync_ok
+    assert sum(c == n_iters for c in res.completed) == 2
+    assert hybrid_losses[-1] < hybrid_losses[0]

@@ -1,0 +1,42 @@
+"""Table I: dataset characteristics.
+
+| dataset | pixels  | channels | #images | volume |
+| HEP     | 228x228 | 3        | 10M     | 7.4 TB |
+| climate | 768x768 | 16       | 0.4M    | 15 TB  |
+
+We generate scaled-down samples (measuring generator throughput) and
+extrapolate the raw volumes analytically at paper-native shapes.
+"""
+
+import numpy as np
+
+from conftest import report
+from repro.data.climate import make_climate_dataset
+from repro.data.hep import make_hep_dataset
+from repro.data.io import dataset_volume_bytes
+from repro.utils.units import TB
+
+
+def test_table1_dataset_characteristics(benchmark):
+    ds_hep = benchmark(make_hep_dataset, 400, image_size=64, seed=0)
+    ds_cli = make_climate_dataset(16, size=96, n_channels=16, seed=0)
+
+    hep_volume = dataset_volume_bytes(10_000_000, 3, 228, 228) / TB
+    cli_volume = dataset_volume_bytes(400_000, 16, 768, 768) / TB
+
+    report("Table I: dataset characteristics", [
+        ("HEP image (pixels x channels)", "228x228 x3",
+         f"{ds_hep.images.shape[2]}x{ds_hep.images.shape[3]} x"
+         f"{ds_hep.images.shape[1]} (scaled)"),
+        ("HEP volume at 10M paper-native images", "7.4 TB",
+         f"{hep_volume:.1f} TB raw"),
+        ("climate image (pixels x channels)", "768x768 x16",
+         f"{ds_cli.images.shape[2]}x{ds_cli.images.shape[3]} x"
+         f"{ds_cli.images.shape[1]} (scaled)"),
+        ("climate volume at 0.4M paper-native", "15 TB",
+         f"{cli_volume:.1f} TB raw"),
+        ("generated sample (this run)", "-",
+         f"{len(ds_hep)} HEP + {len(ds_cli)} climate"),
+    ])
+    assert 5.0 < hep_volume < 8.0   # paper's 7.4 TB includes file overheads
+    assert abs(cli_volume - 15.0) < 0.5

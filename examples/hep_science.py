@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""HEP science result (paper SVII-A): CNN vs physics cut baseline.
+
+Trains the image classifier on a larger synthetic sample and compares the
+true-positive rate at very low false-positive rates against the cut-based
+selections — the paper reports 72 % vs 42 % at FPR = 0.02 %, a 1.7x gain.
+At our sample sizes the measurable operating points are FPR 1e-2..1e-3; the
+benchmark harness (benchmarks/test_hep_science.py) runs the bigger sample.
+
+Run:  python examples/hep_science.py
+"""
+
+import numpy as np
+
+from repro.data.hep import CutBaseline, make_hep_dataset
+from repro.models import build_hep_net
+from repro.optim import Adam
+from repro.train import auc, fit_classifier, tpr_at_fpr
+from repro.train.loop import predict_proba
+
+
+def main() -> None:
+    print("=== HEP science result: signal efficiency at low FPR ===\n")
+    print("[1/3] generating events (background-rich test mix)...")
+    ds = make_hep_dataset(4000, image_size=64, signal_fraction=0.4, seed=2)
+    train, test = ds.split(0.6, seed=0)
+    print(f"      {len(train)} train / {len(test)} test")
+
+    print("[2/3] training the CNN (two-stage ADAM schedule)...")
+    net = build_hep_net(filters=16, rng=0)
+    fit_classifier(net, Adam(net.params(), lr=1e-3), train.images,
+                   train.labels, batch=32, n_iterations=150, seed=0)
+    fit_classifier(net, Adam(net.params(), lr=5e-4), train.images,
+                   train.labels, batch=32, n_iterations=150, seed=1)
+
+    print("[3/3] comparing operating points on held-out events...\n")
+    cnn = predict_proba(net, test.images)[:, 1]
+    cut = CutBaseline().score(test.events)
+    labels = test.labels
+    print(f"{'FPR':>8s} {'CNN TPR':>9s} {'cut TPR':>9s} {'ratio':>7s}")
+    for fpr in (5e-2, 2e-2, 1e-2, 5e-3):
+        c = tpr_at_fpr(cnn, labels, fpr)
+        b = tpr_at_fpr(cut, labels, fpr)
+        ratio = c / b if b > 0 else float("inf")
+        print(f"{fpr:8.3f} {c:9.3f} {b:9.3f} {ratio:6.2f}x")
+    print(f"\nAUC: CNN {auc(cnn, labels):.4f} vs cuts "
+          f"{auc(cut, labels):.4f}")
+    print("(paper: TPR 0.72 vs 0.42 at FPR 2e-4 -> 1.7x; the shape — CNN "
+          "gaining most at the low-FPR end — is the reproduced claim)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: train the (scaled-down) HEP classifier end to end.
+
+Generates a synthetic multijet dataset, trains the paper's 5x(conv+pool)
+architecture with ADAM, and compares it against the physics cut baseline —
+the miniature version of the paper's SVII-A result.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.data.hep import CutBaseline, make_hep_dataset
+from repro.models import build_hep_net
+from repro.optim import Adam
+from repro.train import auc, fit_classifier
+from repro.train.loop import predict_proba
+
+
+def main() -> None:
+    print("=== repro quickstart: supervised HEP classification ===\n")
+
+    print("[1/4] generating synthetic events (Pythia/Delphes substitute)...")
+    ds = make_hep_dataset(n_events=2000, image_size=64,
+                          signal_fraction=0.5, seed=0)
+    train, test = ds.split(train_fraction=0.7, seed=0)
+    print(f"      {len(train)} train / {len(test)} test events, "
+          f"images {ds.images.shape[1:]}, "
+          f"signal fraction {ds.labels.mean():.2f}")
+
+    print("[2/4] building the HEP network (paper Table II, scaled width)...")
+    net = build_hep_net(filters=16, rng=0)
+    print(f"      {net.num_params():,} parameters "
+          f"({net.param_bytes() / 2**20:.2f} MiB)")
+
+    print("[3/4] training with ADAM (paper SIII-A)...")
+    history = fit_classifier(net, Adam(net.params(), lr=1e-3),
+                             train.images, train.labels, batch=32,
+                             n_iterations=120, seed=0)
+    print(f"      loss {history.losses[0]:.3f} -> {history.final_loss:.3f} "
+          f"over {len(history.losses)} iterations")
+
+    print("[4/4] evaluating vs the cut-based physics baseline...")
+    cnn_scores = predict_proba(net, test.images)[:, 1]
+    cut_scores = CutBaseline().score(test.events)
+    cnn_auc = auc(cnn_scores, test.labels)
+    cut_auc = auc(cut_scores, test.labels)
+    print(f"      CNN AUC          = {cnn_auc:.4f}")
+    print(f"      cut baseline AUC = {cut_auc:.4f}")
+    print("\nDone. See examples/hep_science.py for the full TPR@FPR "
+          "comparison and examples/climate_detection.py for the "
+          "semi-supervised task.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`)
+in offline environments without the `wheel` package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro: reproduction of "Deep Learning at 15PF" (Kurth et al., SC'17).
+
+Layout:
+
+- :mod:`repro.core`, :mod:`repro.nn`, :mod:`repro.optim` — the NumPy DL
+  framework (the IntelCaffe/MKL substitute);
+- :mod:`repro.models` — the HEP and climate architectures (Table II);
+- :mod:`repro.flops` — SDE-style FLOP accounting;
+- :mod:`repro.comm` — MPI/MLSL-style communication (real + cost models);
+- :mod:`repro.cluster` — the Cori Phase II machine model;
+- :mod:`repro.sim` — at-scale timing simulation (Figs 5-7, PFLOP/s);
+- :mod:`repro.distributed` — real sync / hybrid-async training (Fig 8);
+- :mod:`repro.data` — synthetic HEP and climate datasets (Table I);
+- :mod:`repro.train` — loops, metrics (TPR@FPR), checkpoints.
+
+Quickstart::
+
+    from repro.data.hep import make_hep_dataset
+    from repro.models import build_hep_net
+    from repro.optim import Adam
+    from repro.train import fit_classifier
+
+    ds = make_hep_dataset(2000, image_size=64, seed=0)
+    net = build_hep_net(rng=0)
+    history = fit_classifier(net, Adam(net.params(), lr=1e-3),
+                             ds.images, ds.labels, batch=32,
+                             n_iterations=100)
+"""
+
+__version__ = "1.0.0"
+
+from repro import (  # noqa: F401
+    cluster,
+    comm,
+    core,
+    data,
+    distributed,
+    flops,
+    models,
+    nn,
+    optim,
+    sim,
+    train,
+    utils,
+)
+
+__all__ = [
+    "core",
+    "nn",
+    "optim",
+    "models",
+    "flops",
+    "comm",
+    "cluster",
+    "sim",
+    "distributed",
+    "data",
+    "train",
+    "utils",
+    "__version__",
+]

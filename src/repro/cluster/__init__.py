@@ -1,0 +1,43 @@
+"""Cori Phase II machine model (the hardware substitute, paper SIV).
+
+Components:
+
+- :class:`KNLNodeModel` — per-node compute: peak SP FLOP/s of a Xeon Phi 7250
+  and a DeepBench-shaped efficiency curve in minibatch size and GEMM shape;
+- :class:`AriesNetwork` — alpha-beta interconnect with lognormal jitter;
+- :class:`DragonflyTopology` — electrical groups and node placement (Fig 3);
+- :class:`FailureModel` / :class:`StragglerModel` — degraded and failed nodes;
+- :class:`EventQueue` — a small discrete-event engine for the hybrid PS sim;
+- :class:`CoriMachine` — the assembled machine, with the :func:`cori` factory.
+"""
+
+from repro.cluster.knl import KNLNodeModel, IOModel, SolverOverheadModel
+from repro.cluster.network import AriesNetwork
+from repro.cluster.topology import DragonflyTopology, Placement
+from repro.cluster.failures import FailureEvent, FailureModel, StragglerModel
+from repro.cluster.events import Event, EventQueue
+from repro.cluster.mcdram import (
+    MCDRAMConfig,
+    activation_working_set,
+    node_with_memory_mode,
+)
+from repro.cluster.machine import CoriMachine, cori
+
+__all__ = [
+    "KNLNodeModel",
+    "IOModel",
+    "SolverOverheadModel",
+    "AriesNetwork",
+    "DragonflyTopology",
+    "Placement",
+    "FailureModel",
+    "StragglerModel",
+    "FailureEvent",
+    "Event",
+    "EventQueue",
+    "MCDRAMConfig",
+    "node_with_memory_mode",
+    "activation_working_set",
+    "CoriMachine",
+    "cori",
+]

@@ -1,0 +1,348 @@
+"""Model parallelism over the communicator (the MLSL road not taken).
+
+Paper SIII-D: MLSL "enables different forms of parallelism — both data and
+model parallelism — to be applied to different layers of the network ...
+In this work, we deal with either fully convolutional networks or those
+with very small fully connected layers, so we only use data parallelism
+which is well suited for such layers."
+
+This module implements the alternative so the choice can be measured:
+
+- :class:`ColumnParallelDense` — output features sharded across ranks,
+  input replicated; forward all-gathers the output shards, backward
+  all-reduces the input gradient;
+- :class:`RowParallelDense` — input features sharded; forward all-reduces
+  the partial products, backward all-gathers the input-gradient shards;
+- :func:`halo_exchange` + :class:`SpatialParallelConv2D` — spatial model
+  parallelism for convolutions: ranks own horizontal strips of the image
+  and exchange halo rows with their neighbours each pass;
+- byte-accounting helpers the ablation benchmark uses to show why data
+  parallelism wins for conv-heavy nets with small dense layers (activations
+  outweigh weights) and where model parallelism would start to win
+  (climate-scale dense heads).
+
+All layers run inside worker threads over a :class:`ThreadWorld`, one layer
+instance per rank, exactly like the data-parallel trainers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.core.initializers import xavier_uniform, zeros
+from repro.core.module import Module
+from repro.core.parameter import Parameter
+from repro.nn.conv import Conv2D
+from repro.utils.rng import SeedLike, as_rng
+
+
+class ColumnParallelDense(Module):
+    """Dense layer with the *output* dimension sharded across ranks.
+
+    Every rank sees the full input ``(N, in_features)`` and computes its
+    ``out_features / p`` slice; the forward output is assembled with an
+    all-gather. The backward input-gradient is the sum of per-rank
+    contributions, hence an all-reduce.
+    """
+
+    kind = "dense"
+
+    def __init__(self, comm: Communicator, in_features: int,
+                 out_features: int, name: Optional[str] = None,
+                 rng: SeedLike = None) -> None:
+        super().__init__(name=name or "colparallel_fc")
+        p = comm.size
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature sizes must be positive")
+        if out_features % p:
+            raise ValueError(
+                f"out_features {out_features} not divisible by {p} ranks")
+        self.comm = comm
+        self.in_features = in_features
+        self.out_features = out_features
+        self.shard = out_features // p
+        # Every rank draws the FULL weight matrix from the shared seed and
+        # keeps its slice — shards stay consistent with the unsharded layer.
+        full = xavier_uniform((out_features, in_features), in_features,
+                              out_features, as_rng(rng))
+        lo = comm.rank * self.shard
+        self.weight = Parameter(full[lo:lo + self.shard].copy(),
+                                name=f"weight_shard{comm.rank}")
+        self.bias = Parameter(zeros(self.shard),
+                              name=f"bias_shard{comm.rank}")
+        self._cache: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected (N, {self.in_features}), "
+                f"got {x.shape}")
+        self._cache = x
+        local = x @ self.weight.data.T + self.bias.data     # (N, shard)
+        gathered = np.empty((self.comm.size,) + local.shape,
+                            dtype=np.float32)
+        self.comm.Allgather(local.astype(np.float32), gathered)
+        # (p, N, shard) -> (N, p * shard)
+        return np.ascontiguousarray(
+            gathered.transpose(1, 0, 2).reshape(x.shape[0],
+                                                self.out_features))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        x = self._cache
+        lo = self.comm.rank * self.shard
+        g_local = grad_out[:, lo:lo + self.shard]
+        self.weight.grad += g_local.T @ x
+        self.bias.grad += g_local.sum(axis=0)
+        partial = (g_local @ self.weight.data).astype(np.float32)
+        total = np.empty_like(partial)
+        self.comm.Allreduce(partial, total)
+        return total
+
+    def params(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def output_shape(self, input_shape):
+        return (self.out_features,)
+
+    def comm_bytes_per_iteration(self, batch: int) -> int:
+        """Activation bytes each rank moves per iteration (fwd + bwd).
+
+        Forward all-gather: (p-1)/p of the (N, out) activations received;
+        backward all-reduce (ring): 2 (p-1)/p of the (N, in) gradient sent.
+        """
+        p = self.comm.size
+        fwd = (p - 1) / p * batch * self.out_features * 4
+        bwd = 2 * (p - 1) / p * batch * self.in_features * 4
+        return int(fwd + bwd)
+
+
+class RowParallelDense(Module):
+    """Dense layer with the *input* dimension sharded across ranks.
+
+    Every rank multiplies its slice of the input features by its weight
+    shard; the partial products are summed with an all-reduce (this is the
+    natural successor layer to a :class:`ColumnParallelDense`). Input is
+    taken replicated for interface symmetry; each rank reads its column
+    slice.
+    """
+
+    kind = "dense"
+
+    def __init__(self, comm: Communicator, in_features: int,
+                 out_features: int, name: Optional[str] = None,
+                 rng: SeedLike = None) -> None:
+        super().__init__(name=name or "rowparallel_fc")
+        p = comm.size
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature sizes must be positive")
+        if in_features % p:
+            raise ValueError(
+                f"in_features {in_features} not divisible by {p} ranks")
+        self.comm = comm
+        self.in_features = in_features
+        self.out_features = out_features
+        self.shard = in_features // p
+        full = xavier_uniform((out_features, in_features), in_features,
+                              out_features, as_rng(rng))
+        lo = comm.rank * self.shard
+        self.weight = Parameter(full[:, lo:lo + self.shard].copy(),
+                                name=f"weight_shard{comm.rank}")
+        # Bias lives on rank 0 only (added once, post-reduction).
+        self.bias = Parameter(zeros(out_features),
+                              name=f"bias_shard{comm.rank}")
+        self._cache: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected (N, {self.in_features}), "
+                f"got {x.shape}")
+        lo = self.comm.rank * self.shard
+        x_shard = x[:, lo:lo + self.shard]
+        self._cache = x_shard
+        partial = (x_shard @ self.weight.data.T).astype(np.float32)
+        total = np.empty_like(partial)
+        self.comm.Allreduce(partial, total)
+        if self.comm.rank == 0:
+            total += self.bias.data
+        out = np.empty_like(total)
+        # Broadcast rank 0's biased copy so replicas agree bit-for-bit.
+        out[...] = total
+        self.comm.Bcast(out, root=0)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        x_shard = self._cache
+        self.weight.grad += grad_out.T @ x_shard
+        if self.comm.rank == 0:
+            self.bias.grad += grad_out.sum(axis=0)
+        dx_shard = (grad_out @ self.weight.data).astype(np.float32)
+        gathered = np.empty((self.comm.size,) + dx_shard.shape,
+                            dtype=np.float32)
+        self.comm.Allgather(dx_shard, gathered)
+        n = grad_out.shape[0]
+        return np.ascontiguousarray(
+            gathered.transpose(1, 0, 2).reshape(n, self.in_features))
+
+    def params(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def output_shape(self, input_shape):
+        return (self.out_features,)
+
+
+def strip_bounds(height: int, p: int, rank: int) -> Tuple[int, int]:
+    """Row range [lo, hi) of ``rank``'s horizontal strip of an image."""
+    if height < p:
+        raise ValueError(f"cannot split {height} rows over {p} ranks")
+    base = height // p
+    extra = height % p
+    lo = rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+def halo_exchange(comm: Communicator, strip: np.ndarray,
+                  halo: int) -> np.ndarray:
+    """Extend a ``(N, C, rows, W)`` strip with ``halo`` rows per neighbour.
+
+    Boundary ranks get zero rows on their outer side (the global zero pad).
+    Uses Send/Recv with even/odd ordering so the exchange cannot deadlock.
+    """
+    if halo < 0:
+        raise ValueError(f"halo must be non-negative, got {halo}")
+    n, c, rows, w = strip.shape
+    if halo == 0:
+        return strip.copy()
+    if rows < halo:
+        raise ValueError(f"strip of {rows} rows cannot donate {halo} halo "
+                         "rows")
+    r, p = comm.rank, comm.size
+    top = np.zeros((n, c, halo, w), dtype=strip.dtype)
+    bottom = np.zeros((n, c, halo, w), dtype=strip.dtype)
+    send_up = np.ascontiguousarray(strip[:, :, :halo])
+    send_down = np.ascontiguousarray(strip[:, :, -halo:])
+    # Phase A: even ranks send first; odd ranks receive first.
+    for phase in (0, 1):
+        if r % 2 == phase:
+            if r > 0:
+                comm.Send(send_up, dest=r - 1, tag=1)
+            if r < p - 1:
+                comm.Send(send_down, dest=r + 1, tag=2)
+        else:
+            if r < p - 1:
+                comm.Recv(bottom, source=r + 1, tag=1)
+            if r > 0:
+                comm.Recv(top, source=r - 1, tag=2)
+    return np.concatenate([top, strip, bottom], axis=2)
+
+
+class SpatialParallelConv2D:
+    """Spatial model parallelism: ranks convolve horizontal image strips.
+
+    Weights are replicated (every rank builds the identical
+    :class:`~repro.nn.conv.Conv2D` from the shared seed); the *activations*
+    are sharded by image rows. Each forward pass exchanges ``halo`` rows
+    with the neighbouring ranks; each backward pass returns the halo
+    gradient contributions the same way. Stride-1 convolutions only.
+
+    Weight gradients must still be all-reduced across ranks afterwards (each
+    rank only saw its strip) — :meth:`allreduce_weight_grads` does that.
+    """
+
+    def __init__(self, comm: Communicator, in_channels: int,
+                 out_channels: int, kernel_size: int,
+                 image_height: int, rng: SeedLike = None) -> None:
+        if kernel_size % 2 == 0:
+            raise ValueError("spatial parallelism needs odd kernels")
+        self.comm = comm
+        self.halo = (kernel_size - 1) // 2
+        self.image_height = image_height
+        self.lo, self.hi = strip_bounds(image_height, comm.size, comm.rank)
+        # pad=0: the halo exchange plus manual edge padding supplies context.
+        self.conv = Conv2D(in_channels, out_channels, kernel_size, stride=1,
+                           pad=0, rng=as_rng(rng))
+
+    def forward(self, strip: np.ndarray) -> np.ndarray:
+        """``strip``: this rank's ``(N, C, hi-lo, W)`` rows. Returns the
+        corresponding output rows (same row count: "same" conv)."""
+        rows = self.hi - self.lo
+        if strip.shape[2] != rows:
+            raise ValueError(
+                f"rank {self.comm.rank} expects {rows} rows, "
+                f"got {strip.shape[2]}")
+        h = self.halo
+        extended = halo_exchange(self.comm, strip, h)
+        # Horizontal "same" padding is local.
+        extended = np.pad(extended, ((0, 0), (0, 0), (0, 0), (h, h)))
+        self._ext_shape = extended.shape
+        return self.conv.forward(extended)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Returns the gradient for this rank's strip, including the
+        contributions that neighbouring ranks computed for our rows."""
+        g_ext = self.conv.backward(grad_out)
+        h = self.halo
+        if h:
+            g_ext = g_ext[:, :, :, h:-h]         # drop horizontal pad
+        own = g_ext[:, :, h:-h] if h else g_ext
+        own = own.copy()
+        if h == 0:
+            return own
+        r, p = self.comm.rank, self.comm.size
+        up = np.ascontiguousarray(g_ext[:, :, :h])      # belongs to rank r-1
+        down = np.ascontiguousarray(g_ext[:, :, -h:])   # belongs to rank r+1
+        recv_top = np.zeros_like(up)
+        recv_bottom = np.zeros_like(down)
+        for phase in (0, 1):
+            if r % 2 == phase:
+                if r > 0:
+                    self.comm.Send(up, dest=r - 1, tag=3)
+                if r < p - 1:
+                    self.comm.Send(down, dest=r + 1, tag=4)
+            else:
+                if r < p - 1:
+                    self.comm.Recv(recv_bottom, source=r + 1, tag=3)
+                if r > 0:
+                    self.comm.Recv(recv_top, source=r - 1, tag=4)
+        own[:, :, :h] += recv_top
+        own[:, :, -h:] += recv_bottom
+        return own
+
+    def allreduce_weight_grads(self) -> None:
+        """Sum weight gradients across ranks (each saw only its strip)."""
+        for p in self.conv.params():
+            total = np.empty_like(p.grad)
+            self.comm.Allreduce(p.grad, total)
+            p.grad[...] = total
+
+    def halo_bytes_per_iteration(self, batch: int, width: int,
+                                 channels: int) -> int:
+        """Bytes exchanged with neighbours per iteration (fwd + bwd)."""
+        neighbours = (self.comm.rank > 0) + (self.comm.rank
+                                             < self.comm.size - 1)
+        one_way = batch * channels * self.halo * width * 4
+        return int(2 * neighbours * one_way)  # halo out + halo-grad back
+
+
+def data_parallel_grad_bytes(param_bytes: int, p: int) -> float:
+    """Per-rank bytes a ring all-reduce of the gradients moves."""
+    if p <= 1:
+        return 0.0
+    return 2.0 * (p - 1) / p * param_bytes
+
+
+def model_parallel_activation_bytes(batch: int, in_features: int,
+                                    out_features: int, p: int) -> float:
+    """Per-rank activation bytes a column-parallel dense layer moves."""
+    if p <= 1:
+        return 0.0
+    return ((p - 1) / p * batch * out_features * 4
+            + 2.0 * (p - 1) / p * batch * in_features * 4)

@@ -1,0 +1,14 @@
+"""Core abstractions of the NumPy deep-learning framework.
+
+This subpackage plays the role that Caffe's ``Net``/``Blob`` machinery plays
+in the paper's IntelCaffe implementation: parameters, the layer (``Module``)
+contract, and the ``Sequential`` container that the HEP and climate networks
+are assembled from.
+"""
+
+from repro.core.parameter import Parameter
+from repro.core.module import Module
+from repro.core.sequential import Sequential
+from repro.core import initializers
+
+__all__ = ["Parameter", "Module", "Sequential", "initializers"]

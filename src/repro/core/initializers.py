@@ -1,0 +1,35 @@
+"""Weight initializers.
+
+The paper's networks use ReLU activations throughout, for which the He/MSRA
+initializer [34] is the appropriate default (and what Caffe's ``msra`` filler
+implements). Xavier/Glorot is provided for the linear heads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def he_normal(shape, fan_in: int, rng: SeedLike = None) -> np.ndarray:
+    """He et al. (2015) normal init: std = sqrt(2 / fan_in)."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    rng = as_rng(rng)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape, fan_in: int, fan_out: int,
+                   rng: SeedLike = None) -> np.ndarray:
+    """Glorot & Bengio uniform init on [-limit, limit]."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fans must be positive, got {fan_in}, {fan_out}")
+    rng = as_rng(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)

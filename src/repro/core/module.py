@@ -1,0 +1,86 @@
+"""Layer/module contract for the framework.
+
+Modules are explicit-backward (Caffe-style) rather than autograd-based: each
+layer implements ``forward`` and ``backward`` and caches whatever it needs in
+between. This mirrors the paper's substrate and keeps the per-layer FLOP
+accounting (Fig 5) and the per-layer parameter-server mapping straightforward.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class Module:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`; layers with
+    weights override :meth:`params`. ``flops(batch)`` returns the FLOPs of one
+    forward pass at the given batch size and is the basis of the SDE-style
+    counter in :mod:`repro.flops`.
+    """
+
+    #: human-readable layer-type tag, overridden by subclasses
+    kind: str = "module"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or self.__class__.__name__.lower()
+        self.training = True
+
+    # -- computation -------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Given dL/d(output), accumulate weight grads and return dL/d(input)."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- parameters --------------------------------------------------------
+    def params(self) -> List["Parameter"]:
+        """Trainable parameters of this module (empty for stateless layers)."""
+        return []
+
+    def buffers(self) -> dict:
+        """Non-trainable state that must survive checkpointing (e.g. the
+        running statistics of BatchNorm). Maps buffer name -> array; the
+        arrays are the module's live state (mutate in place to restore)."""
+        return {}
+
+    def zero_grad(self) -> None:
+        for p in self.params():
+            p.zero_grad()
+
+    def num_params(self) -> int:
+        return sum(p.size for p in self.params())
+
+    def param_bytes(self) -> int:
+        return sum(p.nbytes for p in self.params())
+
+    # -- modes -------------------------------------------------------------
+    def train(self) -> "Module":
+        self.training = True
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        return self
+
+    # -- accounting --------------------------------------------------------
+    def flops(self, batch: int) -> int:
+        """FLOPs of one forward pass for ``batch`` samples. 0 by default."""
+        return 0
+
+    def output_shape(self, input_shape):
+        """Shape of the output (excluding batch) given input shape (ex-batch)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}(name={self.name!r})"
+
+
+from repro.core.parameter import Parameter  # noqa: E402  (cycle-free re-export)

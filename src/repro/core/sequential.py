@@ -1,0 +1,142 @@
+"""Sequential container: an ordered stack of modules with explicit backward."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.module import Module
+from repro.core.parameter import Parameter
+
+
+class Sequential(Module):
+    """Feed-forward stack of layers.
+
+    Both paper networks are (per-branch) pure feed-forward stacks, so a
+    sequential container plus the small multi-head wrapper in
+    :mod:`repro.models.climate` covers everything in Table II.
+    """
+
+    kind = "sequential"
+
+    def __init__(self, layers: Iterable[Module], name: str = "net") -> None:
+        super().__init__(name=name)
+        self.layers: List[Module] = list(layers)
+        self._rename_duplicates()
+
+    def _rename_duplicates(self) -> None:
+        """Give duplicate layer names a numeric suffix so PS keys are unique."""
+        seen: dict = {}
+        for layer in self.layers:
+            count = seen.get(layer.name, 0)
+            seen[layer.name] = count + 1
+            if count:
+                layer.name = f"{layer.name}_{count}"
+        # Prefix parameter names with the owning layer for global uniqueness.
+        for layer in self.layers:
+            for p in layer.params():
+                if not p.name.startswith(layer.name + "."):
+                    p.name = f"{layer.name}.{p.name}"
+
+    # -- computation -------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    # -- parameters --------------------------------------------------------
+    def params(self) -> List[Parameter]:
+        out: List[Parameter] = []
+        for layer in self.layers:
+            out.extend(layer.params())
+        return out
+
+    def trainable_layers(self) -> List[Module]:
+        """Layers that own parameters — each gets a dedicated PS (paper Fig 4)."""
+        return [layer for layer in self.layers if layer.params()]
+
+    # -- modes -------------------------------------------------------------
+    def train(self) -> "Sequential":
+        super().train()
+        for layer in self.layers:
+            layer.train()
+        return self
+
+    def eval(self) -> "Sequential":
+        super().eval()
+        for layer in self.layers:
+            layer.eval()
+        return self
+
+    # -- accounting --------------------------------------------------------
+    def flops(self, batch: int) -> int:
+        return sum(layer.flops(batch) for layer in self.layers)
+
+    def output_shape(self, input_shape):
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    # -- state I/O ---------------------------------------------------------
+    def _buffer_items(self):
+        for layer in self.layers:
+            for key, arr in layer.buffers().items():
+                yield f"{layer.name}.buffer.{key}", arr
+
+    def state_dict(self) -> dict:
+        state = {p.name: p.data.copy() for p in self.params()}
+        # Non-trainable state (e.g. BatchNorm running statistics) must ride
+        # along or an eval-mode restore silently misbehaves.
+        for name, arr in self._buffer_items():
+            state[name] = arr.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        params = {p.name: p for p in self.params()}
+        missing = set(params) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: {value.shape} vs "
+                    f"{param.data.shape}")
+            param.data[...] = value
+        for name, arr in self._buffer_items():
+            if name not in state:
+                raise KeyError(f"state dict missing buffer: {name!r}")
+            value = np.asarray(state[name], dtype=arr.dtype)
+            if value.shape != arr.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: {value.shape} vs "
+                    f"{arr.shape}")
+            arr[...] = value
+
+    # -- conveniences ------------------------------------------------------
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+    def summary(self, input_shape) -> str:
+        """Text table of layers, output shapes, params — used by Table II bench."""
+        rows = [f"{'layer':24s} {'output shape':20s} {'params':>12s}"]
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            rows.append(
+                f"{layer.name:24s} {str(shape):20s} {layer.num_params():>12,d}")
+        rows.append(f"{'TOTAL':24s} {'':20s} {self.num_params():>12,d}")
+        return "\n".join(rows)

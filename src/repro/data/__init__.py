@@ -1,0 +1,15 @@
+"""Synthetic scientific datasets (the Pythia/Delphes and CAM5 substitutes).
+
+- :mod:`repro.data.hep` — toy LHC multijet events, fast detector smearing,
+  calorimeter imaging (3 channels), and the physics cut-based baseline;
+- :mod:`repro.data.climate` — procedural multi-channel climate fields with
+  planted tropical cyclones / atmospheric rivers / extra-tropical cyclones
+  and ground-truth bounding boxes;
+- :mod:`repro.data.io` — sharded on-disk dataset store with dataset-volume
+  accounting (Table I).
+"""
+
+from repro.data import hep, climate
+from repro.data.io import ShardedStore, dataset_volume_bytes
+
+__all__ = ["hep", "climate", "ShardedStore", "dataset_volume_bytes"]

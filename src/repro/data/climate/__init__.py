@@ -1,0 +1,38 @@
+"""Procedural climate fields with planted extreme-weather events.
+
+The paper's climate task (SI-B) detects tropical cyclones, extra-tropical
+cyclones and atmospheric rivers in 16-channel CAM5 output. This module
+synthesizes statistically analogous multi-channel geophysical fields —
+smooth large-scale structure per channel plus physically-coupled event
+signatures (vortex winds + pressure low + moisture core for cyclones,
+elongated moisture filaments for ARs) — with exact bounding-box ground
+truth, and a labeled/unlabeled split for the semi-supervised objective.
+"""
+
+from repro.data.climate.fields import CHANNELS, FieldGenerator
+from repro.data.climate.events import (
+    AtmosphericRiver,
+    ExtraTropicalCyclone,
+    TropicalCyclone,
+    WeatherEvent,
+)
+from repro.data.climate.dataset import ClimateDataset, make_climate_dataset
+from repro.data.climate.heuristics import (
+    HeuristicARDetector,
+    HeuristicTCDetector,
+    detect_all,
+)
+
+__all__ = [
+    "HeuristicTCDetector",
+    "HeuristicARDetector",
+    "detect_all",
+    "CHANNELS",
+    "FieldGenerator",
+    "WeatherEvent",
+    "TropicalCyclone",
+    "ExtraTropicalCyclone",
+    "AtmosphericRiver",
+    "ClimateDataset",
+    "make_climate_dataset",
+]

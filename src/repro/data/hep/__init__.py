@@ -1,0 +1,41 @@
+"""Synthetic HEP pipeline: event generation -> detector -> images -> cuts.
+
+The paper trains on Pythia+Delphes simulations of an ATLAS search for
+massive supersymmetric particles in multi-jet final states [5]: RPV-SUSY
+'signal' vs QCD 'background', imaged as 3 calorimeter channels. This module
+generates a statistically analogous toy: falling-spectrum QCD multijets vs
+heavy-resonance cascades with higher jet multiplicity, harder H_T **and
+two-prong jet substructure** — a low-level feature the image network can
+exploit but scalar physics cuts cannot, which is what produces the paper's
+1.7x signal-efficiency gain (SVII-A).
+"""
+
+from repro.data.hep.generator import Event, EventGenerator, Jet
+from repro.data.hep.detector import DetectorModel
+from repro.data.hep.images import EventImager
+from repro.data.hep.selections import CutBaseline, high_level_features
+from repro.data.hep.dataset import HEPDataset, make_hep_dataset
+from repro.data.hep.augment import (
+    AugmentedBatcher,
+    augment_batch,
+    augmentation_factor,
+    eta_flip,
+    phi_shift,
+)
+
+__all__ = [
+    "Jet",
+    "Event",
+    "EventGenerator",
+    "DetectorModel",
+    "EventImager",
+    "high_level_features",
+    "CutBaseline",
+    "HEPDataset",
+    "make_hep_dataset",
+    "phi_shift",
+    "eta_flip",
+    "augment_batch",
+    "augmentation_factor",
+    "AugmentedBatcher",
+]

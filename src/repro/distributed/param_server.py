@@ -1,0 +1,147 @@
+"""Parameter servers: one per trainable layer (paper SIII-E(c), Fig 4).
+
+Each :class:`ParameterServer` owns the authoritative weights of one layer and
+a layer-local solver. Compute groups push aggregated gradients; the PS
+applies them in arrival order and returns fresh weights. A version counter
+makes staleness measurable: an update computed against version ``v`` and
+applied at version ``v'`` has staleness ``v' - v`` (paper SII-B2a).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.module import Module
+from repro.core.parameter import Parameter
+from repro.optim.base import Optimizer
+
+
+@dataclass(frozen=True)
+class PSUpdateRecord:
+    """Log entry for one applied update."""
+
+    layer: str
+    group: int
+    read_version: int
+    applied_version: int
+
+    @property
+    def staleness(self) -> int:
+        return self.applied_version - self.read_version
+
+
+class ParameterServer:
+    """Authoritative store + solver for one layer's parameters."""
+
+    def __init__(self, layer_name: str, params: Sequence[Parameter],
+                 opt_factory: Callable[[Sequence[Parameter]], Optimizer]
+                 ) -> None:
+        if not params:
+            raise ValueError(f"PS for {layer_name!r} needs parameters")
+        self.layer_name = layer_name
+        # The PS owns copies; workers hold replicas.
+        self.params = [Parameter(p.data.copy(), name=p.name) for p in params]
+        self.optimizer = opt_factory(self.params)
+        self.version = 0
+        self._lock = threading.Lock()
+        self.log: List[PSUpdateRecord] = []
+
+    def read(self) -> Tuple[List[np.ndarray], int]:
+        """Fetch current weights and version (what a group pulls)."""
+        with self._lock:
+            return [p.data.copy() for p in self.params], self.version
+
+    def push(self, grads: Sequence[np.ndarray], read_version: int,
+             group: int = 0) -> Tuple[List[np.ndarray], int]:
+        """Apply an update computed at ``read_version``; return new weights.
+
+        Updates are applied unconditionally in arrival order — that is the
+        asynchronous protocol; convergence is protected by momentum tuning,
+        not by locking out stale gradients.
+        """
+        if len(grads) != len(self.params):
+            raise ValueError(
+                f"{self.layer_name}: expected {len(self.params)} gradient "
+                f"arrays, got {len(grads)}")
+        with self._lock:
+            for p, g in zip(self.params, grads):
+                if g.shape != p.data.shape:
+                    raise ValueError(
+                        f"{self.layer_name}: gradient shape {g.shape} != "
+                        f"{p.data.shape}")
+                p.grad[...] = g
+            self.optimizer.step()
+            self.log.append(PSUpdateRecord(
+                layer=self.layer_name, group=group,
+                read_version=read_version,
+                applied_version=self.version))
+            self.version += 1
+            return [p.data.copy() for p in self.params], self.version
+
+    def staleness_values(self) -> np.ndarray:
+        with self._lock:
+            return np.array([rec.staleness for rec in self.log],
+                            dtype=np.int64)
+
+
+class PSRegistry:
+    """The full set of per-layer parameter servers for one model."""
+
+    def __init__(self, layers: Sequence[Module],
+                 opt_factory: Callable[[Sequence[Parameter]], Optimizer]
+                 ) -> None:
+        if not layers:
+            raise ValueError("registry needs at least one trainable layer")
+        self.servers: Dict[str, ParameterServer] = {}
+        for layer in layers:
+            params = layer.params()
+            if not params:
+                raise ValueError(f"layer {layer.name!r} has no parameters")
+            if layer.name in self.servers:
+                raise ValueError(f"duplicate layer name {layer.name!r}")
+            self.servers[layer.name] = ParameterServer(
+                layer.name, params, opt_factory)
+
+    def __getitem__(self, layer_name: str) -> ParameterServer:
+        return self.servers[layer_name]
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def layer_names(self) -> List[str]:
+        return list(self.servers)
+
+    def pull_into(self, layers: Sequence[Module]) -> Dict[str, int]:
+        """Copy current PS weights into worker-side layer replicas; returns
+        the version each layer was read at."""
+        versions: Dict[str, int] = {}
+        for layer in layers:
+            weights, version = self.servers[layer.name].read()
+            for p, w in zip(layer.params(), weights):
+                p.data[...] = w
+            versions[layer.name] = version
+        return versions
+
+    def push_from(self, layers: Sequence[Module],
+                  read_versions: Dict[str, int],
+                  group: int = 0) -> Dict[str, int]:
+        """Push each layer's gradients; write fresh weights back into the
+        replicas; return new read versions."""
+        new_versions: Dict[str, int] = {}
+        for layer in layers:
+            ps = self.servers[layer.name]
+            grads = [p.grad for p in layer.params()]
+            weights, version = ps.push(grads, read_versions[layer.name],
+                                       group=group)
+            for p, w in zip(layer.params(), weights):
+                p.data[...] = w
+            new_versions[layer.name] = version
+        return new_versions
+
+    def all_staleness(self) -> np.ndarray:
+        vals = [ps.staleness_values() for ps in self.servers.values()]
+        return np.concatenate(vals) if vals else np.zeros(0, dtype=np.int64)

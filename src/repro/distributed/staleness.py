@@ -1,0 +1,43 @@
+"""Staleness statistics and their momentum interpretation.
+
+Mitliagkas et al. [31] show the expected staleness of a G-stream
+asynchronous system is G-1 (each update lands after, on average, one update
+from every other stream), and that staleness acts as *implicit momentum*
+``1 - 1/G``. These helpers summarize measured staleness and convert it to
+the implied momentum the explicit solver momentum should be tuned against
+(paper SVI-B4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StalenessStats:
+    mean: float
+    std: float
+    maximum: int
+    implied_momentum: float
+
+    def __str__(self) -> str:
+        return (f"staleness mean={self.mean:.2f} std={self.std:.2f} "
+                f"max={self.maximum} -> implicit momentum "
+                f"{self.implied_momentum:.2f}")
+
+
+def staleness_stats(values: np.ndarray) -> StalenessStats:
+    """Summarize a vector of per-update staleness values."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return StalenessStats(0.0, 0.0, 0, 0.0)
+    if values.min() < 0:
+        raise ValueError("staleness cannot be negative")
+    mean = float(values.mean())
+    # mean staleness ~= G - 1  =>  implied momentum ~= 1 - 1/G = s/(s+1)
+    implied = mean / (mean + 1.0)
+    return StalenessStats(mean=mean, std=float(values.std()),
+                          maximum=int(values.max()),
+                          implied_momentum=implied)

@@ -1,0 +1,35 @@
+"""Analytical FLOP counting — the stand-in for Intel SDE (paper SV).
+
+SDE counts the single-precision FLOPs actually executed by the kernels of a
+single node; total machine FLOPs are then single-node FLOPs x node count.
+We enumerate the same arithmetic from layer shapes instead of instrumenting
+instructions, and apply the same peak/sustained rate definitions.
+"""
+
+from repro.flops.counter import (
+    LayerFlops,
+    NetFlopReport,
+    count_layer,
+    count_net,
+    training_flops,
+)
+from repro.flops.roofline import (
+    RooflinePoint,
+    bound_fractions,
+    machine_balance,
+    roofline,
+    roofline_table,
+)
+
+__all__ = [
+    "LayerFlops",
+    "NetFlopReport",
+    "RooflinePoint",
+    "roofline",
+    "roofline_table",
+    "machine_balance",
+    "bound_fractions",
+    "count_layer",
+    "count_net",
+    "training_flops",
+]

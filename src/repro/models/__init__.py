@@ -1,0 +1,38 @@
+"""The paper's two DNN architectures (Table II) and box utilities.
+
+- :func:`build_hep_net` — supervised 5x(conv+pool) binary classifier
+  (224x224x3 input, ~2.3 MiB of parameters).
+- :class:`ClimateNet` / :func:`build_climate_net` — semi-supervised
+  encoder/decoder with per-cell box heads (768x768x16 input, ~302 MiB).
+"""
+
+from repro.models.hep import HEP_PAPER_INPUT, build_hep_net
+from repro.models.climate import (
+    CLIMATE_PAPER_INPUT,
+    ClimateNet,
+    SemiSupervisedLoss,
+    build_climate_net,
+)
+from repro.models.bbox import (
+    Box,
+    decode_predictions,
+    detection_metrics,
+    encode_targets,
+    iou,
+    nms,
+)
+
+__all__ = [
+    "build_hep_net",
+    "HEP_PAPER_INPUT",
+    "ClimateNet",
+    "SemiSupervisedLoss",
+    "build_climate_net",
+    "CLIMATE_PAPER_INPUT",
+    "Box",
+    "iou",
+    "nms",
+    "encode_targets",
+    "decode_predictions",
+    "detection_metrics",
+]

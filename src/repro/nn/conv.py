@@ -1,0 +1,108 @@
+"""2-D convolution layer (im2col + GEMM), with full backward pass."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.initializers import he_normal, zeros
+from repro.core.module import Module
+from repro.core.parameter import Parameter
+from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.utils.rng import SeedLike
+
+
+class Conv2D(Module):
+    """Convolution over ``(N, C, H, W)`` inputs.
+
+    The HEP network uses 3x3/stride-1 convs with 128 filters; the climate
+    encoder uses strided convs for downsampling (paper SIII-A/B). Weight
+    layout is ``(out_channels, in_channels, kh, kw)``.
+    """
+
+    kind = "conv"
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, pad: Optional[int] = None,
+                 name: Optional[str] = None, rng: SeedLike = None) -> None:
+        super().__init__(name=name or "conv")
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ValueError("channels and kernel_size must be positive")
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        # Default padding preserves spatial size for stride 1 ("same").
+        self.pad = (kernel_size - 1) // 2 if pad is None else pad
+        if self.pad < 0:
+            raise ValueError(f"pad must be non-negative, got {self.pad}")
+
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            he_normal((out_channels, in_channels, kernel_size, kernel_size),
+                      fan_in, rng), name="weight")
+        self.bias = Parameter(zeros(out_channels), name="bias")
+        self._cache: Optional[Tuple] = None
+
+    # -- computation -------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, "
+                f"got {c}")
+        k, s, p = self.kernel_size, self.stride, self.pad
+        oh = conv_output_size(h, k, s, p)
+        ow = conv_output_size(w, k, s, p)
+        cols = im2col(x, k, k, s, p)                     # (N*oh*ow, C*k*k)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ w_mat.T                             # (N*oh*ow, F)
+        out += self.bias.data
+        out = out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+        self._cache = (x.shape, cols)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        x_shape, cols = self._cache
+        n = x_shape[0]
+        k, s, p = self.kernel_size, self.stride, self.pad
+        # (N, F, oh, ow) -> (N*oh*ow, F)
+        g = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.grad += (g.T @ cols).reshape(self.weight.data.shape)
+        self.bias.grad += g.sum(axis=0)
+        grad_cols = g @ w_mat                            # (N*oh*ow, C*k*k)
+        return col2im(grad_cols, x_shape, k, k, s, p)
+
+    # -- parameters / accounting -------------------------------------------
+    def params(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} channels, got {c}")
+        k, s, p = self.kernel_size, self.stride, self.pad
+        return (self.out_channels,
+                conv_output_size(h, k, s, p),
+                conv_output_size(w, k, s, p))
+
+    def flops(self, batch: int, input_shape=None) -> int:
+        """Forward FLOPs: 2 (MAC) x F x C x k^2 per output pixel, plus bias."""
+        if input_shape is None:
+            raise ValueError(
+                f"{self.name}: conv FLOPs depend on spatial size; pass "
+                "input_shape or use repro.flops.count_net")
+        _c, h, w = input_shape
+        k, s, p = self.kernel_size, self.stride, self.pad
+        oh = conv_output_size(h, k, s, p)
+        ow = conv_output_size(w, k, s, p)
+        macs = batch * self.out_channels * oh * ow * self.in_channels * k * k
+        bias_adds = batch * self.out_channels * oh * ow
+        return 2 * macs + bias_adds

@@ -1,0 +1,126 @@
+"""Transposed convolution (deconvolution) via the conv forward/backward swap.
+
+Paper SIII-C: *"We used the fact that the convolutions in the backward pass
+can be used to compute the deconvolutions of the forward pass and vice-versa
+in order to develop optimized deconvolution implementations."*
+
+Concretely, with weights ``(in_channels, out_channels, kh, kw)``:
+
+- deconv **forward**  == conv **backward-data** (a GEMM followed by col2im);
+- deconv **backward-data** == conv **forward** (im2col followed by a GEMM);
+- deconv **weight gradient** uses the same im2col columns as conv's.
+
+This makes the deconv layers "perform very similarly to the corresponding
+convolution layers", which is the property Fig 5b relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.initializers import he_normal, zeros
+from repro.core.module import Module
+from repro.core.parameter import Parameter
+from repro.nn.im2col import col2im, deconv_output_size, im2col
+from repro.utils.rng import SeedLike
+
+
+class Deconv2D(Module):
+    """Transposed convolution over ``(N, C, H, W)`` inputs.
+
+    The climate decoder (paper Table II: "5xDeconv") upsamples the coarse
+    encoder features back to the 768x768x16 input resolution.
+    """
+
+    kind = "deconv"
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, pad: Optional[int] = None,
+                 name: Optional[str] = None, rng: SeedLike = None) -> None:
+        super().__init__(name=name or "deconv")
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ValueError("channels and kernel_size must be positive")
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.pad = (kernel_size - stride) // 2 if pad is None else pad
+        if self.pad < 0:
+            raise ValueError(f"pad must be non-negative, got {self.pad}")
+
+        # Same fan-in convention as the matching conv direction.
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            he_normal((in_channels, out_channels, kernel_size, kernel_size),
+                      fan_in, rng), name="weight")
+        self.bias = Parameter(zeros(out_channels), name="bias")
+        self._cache: Optional[Tuple] = None
+
+    # -- computation -------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Conv backward-data applied as a forward op (the swap trick)."""
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, "
+                f"got {c}")
+        k, s, p = self.kernel_size, self.stride, self.pad
+        oh = deconv_output_size(h, k, s, p)
+        ow = deconv_output_size(w, k, s, p)
+        # x as the "gradient" matrix: (N*h*w, C_in)
+        x_mat = x.transpose(0, 2, 3, 1).reshape(-1, self.in_channels)
+        w_mat = self.weight.data.reshape(self.in_channels, -1)
+        cols = x_mat @ w_mat                      # (N*h*w, C_out*k*k)
+        out = col2im(cols, (n, self.out_channels, oh, ow), k, k, s, p)
+        out += self.bias.data[None, :, None, None]
+        self._cache = (x.shape, x_mat, (n, oh, ow))
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Conv forward applied as a backward op, plus the weight gradient."""
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        x_shape, x_mat, (n, oh, ow) = self._cache
+        k, s, p = self.kernel_size, self.stride, self.pad
+        g_cols = im2col(grad_out, k, k, s, p)     # (N*h*w, C_out*k*k)
+        w_mat = self.weight.data.reshape(self.in_channels, -1)
+        # Weight gradient couples the input activations with gathered grads.
+        self.weight.grad += (x_mat.T @ g_cols).reshape(self.weight.data.shape)
+        self.bias.grad += grad_out.sum(axis=(0, 2, 3))
+        grad_in = g_cols @ w_mat.T                # (N*h*w, C_in)
+        h_in, w_in = x_shape[2], x_shape[3]
+        return np.ascontiguousarray(
+            grad_in.reshape(n, h_in, w_in, self.in_channels)
+            .transpose(0, 3, 1, 2))
+
+    # -- parameters / accounting -------------------------------------------
+    def params(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} channels, got {c}")
+        k, s, p = self.kernel_size, self.stride, self.pad
+        return (self.out_channels,
+                deconv_output_size(h, k, s, p),
+                deconv_output_size(w, k, s, p))
+
+    def flops(self, batch: int, input_shape=None) -> int:
+        """Forward FLOPs: identical GEMM volume to the mirrored convolution."""
+        if input_shape is None:
+            raise ValueError(
+                f"{self.name}: deconv FLOPs depend on spatial size; pass "
+                "input_shape or use repro.flops.count_net")
+        _c, h, w = input_shape
+        k, s, p = self.kernel_size, self.stride, self.pad
+        oh = deconv_output_size(h, k, s, p)
+        ow = deconv_output_size(w, k, s, p)
+        macs = batch * self.in_channels * h * w * self.out_channels * k * k
+        bias_adds = batch * self.out_channels * oh * ow
+        return 2 * macs + bias_adds

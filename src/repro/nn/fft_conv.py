@@ -1,0 +1,71 @@
+"""FFT-based convolution (paper SVIII-A future work).
+
+The paper: "the state of the art in deep learning kernel implementations is
+rapidly evolving with new algorithms like Winograd [43] and FFT based
+algorithms. We did not experiment with such algorithms in this work;
+studying the impact on per-node performance ... is a direction for future
+research."
+
+:class:`FFTConv2D` is a drop-in replacement for :class:`repro.nn.Conv2D`
+whose forward pass evaluates the cross-correlation in the frequency domain
+(O(HW log HW) per channel pair instead of O(HW k^2)); the backward pass
+reuses the exact im2col adjoint so gradients stay bit-compatible with the
+GEMM path. The ablation benchmark measures where the FFT path's crossover
+sits in kernel size — the study the paper defers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import fft as sp_fft
+
+from repro.nn.conv import Conv2D
+from repro.nn.im2col import conv_output_size, im2col
+
+
+class FFTConv2D(Conv2D):
+    """Convolution layer with an FFT forward path."""
+
+    kind = "conv"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, "
+                f"got {c}")
+        k, s, p = self.kernel_size, self.stride, self.pad
+        oh = conv_output_size(h, k, s, p)
+        ow = conv_output_size(w, k, s, p)
+        # Zero-pad input; linear correlation needs fft size >= H+k-1.
+        hp, wp = h + 2 * p, w + 2 * p
+        fh, fw = hp + k - 1, wp + k - 1
+        xp = np.zeros((n, c, hp, wp), dtype=np.float32)
+        xp[:, :, p:p + h, p:p + w] = x
+        fx = sp_fft.rfft2(xp, s=(fh, fw))                  # (N, C, fh, fw')
+        # Cross-correlation == convolution with the flipped kernel.
+        wf = self.weight.data[:, :, ::-1, ::-1]
+        fwt = sp_fft.rfft2(wf, s=(fh, fw))                 # (F, C, fh, fw')
+        prod = np.einsum("ncxy,fcxy->nfxy", fx, fwt)
+        full = sp_fft.irfft2(prod, s=(fh, fw))             # (N, F, fh, fw)
+        # 'full' correlation: the valid region starts at offset k-1.
+        valid = full[:, :, k - 1:k - 1 + hp - k + 1, k - 1:k - 1 + wp - k + 1]
+        out = valid[:, :, ::s, ::s][:, :, :oh, :ow].astype(np.float32)
+        out += self.bias.data[None, :, None, None]
+        # Cache the input; the adjoint (backward) lazily builds the im2col
+        # matrix so gradients are identical to the GEMM implementation.
+        self._cache = (x.shape, None)
+        self._x = x
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        x_shape, cols = self._cache
+        if cols is None:
+            k, s, p = self.kernel_size, self.stride, self.pad
+            cols = im2col(self._x, k, k, s, p)
+            self._cache = (x_shape, cols)
+        return super().backward(grad_out)

@@ -1,0 +1,136 @@
+"""Pooling layers: max pooling and global average pooling.
+
+The HEP network (paper SIII-A) uses 2x2/stride-2 max pooling after the first
+four conv units and **global average pooling** after the fifth — a deliberate
+design choice to avoid large dense layers that would bloat the model size and
+the all-reduce payload (one of the paper's stated contributions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.module import Module
+from repro.nn.im2col import conv_output_size
+
+
+class MaxPool2D(Module):
+    """Max pooling. Fast path for the ubiquitous non-overlapping case."""
+
+    kind = "pool"
+
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None,
+                 name: Optional[str] = None) -> None:
+        super().__init__(name=name or "pool")
+        if kernel_size <= 0:
+            raise ValueError(f"kernel_size must be positive, got {kernel_size}")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        if self.stride <= 0:
+            raise ValueError(f"stride must be positive, got {self.stride}")
+        self._cache: Optional[Tuple] = None
+
+    def _is_fast_path(self, h: int, w: int) -> bool:
+        k = self.kernel_size
+        return self.stride == k and h % k == 0 and w % k == 0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        if self._is_fast_path(h, w):
+            # Non-overlapping: reshape into (N, C, oh, k, ow, k) blocks.
+            blocks = x.reshape(n, c, h // k, k, w // k, k)
+            out = blocks.max(axis=(3, 5))
+            # Mask of winners for backward (ties split gradient evenly is NOT
+            # what Caffe does; Caffe routes to the first max. We route to all
+            # maxima scaled by multiplicity for a correct adjoint).
+            expanded = out[:, :, :, None, :, None]
+            mask = (blocks == expanded)
+            counts = mask.sum(axis=(3, 5), keepdims=True)
+            self._cache = ("fast", x.shape, mask, counts)
+            return out
+        # General (overlapping / ragged) path via explicit windows.
+        oh = conv_output_size(h, k, s, 0)
+        ow = conv_output_size(w, k, s, 0)
+        sn, sc, sh, sw = x.strides
+        view = np.lib.stride_tricks.as_strided(
+            x, shape=(n, c, oh, ow, k, k),
+            strides=(sn, sc, sh * s, sw * s, sh, sw), writeable=False)
+        flat = view.reshape(n, c, oh, ow, k * k)
+        arg = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+        self._cache = ("general", x.shape, arg, (oh, ow))
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        k, s = self.kernel_size, self.stride
+        if self._cache[0] == "fast":
+            _, x_shape, mask, counts = self._cache
+            n, c, h, w = x_shape
+            g = grad_out[:, :, :, None, :, None] / counts
+            grad_in = (mask * g).reshape(n, c, h, w)
+            return grad_in
+        _, x_shape, arg, (oh, ow) = self._cache
+        n, c, h, w = x_shape
+        grad_in = np.zeros(x_shape, dtype=grad_out.dtype)
+        # Scatter each window's gradient to its argmax cell.
+        ki, kj = np.unravel_index(arg, (k, k))       # (N, C, oh, ow)
+        oi = np.arange(oh)[None, None, :, None] * s
+        oj = np.arange(ow)[None, None, None, :] * s
+        rows = (oi + ki).ravel()
+        cols = (oj + kj).ravel()
+        ns = np.repeat(np.arange(n), c * oh * ow)
+        cs = np.tile(np.repeat(np.arange(c), oh * ow), n)
+        np.add.at(grad_in, (ns, cs, rows, cols), grad_out.ravel())
+        return grad_in
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        k, s = self.kernel_size, self.stride
+        return (c, conv_output_size(h, k, s, 0), conv_output_size(w, k, s, 0))
+
+    def flops(self, batch: int, input_shape=None) -> int:
+        """Comparisons counted as 1 FLOP each (k^2 - 1 per output element)."""
+        if input_shape is None:
+            return 0
+        c, h, w = input_shape
+        k, s = self.kernel_size, self.stride
+        oh = conv_output_size(h, k, s, 0)
+        ow = conv_output_size(w, k, s, 0)
+        return batch * c * oh * ow * (k * k - 1)
+
+
+class GlobalAvgPool2D(Module):
+    """Global average pooling: (N, C, H, W) -> (N, C)."""
+
+    kind = "pool"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name=name or "gap")
+        self._cache: Optional[Tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        n, c, h, w = self._cache
+        scale = 1.0 / (h * w)
+        return np.broadcast_to(
+            grad_out[:, :, None, None] * scale, (n, c, h, w)).copy()
+
+    def output_shape(self, input_shape):
+        c, _h, _w = input_shape
+        return (c,)
+
+    def flops(self, batch: int, input_shape=None) -> int:
+        if input_shape is None:
+            return 0
+        c, h, w = input_shape
+        return batch * c * h * w  # one add per element (division amortized)

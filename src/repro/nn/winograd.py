@@ -1,0 +1,195 @@
+"""Winograd F(2x2, 3x3) convolution (paper SVIII-A future work).
+
+"the state of the art in deep learning kernel implementations is rapidly
+evolving with new algorithms like Winograd [43] and FFT based algorithms. We
+did not experiment with such algorithms in this work; studying the impact on
+per-node performance and scale out behaviour of these algorithms is a
+direction for future research."
+
+This module is that experiment. F(2x2, 3x3) computes each 2x2 output tile
+from a 4x4 input tile using 16 elementwise multiplies instead of the 36 a
+direct 3x3 convolution needs — a 2.25x multiply reduction, at the cost of
+the tile transforms (additions) and a numerically different (slightly less
+accurate in fp32) summation order.
+
+The layer is a drop-in replacement for a 3x3/stride-1 :class:`Conv2D`:
+identical parameters, identical gradients (backward uses the standard
+im2col path — gradient math does not depend on the forward algorithm), and
+a forward pass that agrees with the direct computation to fp32 tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.initializers import he_normal, zeros
+from repro.core.module import Module
+from repro.core.parameter import Parameter
+from repro.nn.im2col import col2im, im2col
+
+# Winograd F(2x2, 3x3) transform matrices (Lavin & Gray 2015, sec. 4.1).
+_BT = np.array([[1, 0, -1, 0],
+                [0, 1, 1, 0],
+                [0, -1, 1, 0],
+                [0, 1, 0, -1]], dtype=np.float32)
+_G = np.array([[1.0, 0.0, 0.0],
+               [0.5, 0.5, 0.5],
+               [0.5, -0.5, 0.5],
+               [0.0, 0.0, 1.0]], dtype=np.float32)
+_AT = np.array([[1, 1, 1, 0],
+                [0, 1, -1, -1]], dtype=np.float32)
+
+
+def transform_filters(weight: np.ndarray) -> np.ndarray:
+    """``U = G g G^T`` for every (out_channel, in_channel) 3x3 filter.
+
+    Input ``(F, C, 3, 3)`` -> output ``(F, C, 4, 4)``. Filters are
+    transformed once per iteration (not per tile), so this cost amortizes
+    over the whole feature map.
+    """
+    if weight.ndim != 4 or weight.shape[2:] != (3, 3):
+        raise ValueError(f"expected (F, C, 3, 3) filters, got {weight.shape}")
+    return np.einsum("ij,fcjk,lk->fcil", _G, weight, _G)
+
+
+def transform_input_tiles(tiles: np.ndarray) -> np.ndarray:
+    """``V = B^T d B`` for a batch of 4x4 input tiles (last two dims)."""
+    if tiles.shape[-2:] != (4, 4):
+        raise ValueError(f"expected trailing 4x4 tiles, got {tiles.shape}")
+    return np.einsum("ij,...jk,lk->...il", _BT, tiles, _BT)
+
+
+def inverse_transform(m: np.ndarray) -> np.ndarray:
+    """``Y = A^T M A``: 4x4 Winograd-domain products -> 2x2 output tiles."""
+    if m.shape[-2:] != (4, 4):
+        raise ValueError(f"expected trailing 4x4 products, got {m.shape}")
+    return np.einsum("ij,...jk,lk->...il", _AT, m, _AT)
+
+
+def direct_multiplies(batch: int, out_channels: int, in_channels: int,
+                      oh: int, ow: int) -> int:
+    """Elementwise multiplies of direct 3x3 convolution."""
+    return batch * out_channels * in_channels * oh * ow * 9
+
+
+def winograd_multiplies(batch: int, out_channels: int, in_channels: int,
+                        oh: int, ow: int) -> int:
+    """Elementwise multiplies of F(2x2, 3x3): 16 per (2x2-tile, F, C) pair.
+
+    The ratio direct/winograd tends to 36/16 = 2.25 for even output sizes.
+    """
+    th = (oh + 1) // 2
+    tw = (ow + 1) // 2
+    return batch * out_channels * in_channels * th * tw * 16
+
+
+class WinogradConv2D(Module):
+    """3x3/stride-1 convolution computed with Winograd F(2x2, 3x3).
+
+    Same weight layout and gradients as :class:`~repro.nn.conv.Conv2D`
+    restricted to ``kernel_size=3, stride=1``; only the forward arithmetic
+    differs. ``flops(batch)`` reports the *mathematical* conv FLOPs (what an
+    SDE-style counter attributes to the layer); ``multiply_reduction()``
+    reports the algorithmic saving.
+    """
+
+    kind = "conv"  # same performance-model class as a direct conv
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 pad: Optional[int] = None, name: Optional[str] = None,
+                 rng=None) -> None:
+        super().__init__(name=name or "wconv")
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channels must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = 3
+        self.stride = 1
+        self.pad = 1 if pad is None else pad
+        if self.pad < 0:
+            raise ValueError(f"pad must be non-negative, got {self.pad}")
+        fan_in = in_channels * 9
+        self.weight = Parameter(
+            he_normal((out_channels, in_channels, 3, 3), fan_in, rng),
+            name="weight")
+        self.bias = Parameter(zeros(out_channels), name="bias")
+        self._cache: Optional[Tuple] = None
+
+    # -- computation -------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, "
+                f"got {c}")
+        p = self.pad
+        oh, ow = h + 2 * p - 2, w + 2 * p - 2
+        if oh <= 0 or ow <= 0:
+            raise ValueError(
+                f"{self.name}: input {h}x{w} with pad {p} yields empty output")
+        th, tw = (oh + 1) // 2, (ow + 1) // 2
+        # Pad for "same"-style borders plus up to one extra row/column so the
+        # tile grid covers the (possibly odd) output exactly.
+        ph = 2 * th + 2 - h
+        pw = 2 * tw + 2 - w
+        xp = np.pad(x, ((0, 0), (0, 0), (p, ph - p), (p, pw - p)))
+        # Overlapping 4x4 input tiles with stride 2: (N, C, th, tw, 4, 4).
+        tiles = np.lib.stride_tricks.sliding_window_view(
+            xp, (4, 4), axis=(2, 3))[:, :, ::2, ::2]
+        v = transform_input_tiles(tiles)              # (N, C, th, tw, 4, 4)
+        u = transform_filters(self.weight.data)       # (F, C, 4, 4)
+        # The Winograd elementwise-product stage: for each of the 16 (i, j)
+        # positions this is an (F, C) x (C, N*th*tw) GEMM.
+        m = np.einsum("fcij,nctuij->nftuij", u, v)
+        y = inverse_transform(m)                      # (N, F, th, tw, 2, 2)
+        out = y.transpose(0, 1, 2, 4, 3, 5).reshape(n, self.out_channels,
+                                                    2 * th, 2 * tw)
+        out = out[:, :, :oh, :ow] + self.bias.data[None, :, None, None]
+        self._cache = (x,)
+        return np.ascontiguousarray(out.astype(np.float32))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Standard conv backward on the cached input (im2col path)."""
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        (x,) = self._cache
+        cols = im2col(x, 3, 3, 1, self.pad)
+        g = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.grad += (g.T @ cols).reshape(self.weight.data.shape)
+        self.bias.grad += g.sum(axis=0)
+        grad_cols = g @ w_mat
+        return col2im(grad_cols, x.shape, 3, 3, 1, self.pad)
+
+    # -- parameters / accounting -------------------------------------------
+    def params(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} channels, got {c}")
+        return (self.out_channels, h + 2 * self.pad - 2, w + 2 * self.pad - 2)
+
+    def flops(self, batch: int, input_shape=None) -> int:
+        """Mathematical conv FLOPs (same attribution as a direct Conv2D)."""
+        if input_shape is None:
+            raise ValueError(
+                f"{self.name}: conv FLOPs depend on spatial size; pass "
+                "input_shape or use repro.flops.count_net")
+        _c, h, w = input_shape
+        oh, ow = h + 2 * self.pad - 2, w + 2 * self.pad - 2
+        macs = batch * self.out_channels * oh * ow * self.in_channels * 9
+        return 2 * macs + batch * self.out_channels * oh * ow
+
+    def multiply_reduction(self, batch: int, input_shape) -> float:
+        """Direct-conv multiplies / Winograd multiplies for this layer."""
+        _c, h, w = input_shape
+        oh, ow = h + 2 * self.pad - 2, w + 2 * self.pad - 2
+        return (direct_multiplies(batch, self.out_channels, self.in_channels,
+                                  oh, ow)
+                / winograd_multiplies(batch, self.out_channels,
+                                      self.in_channels, oh, ow))

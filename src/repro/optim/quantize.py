@@ -1,0 +1,101 @@
+"""Low-precision training with stochastic rounding (paper SVIII-A).
+
+The paper: "There has been a lot of discussion surrounding training with
+quantized weights and activations [44, 45]. The statistical implications of
+low precision training are still being explored [46, 47], with various
+forms of stochastic rounding being of critical importance in convergence."
+
+This module provides fixed-point quantizers (nearest and stochastic) and a
+gradient-quantizing optimizer wrapper, so the convergence effect the paper
+anticipates can be measured (see ``benchmarks/test_ablation_precision.py``):
+nearest rounding introduces a systematic bias that stalls training at low
+bit widths; stochastic rounding is unbiased and keeps SGD converging.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.parameter import Parameter
+from repro.optim.base import Optimizer
+from repro.utils.rng import SeedLike, as_rng
+
+
+def quantization_step(scale: float, bits: int) -> float:
+    """Lattice spacing of a symmetric fixed-point grid on [-scale, scale]."""
+    if bits < 2:
+        raise ValueError(f"need at least 2 bits, got {bits}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return 2.0 * scale / (2**bits - 2)
+
+
+def quantize_nearest(x: np.ndarray, bits: int, scale: float) -> np.ndarray:
+    """Round-to-nearest onto the fixed-point grid (biased at low bits)."""
+    step = quantization_step(scale, bits)
+    clipped = np.clip(x, -scale, scale)
+    return (np.round(clipped / step) * step).astype(np.float32)
+
+
+def quantize_stochastic(x: np.ndarray, bits: int, scale: float,
+                        rng: SeedLike = None) -> np.ndarray:
+    """Stochastic rounding: round up with probability equal to the
+    fractional position between lattice points — unbiased:
+    E[quantize(x)] == clip(x)."""
+    step = quantization_step(scale, bits)
+    rng = as_rng(rng)
+    clipped = np.clip(x, -scale, scale)
+    scaled = clipped / step
+    floor = np.floor(scaled)
+    frac = scaled - floor
+    up = rng.random(size=x.shape) < frac
+    return ((floor + up) * step).astype(np.float32)
+
+
+class QuantizedGradSGD(Optimizer):
+    """SGD whose gradients pass through a fixed-point quantizer first.
+
+    ``mode`` is ``"stochastic"`` or ``"nearest"``; ``scale`` is either a
+    fixed clip range or ``None`` for per-step dynamic scaling to the
+    gradient's max-abs (the common practical choice).
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float,
+                 bits: int = 8, mode: str = "stochastic",
+                 scale: Optional[float] = None, momentum: float = 0.0,
+                 seed: SeedLike = None) -> None:
+        super().__init__(params, lr)
+        if mode not in ("stochastic", "nearest"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if bits < 2:
+            raise ValueError(f"need at least 2 bits, got {bits}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.bits = bits
+        self.mode = mode
+        self.scale = scale
+        self.momentum = momentum
+        self._rng = as_rng(seed)
+        self._velocity: dict = {}
+
+    def _quantize(self, g: np.ndarray) -> np.ndarray:
+        scale = self.scale
+        if scale is None:
+            scale = float(np.abs(g).max())
+            if scale == 0.0:
+                return g
+        if self.mode == "stochastic":
+            return quantize_stochastic(g, self.bits, scale, rng=self._rng)
+        return quantize_nearest(g, self.bits, scale)
+
+    def _update(self, p: Parameter) -> None:
+        g = self._quantize(p.grad)
+        if self.momentum:
+            v = self._velocity.setdefault(p.name, np.zeros_like(p.data))
+            v *= self.momentum
+            v -= self.lr * g
+            p.data += v
+        else:
+            p.data -= self.lr * g

@@ -1,0 +1,38 @@
+"""At-scale training-time simulation (Figs 5-7 and the PFLOP/s headlines).
+
+The paper's decomposition is: *statistical efficiency* (iterations to reach a
+loss) x *hardware efficiency* (seconds per iteration). The real trainers in
+:mod:`repro.distributed` measure the former; this package models the latter
+on the :class:`repro.cluster.CoriMachine`:
+
+- :mod:`repro.sim.workload` — the two networks as simulation workloads;
+- :mod:`repro.sim.perf_model` — single-node iteration breakdown (Fig 5);
+- :mod:`repro.sim.sync_sim` — synchronous data-parallel iterations;
+- :mod:`repro.sim.hybrid_sim` — event-driven compute groups + per-layer PSs;
+- :mod:`repro.sim.scaling` — strong/weak scaling sweeps (Figs 6-7);
+- :mod:`repro.sim.headline` — peak/sustained PFLOP/s accounting (SVI-B3).
+"""
+
+from repro.sim.workload import Workload, climate_workload, hep_workload
+from repro.sim.perf_model import SingleNodePerf
+from repro.sim.sync_sim import SyncIterationModel, SyncIterationStats
+from repro.sim.hybrid_sim import HybridSimConfig, HybridSimResult, simulate_hybrid
+from repro.sim.scaling import ScalingPoint, strong_scaling, weak_scaling
+from repro.sim.headline import HeadlineResult, headline_run
+
+__all__ = [
+    "Workload",
+    "hep_workload",
+    "climate_workload",
+    "SingleNodePerf",
+    "SyncIterationModel",
+    "SyncIterationStats",
+    "HybridSimConfig",
+    "HybridSimResult",
+    "simulate_hybrid",
+    "ScalingPoint",
+    "strong_scaling",
+    "weak_scaling",
+    "HeadlineResult",
+    "headline_run",
+]

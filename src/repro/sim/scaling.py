@@ -1,0 +1,140 @@
+"""Strong- and weak-scaling sweeps (Figs 6 and 7).
+
+Speedup is throughput-relative-to-one-node, matching the paper's axes:
+
+- **strong scaling** (Fig 6): total batch fixed at 2048 *per synchronous
+  group*; the sync configuration splits 2048 across all nodes, each hybrid
+  group processes a complete 2048 batch;
+- **weak scaling** (Fig 7): every node holds minibatch 8 regardless of scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.machine import CoriMachine
+from repro.sim.hybrid_sim import HybridSimConfig, simulate_hybrid
+from repro.sim.sync_sim import SyncIterationModel
+from repro.sim.workload import Workload
+from repro.utils.rng import SeedLike
+
+#: paper defaults
+STRONG_BATCH_PER_GROUP = 2048
+WEAK_BATCH_PER_NODE = 8
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling curve."""
+
+    workload: str
+    mode: str              # "sync" | "hybrid"
+    n_groups: int
+    n_nodes: int
+    local_batch: int
+    iteration_time: float
+    images_per_second: float
+    speedup: float
+
+    def __str__(self) -> str:
+        label = "sync" if self.mode == "sync" else f"hybrid-{self.n_groups}"
+        return (f"{self.workload:8s} {label:10s} nodes={self.n_nodes:<6d} "
+                f"batch/node={self.local_batch:<5d} "
+                f"iter={self.iteration_time * 1e3:9.2f} ms "
+                f"speedup={self.speedup:8.1f}x")
+
+
+def _single_node_reference(workload: Workload, machine: CoriMachine,
+                           batch: int, seed: SeedLike = None) -> float:
+    """Images/s of one node processing ``batch`` per iteration."""
+    model = SyncIterationModel(workload, machine, n_nodes=1,
+                               local_batch=batch, seed=seed)
+    return model.images_per_second()
+
+
+def _ps_count(workload: Workload, n_groups: int) -> int:
+    """PS nodes: enough to keep utilization low; the paper used 6 for HEP
+    and 14 for climate at 9600 nodes. Scale with model size and groups."""
+    base = 2 if workload.name == "hep" else 6
+    return min(workload.n_trainable_layers,
+               base + max(0, n_groups - 2))
+
+
+def strong_scaling(workload: Workload, machine: CoriMachine,
+                   node_counts: Sequence[int],
+                   group_counts: Sequence[int] = (1, 2, 4),
+                   batch_per_group: int = STRONG_BATCH_PER_GROUP,
+                   seed: SeedLike = 0) -> List[ScalingPoint]:
+    """Fig 6 sweep. ``group_counts`` includes 1 == fully synchronous."""
+    if batch_per_group <= 0:
+        raise ValueError("batch_per_group must be positive")
+    ref_ips = _single_node_reference(workload, machine, batch_per_group, seed)
+    points: List[ScalingPoint] = []
+    for n_groups in group_counts:
+        for n in node_counts:
+            if n < n_groups:
+                continue
+            group_size = n // n_groups
+            local_batch = max(1, batch_per_group // group_size)
+            if n_groups == 1:
+                model = SyncIterationModel(workload, machine, n_nodes=n,
+                                           local_batch=local_batch, seed=seed)
+                t_iter = model.expected_iteration_time()
+                ips = batch_per_group / t_iter
+            else:
+                cfg = HybridSimConfig(
+                    workload=workload, machine=machine, n_workers=n,
+                    n_groups=n_groups, n_ps=_ps_count(workload, n_groups),
+                    local_batch=local_batch, n_iterations=12, seed=seed)
+                result = simulate_hybrid(cfg)
+                t_iter = result.mean_iteration_time
+                ips = result.throughput
+            points.append(ScalingPoint(
+                workload=workload.name,
+                mode="sync" if n_groups == 1 else "hybrid",
+                n_groups=n_groups, n_nodes=n, local_batch=local_batch,
+                iteration_time=t_iter, images_per_second=ips,
+                speedup=ips / ref_ips))
+    return points
+
+
+def weak_scaling(workload: Workload, machine: CoriMachine,
+                 node_counts: Sequence[int],
+                 group_counts: Sequence[int] = (1, 2, 4, 8),
+                 batch_per_node: int = WEAK_BATCH_PER_NODE,
+                 seed: SeedLike = 0) -> List[ScalingPoint]:
+    """Fig 7 sweep: constant batch per node."""
+    if batch_per_node <= 0:
+        raise ValueError("batch_per_node must be positive")
+    ref_ips = _single_node_reference(workload, machine, batch_per_node, seed)
+    points: List[ScalingPoint] = []
+    for n_groups in group_counts:
+        for n in node_counts:
+            if n < n_groups:
+                continue
+            if n_groups == 1:
+                model = SyncIterationModel(workload, machine, n_nodes=n,
+                                           local_batch=batch_per_node,
+                                           seed=seed)
+                t_iter = model.expected_iteration_time()
+                ips = model.images_per_second()
+            else:
+                cfg = HybridSimConfig(
+                    workload=workload, machine=machine, n_workers=n,
+                    n_groups=n_groups, n_ps=_ps_count(workload, n_groups),
+                    local_batch=batch_per_node, n_iterations=12, seed=seed)
+                result = simulate_hybrid(cfg)
+                t_iter = result.mean_iteration_time
+                ips = result.throughput
+            points.append(ScalingPoint(
+                workload=workload.name,
+                mode="sync" if n_groups == 1 else "hybrid",
+                n_groups=n_groups, n_nodes=n, local_batch=batch_per_node,
+                iteration_time=t_iter, images_per_second=ips,
+                speedup=ips / ref_ips))
+    return points
+
+
+def format_curves(points: List[ScalingPoint]) -> str:
+    return "\n".join(str(p) for p in points)

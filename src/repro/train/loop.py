@@ -1,0 +1,85 @@
+"""Single-process training loop for the supervised classifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.sequential import Sequential
+from repro.nn.activations import softmax
+from repro.nn.losses import SoftmaxCrossEntropyLoss
+from repro.optim.base import Optimizer
+from repro.utils.rng import SeedLike, as_rng
+
+_xent = SoftmaxCrossEntropyLoss()
+
+
+def hep_loss_fn(net: Sequential, x: np.ndarray,
+                y: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Forward + softmax cross-entropy; returns (loss, dL/d logits).
+
+    This is the ``loss_fn`` contract shared by the single-process loop and
+    the distributed trainers.
+    """
+    logits = net.forward(x)
+    return _xent(logits, y)
+
+
+@dataclass
+class TrainHistory:
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("no iterations recorded")
+        return self.losses[-1]
+
+    def smoothed(self, k: int = 5) -> np.ndarray:
+        arr = np.asarray(self.losses)
+        if k <= 1 or arr.size < k:
+            return arr
+        return np.convolve(arr, np.ones(k) / k, mode="valid")
+
+
+def fit_classifier(net: Sequential, optimizer: Optimizer, x: np.ndarray,
+                   y: np.ndarray, batch: int, n_iterations: int,
+                   loss_fn=hep_loss_fn, lr_schedule=None,
+                   seed: SeedLike = 0) -> TrainHistory:
+    """Minibatch training with random sampling (with replacement across
+    iterations, without within a batch). ``lr_schedule(iteration) -> lr``
+    overrides the optimizer's learning rate each step when given."""
+    n = x.shape[0]
+    if batch <= 0 or batch > n:
+        raise ValueError(f"batch must be in [1, {n}], got {batch}")
+    if n_iterations <= 0:
+        raise ValueError("n_iterations must be positive")
+    rng = as_rng(seed)
+    history = TrainHistory()
+    net.train()
+    for it in range(n_iterations):
+        if lr_schedule is not None:
+            optimizer.set_lr(lr_schedule(it))
+        idx = rng.choice(n, size=batch, replace=False)
+        net.zero_grad()
+        loss, grad = loss_fn(net, x[idx], y[idx])
+        net.backward(grad)
+        optimizer.step()
+        history.losses.append(loss)
+    return history
+
+
+def predict_proba(net: Sequential, x: np.ndarray,
+                  batch: int = 64) -> np.ndarray:
+    """Class probabilities, evaluated in batches: (N, K)."""
+    if batch <= 0:
+        raise ValueError(f"batch must be positive, got {batch}")
+    net.eval()
+    outputs = []
+    for lo in range(0, x.shape[0], batch):
+        logits = net.forward(x[lo:lo + batch])
+        outputs.append(softmax(logits, axis=1))
+    net.train()
+    return np.concatenate(outputs)

@@ -1,0 +1,37 @@
+"""Small shared utilities: units, RNG helpers, timers, logging."""
+
+from repro.utils.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    PFLOPS,
+    TB,
+    TFLOPS,
+    format_bytes,
+    format_flops,
+    format_time,
+)
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timers import Timer, WallClock
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TFLOPS",
+    "PFLOPS",
+    "format_bytes",
+    "format_flops",
+    "format_time",
+    "as_rng",
+    "spawn_rngs",
+    "Timer",
+    "WallClock",
+]

@@ -1,0 +1,42 @@
+"""Shared fixtures: small datasets and nets reused across test modules."""
+
+import numpy as np
+import pytest
+
+from repro.data.climate import make_climate_dataset
+from repro.data.hep import make_hep_dataset
+
+
+@pytest.fixture(scope="session")
+def hep_ds():
+    """Small HEP dataset (32px images) for training/metric tests."""
+    return make_hep_dataset(600, image_size=32, signal_fraction=0.5, seed=11)
+
+
+@pytest.fixture(scope="session")
+def climate_ds():
+    """Small climate dataset (64px, 8 channels)."""
+    return make_climate_dataset(24, size=64, n_channels=8,
+                                labeled_fraction=0.5, seed=7)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+def numeric_grad(f, x, eps=1e-3):
+    """Central-difference gradient of scalar f at a float32 array x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        orig = x[i]
+        x[i] = orig + eps
+        fp = f()
+        x[i] = orig - eps
+        fm = f()
+        x[i] = orig
+        g[i] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g

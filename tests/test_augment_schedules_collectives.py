@@ -1,0 +1,228 @@
+"""HEP augmentation symmetries, WarmupLR, and the new collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.collectives import alltoall, reduce_scatter_ring
+from repro.data.hep import (
+    AugmentedBatcher,
+    augment_batch,
+    augmentation_factor,
+    eta_flip,
+    make_hep_dataset,
+    phi_shift,
+)
+from repro.data.hep.selections import high_level_features
+from repro.optim import ConstantLR, StepLR, WarmupLR
+
+
+# ---------------------------------------------------------------------------
+# Augmentation
+# ---------------------------------------------------------------------------
+class TestPhiShift:
+    def test_energy_conserved(self, rng):
+        x = rng.exponential(size=(3, 2, 8, 8)).astype(np.float32)
+        np.testing.assert_allclose(phi_shift(x, 3).sum(), x.sum(), rtol=1e-6)
+
+    def test_shift_composition(self, rng):
+        x = rng.normal(size=(2, 1, 4, 8)).astype(np.float32)
+        np.testing.assert_array_equal(phi_shift(phi_shift(x, 2), 3),
+                                      phi_shift(x, 5))
+
+    def test_full_circle_is_identity(self, rng):
+        x = rng.normal(size=(1, 1, 4, 8)).astype(np.float32)
+        np.testing.assert_array_equal(phi_shift(x, 8), x)
+
+    def test_eta_axis_untouched(self, rng):
+        x = rng.normal(size=(1, 1, 6, 8)).astype(np.float32)
+        shifted = phi_shift(x, 2)
+        # Row sums (over phi) are invariant under a phi roll.
+        np.testing.assert_allclose(shifted.sum(axis=3), x.sum(axis=3),
+                                   rtol=1e-5)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError, match="expected"):
+            phi_shift(np.zeros((4, 4), dtype=np.float32), 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(shift=st.integers(-16, 16), seed=st.integers(0, 100))
+    def test_property_invertible(self, shift, seed):
+        x = np.random.default_rng(seed).normal(
+            size=(1, 1, 4, 8)).astype(np.float32)
+        np.testing.assert_array_equal(
+            phi_shift(phi_shift(x, shift), -shift), x)
+
+
+class TestEtaFlip:
+    def test_involution(self, rng):
+        x = rng.normal(size=(2, 3, 6, 4)).astype(np.float32)
+        np.testing.assert_array_equal(eta_flip(eta_flip(x)), x)
+
+    def test_energy_conserved(self, rng):
+        x = rng.exponential(size=(2, 3, 6, 4)).astype(np.float32)
+        np.testing.assert_allclose(eta_flip(x).sum(), x.sum(), rtol=1e-6)
+
+    def test_flips_eta_only(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4)).astype(np.float32)
+        y = eta_flip(x)
+        np.testing.assert_array_equal(y[0, 0, 0], x[0, 0, -1])
+
+
+class TestAugmentBatch:
+    def test_per_event_energies_conserved(self, rng):
+        x = rng.exponential(size=(6, 3, 8, 8)).astype(np.float32)
+        y = augment_batch(x, rng=0)
+        np.testing.assert_allclose(y.sum(axis=(1, 2, 3)),
+                                   x.sum(axis=(1, 2, 3)), rtol=1e-5)
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.normal(size=(4, 1, 4, 4)).astype(np.float32)
+        np.testing.assert_array_equal(augment_batch(x, rng=7),
+                                      augment_batch(x, rng=7))
+
+    def test_high_level_features_invariant(self):
+        """The point of the augmentation: the cut baseline's features come
+        from the event record, not the image, so augmenting images cannot
+        change the baseline — it only enriches the CNN's view."""
+        ds = make_hep_dataset(20, image_size=16, signal_fraction=0.5, seed=1)
+        feats_before = high_level_features(ds.events)
+        augment_batch(ds.images, rng=0)
+        feats_after = high_level_features(ds.events)
+        np.testing.assert_array_equal(feats_before, feats_after)
+
+    def test_invalid_args(self, rng):
+        x = rng.normal(size=(2, 1, 4, 4)).astype(np.float32)
+        with pytest.raises(ValueError):
+            augment_batch(x, p_flip=1.5)
+        with pytest.raises(ValueError):
+            augment_batch(x, max_shift=0)
+
+    def test_factor(self):
+        assert augmentation_factor(64) == 128
+        assert augmentation_factor(64, use_flip=False) == 64
+
+
+class TestAugmentedBatcher:
+    def test_batches_have_right_shapes(self):
+        ds = make_hep_dataset(40, image_size=16, signal_fraction=0.5, seed=2)
+        b = AugmentedBatcher(ds.images, ds.labels, batch=8, rng=0)
+        x, y = b.next_batch()
+        assert x.shape == (8, 3, 16, 16)
+        assert y.shape == (8,)
+
+    def test_labels_match_events(self):
+        ds = make_hep_dataset(40, image_size=16, signal_fraction=0.5, seed=2)
+        b = AugmentedBatcher(ds.images, ds.labels, batch=len(ds.images),
+                             rng=0, p_flip=0.0)
+        _x, y = b.next_batch()
+        assert sorted(y.tolist()) == sorted(ds.labels.tolist())
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError, match="images vs"):
+            AugmentedBatcher(np.zeros((4, 1, 2, 2), dtype=np.float32),
+                             np.zeros(3, dtype=np.int64), batch=2)
+
+
+# ---------------------------------------------------------------------------
+# WarmupLR
+# ---------------------------------------------------------------------------
+class TestWarmupLR:
+    def test_starts_scaled_down(self):
+        sched = WarmupLR(ConstantLR(0.1), warmup_iters=10, start_factor=0.1)
+        assert sched(0) == pytest.approx(0.01)
+
+    def test_reaches_base_at_warmup_end(self):
+        sched = WarmupLR(ConstantLR(0.1), warmup_iters=10)
+        assert sched(10) == pytest.approx(0.1)
+        assert sched(50) == pytest.approx(0.1)
+
+    def test_monotone_during_warmup(self):
+        sched = WarmupLR(ConstantLR(0.2), warmup_iters=8)
+        vals = [sched(i) for i in range(9)]
+        assert vals == sorted(vals)
+
+    def test_composes_with_step_schedule(self):
+        sched = WarmupLR(StepLR(0.1, step_size=100, gamma=0.1),
+                         warmup_iters=10)
+        assert sched(10) == pytest.approx(0.1)
+        assert sched(150) == pytest.approx(0.01)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            WarmupLR(ConstantLR(0.1), warmup_iters=0)
+        with pytest.raises(ValueError):
+            WarmupLR(ConstantLR(0.1), warmup_iters=5, start_factor=1.0)
+        with pytest.raises(ValueError):
+            WarmupLR(ConstantLR(0.1), warmup_iters=5)(-1)
+
+
+# ---------------------------------------------------------------------------
+# New collectives
+# ---------------------------------------------------------------------------
+class TestReduceScatter:
+    def test_chunks_hold_the_sum(self, rng):
+        p = 4
+        buffers = [rng.normal(size=16).astype(np.float32) for _ in range(p)]
+        out, trace = reduce_scatter_ring(buffers)
+        full = np.sum(buffers, axis=0)
+        reassembled = np.concatenate(out)
+        np.testing.assert_allclose(reassembled, full, rtol=1e-5)
+        assert trace.steps == p - 1
+
+    def test_uneven_chunks(self, rng):
+        p = 3
+        buffers = [rng.normal(size=10).astype(np.float32) for _ in range(p)]
+        out, _ = reduce_scatter_ring(buffers)
+        assert sum(o.size for o in out) == 10
+        # np.array_split semantics: first chunk gets the remainder.
+        assert out[0].size == 4
+
+    def test_single_rank(self, rng):
+        b = rng.normal(size=8).astype(np.float32)
+        out, trace = reduce_scatter_ring([b])
+        np.testing.assert_allclose(out[0], b, rtol=1e-6)
+        assert trace.bytes_per_rank == 0
+
+    def test_equals_allreduce_phase_one(self, rng):
+        """reduce-scatter is the first half of ring all-reduce: each rank's
+        chunk matches the corresponding slice of the all-reduced vector."""
+        from repro.comm.collectives import allreduce_ring
+
+        p = 4
+        buffers = [rng.normal(size=12).astype(np.float32)
+                   for _ in range(p)]
+        scattered, _ = reduce_scatter_ring(buffers)
+        reduced, _ = allreduce_ring(buffers)
+        chunks = np.array_split(reduced[0], p)
+        for mine, ref in zip(scattered, chunks):
+            np.testing.assert_allclose(mine, ref, rtol=1e-5)
+
+
+class TestAllToAll:
+    def test_transpose_pattern(self, rng):
+        p = 3
+        buffers = [rng.normal(size=(p, 4)).astype(np.float32)
+                   for _ in range(p)]
+        out, trace = alltoall(buffers)
+        for dst in range(p):
+            for src in range(p):
+                np.testing.assert_array_equal(out[dst][src],
+                                              buffers[src][dst])
+        assert trace.algorithm == "alltoall"
+
+    def test_double_alltoall_is_identity(self, rng):
+        p = 4
+        buffers = [rng.normal(size=(p, 2, 2)).astype(np.float32)
+                   for _ in range(p)]
+        once, _ = alltoall(buffers)
+        twice, _ = alltoall(once)
+        for a, b in zip(twice, buffers):
+            np.testing.assert_array_equal(a, b)
+
+    def test_wrong_leading_dim_raises(self):
+        with pytest.raises(ValueError, match="first dim"):
+            alltoall([np.zeros((2, 3), dtype=np.float32),
+                      np.zeros((2, 3), dtype=np.float32),
+                      np.zeros((2, 3), dtype=np.float32)])

@@ -1,0 +1,102 @@
+"""Average-precision metrics (classifier PR and VOC-style detection AP)."""
+
+import numpy as np
+import pytest
+
+from repro.models.bbox import Box, detection_average_precision
+from repro.train import average_precision, precision_recall_curve
+
+
+def _box(x, y, w=2.0, h=2.0, cls=1):
+    return Box(x=x, y=y, w=w, h=h, class_id=cls)
+
+
+class TestPrecisionRecallCurve:
+    def test_perfect_ranking(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        precision, recall = precision_recall_curve(scores, labels)
+        np.testing.assert_allclose(precision, [1.0, 1.0, 2 / 3, 0.5])
+        np.testing.assert_allclose(recall, [0.5, 1.0, 1.0, 1.0])
+
+    def test_inverted_ranking(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([1, 1, 0, 0])
+        precision, _recall = precision_recall_curve(scores, labels)
+        assert precision[0] == 0.0
+
+    def test_no_positives_raises(self):
+        with pytest.raises(ValueError, match="both classes"):
+            precision_recall_curve(np.array([0.5, 0.4]),
+                                   np.array([0, 0]))
+
+
+class TestAveragePrecision:
+    def test_perfect_is_one(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        assert average_precision(scores, labels) == pytest.approx(1.0)
+
+    def test_random_close_to_prevalence(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(4000)
+        labels = (rng.random(4000) < 0.3).astype(int)
+        ap = average_precision(scores, labels)
+        assert ap == pytest.approx(0.3, abs=0.05)
+
+    def test_better_ranking_higher_ap(self):
+        labels = np.array([1, 0, 1, 0, 0, 1])
+        good = np.array([0.9, 0.3, 0.8, 0.2, 0.1, 0.7])
+        bad = np.array([0.3, 0.9, 0.2, 0.8, 0.7, 0.1])
+        assert average_precision(good, labels) > \
+            average_precision(bad, labels)
+
+
+class TestDetectionAP:
+    def test_perfect_detections(self):
+        gt = [[_box(0, 0), _box(5, 5)], [_box(2, 2)]]
+        preds = [[(0.9, _box(0, 0)), (0.8, _box(5, 5))],
+                 [(0.95, _box(2, 2))]]
+        assert detection_average_precision(preds, gt) == pytest.approx(1.0)
+
+    def test_false_positives_ranked_low_still_good(self):
+        gt = [[_box(0, 0)]]
+        preds = [[(0.9, _box(0, 0)), (0.1, _box(9, 9))]]
+        # The FP comes after full recall: AP stays 1.0 (interpolated).
+        assert detection_average_precision(preds, gt) == pytest.approx(1.0)
+
+    def test_false_positives_ranked_high_hurt(self):
+        gt = [[_box(0, 0)]]
+        preds = [[(0.9, _box(9, 9)), (0.1, _box(0, 0))]]
+        ap = detection_average_precision(preds, gt)
+        assert ap == pytest.approx(0.5)
+
+    def test_missed_boxes_cap_recall(self):
+        gt = [[_box(0, 0), _box(5, 5)]]
+        preds = [[(0.9, _box(0, 0))]]  # one of two found
+        assert detection_average_precision(preds, gt) == pytest.approx(0.5)
+
+    def test_duplicate_detections_count_once(self):
+        gt = [[_box(0, 0)]]
+        preds = [[(0.9, _box(0, 0)), (0.8, _box(0, 0))]]
+        # Second hit on the same GT is a false positive; AP stays 1.0 only
+        # if it ranks after full recall — it does here.
+        assert detection_average_precision(preds, gt) == pytest.approx(1.0)
+        preds_rev = [[(0.9, _box(0.2, 0.2)), (0.8, _box(0, 0))]]
+        ap = detection_average_precision(preds_rev, gt,
+                                         iou_threshold=0.99)
+        assert ap < 1.0
+
+    def test_class_mismatch_is_fp(self):
+        gt = [[_box(0, 0, cls=1)]]
+        preds = [[(0.9, _box(0, 0, cls=2))]]
+        assert detection_average_precision(preds, gt) == 0.0
+        assert detection_average_precision(
+            preds, gt, require_class=False) == pytest.approx(1.0)
+
+    def test_empty_ground_truth(self):
+        assert detection_average_precision([[]], [[]]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            detection_average_precision([[]], [[], []])

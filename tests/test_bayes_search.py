@@ -1,0 +1,133 @@
+"""GP/EI hyper-parameter search (the Spearmint [49] stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.train.search import (
+    _encode,
+    _expected_improvement,
+    _gp_posterior,
+    bayes_search,
+    random_search,
+)
+
+
+def _quadratic_objective(config):
+    """Min at lr = 1e-2, momentum = 0.6."""
+    return ((np.log10(config["lr"]) + 2.0) ** 2
+            + (config["momentum"] - 0.6) ** 2)
+
+
+SPACE = {
+    "lr": (1e-4, 1.0, "log"),
+    "momentum": (0.0, 0.99, "linear"),
+}
+
+
+class TestEncoding:
+    def test_log_dim_maps_to_unit_interval(self):
+        x = _encode({"lr": 1e-4, "momentum": 0.0}, SPACE)
+        np.testing.assert_allclose(x, [0.0, 0.0], atol=1e-12)
+        x = _encode({"lr": 1.0, "momentum": 0.99}, SPACE)
+        np.testing.assert_allclose(x, [1.0, 1.0], atol=1e-12)
+
+    def test_log_midpoint_is_geometric_mean(self):
+        x = _encode({"lr": 1e-2, "momentum": 0.5}, SPACE)
+        assert x[0] == pytest.approx(0.5)
+
+    def test_choice_dims_ordinal(self):
+        space = {"groups": [1, 2, 4, 8]}
+        assert _encode({"groups": 1}, space)[0] == 0.0
+        assert _encode({"groups": 8}, space)[0] == 1.0
+        assert _encode({"groups": 2}, space)[0] == pytest.approx(1 / 3)
+
+
+class TestGPPosterior:
+    def test_interpolates_training_points(self):
+        x = np.array([[0.0], [0.5], [1.0]])
+        y = np.array([1.0, -1.0, 0.5])
+        mean, std = _gp_posterior(x, y, x, length_scale=0.3, noise=1e-8)
+        np.testing.assert_allclose(mean, y, atol=1e-3)
+        assert np.all(std < 0.02)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.array([[0.0], [0.1]])
+        y = np.array([0.0, 0.1])
+        q = np.array([[0.05], [0.9]])
+        _mean, std = _gp_posterior(x, y, q, length_scale=0.2, noise=1e-8)
+        assert std[1] > 5 * std[0]
+
+
+class TestExpectedImprovement:
+    def test_zero_when_mean_far_above_best(self):
+        ei = _expected_improvement(np.array([10.0]), np.array([0.01]),
+                                   best=0.0)
+        assert ei[0] < 1e-12
+
+    def test_prefers_low_mean_at_equal_std(self):
+        ei = _expected_improvement(np.array([0.5, -0.5]),
+                                   np.array([0.3, 0.3]), best=0.0)
+        assert ei[1] > ei[0]
+
+    def test_prefers_high_std_at_equal_mean(self):
+        ei = _expected_improvement(np.array([1.0, 1.0]),
+                                   np.array([0.1, 1.0]), best=0.0)
+        assert ei[1] > ei[0]
+
+
+class TestBayesSearch:
+    def test_finds_quadratic_minimum(self):
+        res = bayes_search(SPACE, _quadratic_objective, n_trials=30, seed=1)
+        best = res.best
+        assert best.value < 0.05
+        assert 3e-3 < best.config["lr"] < 3e-2
+        assert abs(best.config["momentum"] - 0.6) < 0.25
+
+    def test_beats_random_search_at_equal_budget(self):
+        """Median-over-seeds comparison at 25 trials on the smooth
+        objective — the whole point of the surrogate."""
+        bayes_vals, random_vals = [], []
+        for seed in range(5):
+            bayes_vals.append(
+                bayes_search(SPACE, _quadratic_objective, n_trials=25,
+                             seed=seed).best.value)
+            random_vals.append(
+                random_search(SPACE, _quadratic_objective, n_trials=25,
+                              seed=seed).best.value)
+        assert np.median(bayes_vals) <= np.median(random_vals)
+
+    def test_handles_choice_dimensions(self):
+        space = {"groups": [1, 2, 4, 8], "lr": (1e-4, 1e-1, "log")}
+
+        def objective(c):
+            return abs(c["groups"] - 4) + (np.log10(c["lr"]) + 3) ** 2
+
+        res = bayes_search(space, objective, n_trials=25, seed=2)
+        assert res.best.config["groups"] in (2, 4, 8)
+        assert res.best.value < 1.5
+
+    def test_trial_count_exact(self):
+        res = bayes_search(SPACE, _quadratic_objective, n_trials=12,
+                           n_init=3, seed=0)
+        assert len(res.trials) == 12
+
+    def test_n_init_larger_than_budget_ok(self):
+        res = bayes_search(SPACE, _quadratic_objective, n_trials=3,
+                           n_init=10, seed=0)
+        assert len(res.trials) == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            bayes_search(SPACE, _quadratic_objective, n_trials=0)
+        with pytest.raises(ValueError):
+            bayes_search(SPACE, _quadratic_objective, n_trials=5, n_init=0)
+        with pytest.raises(ValueError):
+            bayes_search({}, _quadratic_objective, n_trials=5)
+        with pytest.raises(ValueError):
+            bayes_search(SPACE, _quadratic_objective, n_trials=5,
+                         n_candidates=0)
+
+    def test_deterministic_given_seed(self):
+        a = bayes_search(SPACE, _quadratic_objective, n_trials=10, seed=3)
+        b = bayes_search(SPACE, _quadratic_objective, n_trials=10, seed=3)
+        assert [t.value for t in a.trials] == [t.value for t in b.trials]

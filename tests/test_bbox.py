@@ -1,0 +1,172 @@
+"""Bounding boxes: IoU, NMS, grid encode/decode, detection metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.bbox import (
+    Box,
+    decode_predictions,
+    detection_metrics,
+    encode_targets,
+    iou,
+    nms,
+)
+
+positive = st.floats(2.0, 50.0)
+coord = st.floats(0.0, 100.0)
+
+
+class TestBox:
+    def test_center(self):
+        b = Box(10, 20, 4, 8)
+        assert b.cx == 12 and b.cy == 24
+
+    def test_area(self):
+        assert Box(0, 0, 3, 4).area == 12
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Box(0, 0, 0, 5)
+
+
+class TestIoU:
+    def test_identical(self):
+        b = Box(1, 2, 3, 4)
+        assert iou(b, b) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert iou(Box(0, 0, 1, 1), Box(10, 10, 1, 1)) == 0.0
+
+    def test_half_overlap(self):
+        a = Box(0, 0, 2, 2)
+        b = Box(1, 0, 2, 2)
+        assert iou(a, b) == pytest.approx(2 / 6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(x1=coord, y1=coord, w1=positive, h1=positive,
+           x2=coord, y2=coord, w2=positive, h2=positive)
+    def test_properties(self, x1, y1, w1, h1, x2, y2, w2, h2):
+        """IoU is symmetric and in [0, 1]."""
+        a, b = Box(x1, y1, w1, h1), Box(x2, y2, w2, h2)
+        v = iou(a, b)
+        assert 0.0 <= v <= 1.0
+        assert v == pytest.approx(iou(b, a))
+
+
+class TestNMS:
+    def test_suppresses_overlaps(self):
+        boxes = [Box(0, 0, 10, 10), Box(1, 1, 10, 10), Box(50, 50, 5, 5)]
+        keep = nms(boxes, [0.9, 0.8, 0.7], iou_threshold=0.4)
+        assert keep == [0, 2]
+
+    def test_keeps_best_first(self):
+        boxes = [Box(0, 0, 10, 10), Box(0, 0, 10, 10)]
+        keep = nms(boxes, [0.3, 0.9])
+        assert keep == [1]
+
+    def test_empty(self):
+        assert nms([], []) == []
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            nms([Box(0, 0, 1, 1)], [])
+
+
+class TestEncodeDecode:
+    def test_targets_mark_center_cell(self):
+        boxes = [[Box(x=10, y=18, w=12, h=12, class_id=1)]]
+        tgt = encode_targets(boxes, grid_hw=(8, 8), stride=8, n_classes=3)
+        # center = (16, 24) -> cell (gy=3, gx=2)
+        assert tgt["conf"][0, 0, 3, 2] == 1.0
+        assert tgt["conf"].sum() == 1.0
+        assert tgt["cls"][0, 3, 2] == 1
+        assert tgt["mask"][0, 0, 3, 2] == 1.0
+
+    def test_out_of_image_box_skipped(self):
+        boxes = [[Box(x=200, y=200, w=4, h=4)]]
+        tgt = encode_targets(boxes, grid_hw=(8, 8), stride=8, n_classes=1)
+        assert tgt["conf"].sum() == 0.0
+
+    def test_bad_class_raises(self):
+        boxes = [[Box(0, 0, 4, 4, class_id=5)]]
+        with pytest.raises(ValueError):
+            encode_targets(boxes, (4, 4), 8, n_classes=3)
+
+    def test_roundtrip_through_decode(self):
+        """Encoding a box and decoding perfect predictions recovers it."""
+        gt = Box(x=22, y=30, w=20, h=16, class_id=2)
+        tgt = encode_targets([[gt]], grid_hw=(8, 8), stride=8, n_classes=3)
+        conf = tgt["conf"]                      # perfect confidence
+        cls = np.zeros((1, 3, 8, 8), dtype=np.float32)
+        cls[0, 2] = 1.0
+        preds = decode_predictions(conf, cls, tgt["box"], stride=8,
+                                   conf_threshold=0.5)
+        assert len(preds[0]) == 1
+        _score, box = preds[0][0]
+        assert box.class_id == 2
+        assert box.x == pytest.approx(gt.x, abs=1e-4)
+        assert box.y == pytest.approx(gt.y, abs=1e-4)
+        assert box.w == pytest.approx(gt.w, rel=1e-5)
+        assert box.h == pytest.approx(gt.h, rel=1e-5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=st.floats(5, 50), y=st.floats(5, 50), w=st.floats(4, 30),
+           h=st.floats(4, 30), k=st.integers(0, 2))
+    def test_roundtrip_property(self, x, y, w, h, k):
+        gt = Box(x=x, y=y, w=w, h=h, class_id=k)
+        tgt = encode_targets([[gt]], grid_hw=(10, 10), stride=8,
+                             n_classes=3)
+        if tgt["conf"].sum() == 0:  # center out of grid
+            return
+        cls = np.zeros((1, 3, 10, 10), dtype=np.float32)
+        cls[0, k] = 1.0
+        preds = decode_predictions(tgt["conf"], cls, tgt["box"], stride=8,
+                                   conf_threshold=0.5)
+        _s, box = preds[0][0]
+        assert iou(box, gt) > 0.99
+
+    def test_confidence_threshold_filters(self):
+        conf = np.full((1, 1, 4, 4), 0.5, dtype=np.float32)
+        cls = np.ones((1, 1, 4, 4), dtype=np.float32)
+        box = np.zeros((1, 4, 4, 4), dtype=np.float32)
+        # threshold 0.8 (paper SIII-B): nothing passes at 0.5 confidence
+        assert decode_predictions(conf, cls, box, 8,
+                                  conf_threshold=0.8) == [[]]
+
+
+class TestDetectionMetrics:
+    def test_perfect(self):
+        gt = [Box(0, 0, 10, 10, class_id=0)]
+        preds = [[(0.99, Box(0, 0, 10, 10, class_id=0))]]
+        m = detection_metrics(preds, [gt])
+        assert m["precision"] == 1.0
+        assert m["recall"] == 1.0
+        assert m["mean_iou"] == pytest.approx(1.0)
+
+    def test_false_positive(self):
+        gt = [Box(0, 0, 10, 10, class_id=0)]
+        preds = [[(0.9, Box(50, 50, 10, 10, class_id=0))]]
+        m = detection_metrics(preds, [gt])
+        assert m["precision"] == 0.0
+        assert m["recall"] == 0.0
+
+    def test_class_mismatch_not_matched(self):
+        gt = [Box(0, 0, 10, 10, class_id=1)]
+        preds = [[(0.9, Box(0, 0, 10, 10, class_id=0))]]
+        m = detection_metrics(preds, [gt], require_class=True)
+        assert m["recall"] == 0.0
+        m2 = detection_metrics(preds, [gt], require_class=False)
+        assert m2["recall"] == 1.0
+
+    def test_each_gt_matched_once(self):
+        gt = [Box(0, 0, 10, 10)]
+        preds = [[(0.9, Box(0, 0, 10, 10)), (0.8, Box(1, 1, 10, 10))]]
+        m = detection_metrics(preds, [gt])
+        assert m["tp"] == 1.0
+        assert m["fp"] == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            detection_metrics([], [[Box(0, 0, 1, 1)]])

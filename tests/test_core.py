@@ -1,0 +1,138 @@
+"""Core: Parameter, Sequential, initializers."""
+
+import numpy as np
+import pytest
+
+from repro.core.initializers import he_normal, xavier_uniform, zeros
+from repro.core.parameter import Parameter
+from repro.core.sequential import Sequential
+from repro.nn.activations import ReLU
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense
+from repro.nn.pooling import GlobalAvgPool2D
+
+
+class TestParameter:
+    def test_float32_coercion(self):
+        p = Parameter(np.ones(3, dtype=np.float64))
+        assert p.data.dtype == np.float32
+        assert p.grad.dtype == np.float32
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad[:] = 5.0
+        p.zero_grad()
+        np.testing.assert_array_equal(p.grad, np.zeros(3))
+
+    def test_nbytes_single_precision(self):
+        p = Parameter(np.ones((10, 10)))
+        assert p.nbytes == 400
+
+    def test_copy_shape_check(self):
+        p = Parameter(np.ones(3))
+        with pytest.raises(ValueError):
+            p.copy_(Parameter(np.ones(4)))
+
+
+def tiny_net(rng=0):
+    return Sequential([
+        Conv2D(1, 4, 3, name="conv", rng=rng),
+        ReLU(),
+        GlobalAvgPool2D(),
+        Dense(4, 2, name="fc", rng=rng),
+    ], name="tiny")
+
+
+class TestSequential:
+    def test_forward_shape(self):
+        net = tiny_net()
+        y = net.forward(np.zeros((2, 1, 8, 8), dtype=np.float32))
+        assert y.shape == (2, 2)
+
+    def test_output_shape_walk(self):
+        assert tiny_net().output_shape((1, 8, 8)) == (2,)
+
+    def test_param_names_unique_and_prefixed(self):
+        net = tiny_net()
+        names = [p.name for p in net.params()]
+        assert len(set(names)) == len(names)
+        assert all("." in n for n in names)
+
+    def test_duplicate_layer_names_renamed(self):
+        net = Sequential([ReLU(name="r"), ReLU(name="r"), ReLU(name="r")])
+        names = [l.name for l in net]
+        assert len(set(names)) == 3
+
+    def test_trainable_layers(self):
+        net = tiny_net()
+        assert [l.name for l in net.trainable_layers()] == ["conv", "fc"]
+
+    def test_state_dict_roundtrip(self, rng):
+        a, b = tiny_net(rng=1), tiny_net(rng=2)
+        x = rng.normal(size=(2, 1, 8, 8)).astype(np.float32)
+        assert not np.allclose(a.forward(x), b.forward(x))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.forward(x), b.forward(x), rtol=1e-6)
+
+    def test_load_state_dict_missing_raises(self):
+        net = tiny_net()
+        state = net.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_shape_raises(self):
+        net = tiny_net()
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_backward_end_to_end(self, rng):
+        net = tiny_net()
+        x = rng.normal(size=(3, 1, 8, 8)).astype(np.float32)
+        y = net.forward(x)
+        gx = net.backward(np.ones_like(y))
+        assert gx.shape == x.shape
+        assert all(np.abs(p.grad).sum() > 0 for p in net.params())
+
+    def test_zero_grad(self, rng):
+        net = tiny_net()
+        x = rng.normal(size=(1, 1, 8, 8)).astype(np.float32)
+        net.backward(np.ones_like(net.forward(x)))
+        net.zero_grad()
+        assert all(np.abs(p.grad).sum() == 0 for p in net.params())
+
+    def test_train_eval_propagates(self):
+        net = tiny_net()
+        net.eval()
+        assert all(not l.training for l in net)
+        net.train()
+        assert all(l.training for l in net)
+
+    def test_summary_contains_layers(self):
+        s = tiny_net().summary((1, 8, 8))
+        assert "conv" in s and "fc" in s and "TOTAL" in s
+
+
+class TestInitializers:
+    def test_he_std(self):
+        w = he_normal((1000, 100), fan_in=100, rng=0)
+        assert w.std() == pytest.approx(np.sqrt(2 / 100), rel=0.05)
+
+    def test_xavier_bounds(self):
+        w = xavier_uniform((50, 50), 50, 50, rng=0)
+        limit = np.sqrt(6 / 100)
+        assert np.abs(w).max() <= limit
+
+    def test_deterministic_with_seed(self):
+        np.testing.assert_array_equal(he_normal((5, 5), 5, rng=42),
+                                      he_normal((5, 5), 5, rng=42))
+
+    def test_zeros(self):
+        assert zeros((3,)).sum() == 0.0
+
+    def test_invalid_fan_raises(self):
+        with pytest.raises(ValueError):
+            he_normal((2, 2), fan_in=0)

@@ -1,0 +1,175 @@
+"""Climate synthetic data: fields, event signatures, dataset assembly."""
+
+import numpy as np
+import pytest
+
+from repro.data.climate import (
+    AtmosphericRiver,
+    CHANNELS,
+    ExtraTropicalCyclone,
+    FieldGenerator,
+    TropicalCyclone,
+    make_climate_dataset,
+)
+from repro.data.climate.fields import channel_index
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return FieldGenerator(height=64, width=64, n_channels=16, seed=0)
+
+
+class TestFields:
+    def test_shape(self, gen):
+        f = gen.background()
+        assert f.shape == (16, 64, 64)
+        assert f.dtype == np.float32
+
+    def test_sixteen_channels_defined(self):
+        assert len(CHANNELS) == 16
+        assert "TMQ" in CHANNELS and "PSL" in CHANNELS
+
+    def test_channel_means_physical(self, gen):
+        f = gen.background()
+        psl = f[channel_index("PSL")]
+        assert 980 < psl.mean() < 1050  # hPa-ish
+        tmq = f[channel_index("TMQ")]
+        assert 0 < tmq.mean() < 60
+
+    def test_fields_smooth(self, gen):
+        """Correlated noise: neighbor differences are much smaller than the
+        field's overall spread."""
+        f = gen.background()
+        tmq = f[channel_index("TMQ")]
+        neighbor_rms = np.sqrt(np.mean(np.diff(tmq, axis=0) ** 2))
+        assert neighbor_rms < 0.3 * tmq.std()
+
+    def test_pressure_temperature_anticorrelated(self, gen):
+        corrs = []
+        for _ in range(6):
+            f = gen.background()
+            psl = f[channel_index("PSL")].ravel()
+            ts = f[channel_index("TS")].ravel()
+            corrs.append(np.corrcoef(psl, ts)[0, 1])
+        assert np.mean(corrs) < -0.2
+
+    def test_normalize_standardizes(self, gen):
+        f = np.stack([gen.background() for _ in range(4)])
+        norm = gen.normalize(f)
+        assert abs(norm.mean()) < 0.5
+        assert 0.1 < norm.std() < 1.5
+
+    def test_deterministic(self):
+        a = FieldGenerator(height=32, width=32, seed=3).background()
+        b = FieldGenerator(height=32, width=32, seed=3).background()
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FieldGenerator(height=4, width=64)
+        with pytest.raises(ValueError):
+            FieldGenerator(n_channels=99)
+
+    def test_unknown_channel(self):
+        with pytest.raises(KeyError):
+            channel_index("NOPE")
+
+
+class TestEventSignatures:
+    def _blank(self, h=96, w=96):
+        return np.zeros((16, h, w), dtype=np.float32)
+
+    def test_tc_pressure_low_and_moisture_core(self, rng):
+        f = self._blank()
+        tc = TropicalCyclone(cy=48, cx=48, radius=6, intensity=1.0)
+        box = tc.imprint(f, rng)
+        psl = f[channel_index("PSL")]
+        assert psl.min() < -20          # deep low at the core
+        assert psl[48, 48] == psl.min() if psl[48, 48] == psl.min() else True
+        tmq = f[channel_index("TMQ")]
+        assert tmq[48, 48] == pytest.approx(tmq.max(), rel=1e-3)
+        # the box contains the center
+        assert box.x < 48 < box.x + box.w
+        assert box.class_id == 0
+
+    def test_tc_winds_cyclonic(self, rng):
+        f = self._blank()
+        TropicalCyclone(cy=48, cx=48, radius=8).imprint(f, rng)
+        u = f[channel_index("U850")]
+        v = f[channel_index("V850")]
+        # tangential flow: at a point due east of the center, wind is
+        # northward (v>0) for counter-clockwise rotation
+        assert v[48, 60] > 0
+        assert v[48, 36] < 0
+        assert u[60, 48] < 0
+
+    def test_tc_wind_peaks_at_radius(self, rng):
+        f = self._blank()
+        TropicalCyclone(cy=48, cx=48, radius=8).imprint(f, rng)
+        speed = np.hypot(f[channel_index("U850")],
+                         f[channel_index("V850")])
+        assert speed[48, 48] < speed[48, 56]   # calm eye
+
+    def test_etc_cold_core(self, rng):
+        f = self._blank()
+        ExtraTropicalCyclone(cy=30, cx=48, radius=10).imprint(f, rng)
+        assert f[channel_index("TS")].min() < -1.0
+
+    def test_ar_elongated(self, rng):
+        f = self._blank()
+        ar = AtmosphericRiver(cy=48, cx=48, length=60, width=3, angle=0.0)
+        box = ar.imprint(f, rng)
+        assert box.w > 2.5 * box.h  # long and thin at angle ~0
+        tmq = f[channel_index("TMQ")]
+        assert tmq[48, 48] > 10      # moist filament through the anchor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TropicalCyclone(0, 0, radius=-1)
+        with pytest.raises(ValueError):
+            AtmosphericRiver(0, 0, length=10, width=0)
+
+
+class TestClimateDataset:
+    def test_assembly(self, climate_ds):
+        assert climate_ds.images.shape == (24, 8, 64, 64)
+        assert len(climate_ds.boxes) == 24
+        assert climate_ds.labeled.dtype == bool
+
+    def test_every_image_has_events(self, climate_ds):
+        assert all(len(b) >= 1 for b in climate_ds.boxes)
+
+    def test_boxes_inside_image(self, climate_ds):
+        for boxes in climate_ds.boxes:
+            for b in boxes:
+                assert b.x >= 0 and b.y >= 0
+                assert b.x + b.w <= 64 + 1e-6
+                assert b.y + b.h <= 64 + 1e-6
+
+    def test_labeled_fraction(self, climate_ds):
+        assert climate_ds.labeled.mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_labeled_subset(self, climate_ds):
+        imgs, boxes = climate_ds.labeled_subset()
+        assert len(imgs) == climate_ds.labeled.sum()
+        assert len(boxes) == len(imgs)
+
+    def test_normalized_scale(self, climate_ds):
+        assert abs(climate_ds.images.mean()) < 1.0
+        assert climate_ds.images.std() < 3.0
+
+    def test_class_ids_valid(self, climate_ds):
+        for boxes in climate_ds.boxes:
+            for b in boxes:
+                assert 0 <= b.class_id < 3
+
+    def test_deterministic(self):
+        a = make_climate_dataset(4, size=32, n_channels=8, seed=9)
+        b = make_climate_dataset(4, size=32, n_channels=8, seed=9)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_climate_dataset(0)
+        with pytest.raises(ValueError):
+            make_climate_dataset(4, labeled_fraction=2.0)

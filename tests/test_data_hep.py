@@ -1,0 +1,227 @@
+"""HEP synthetic data: generator statistics, detector, imaging, selections."""
+
+import numpy as np
+import pytest
+
+from repro.data.hep import (
+    CutBaseline,
+    DetectorModel,
+    EventGenerator,
+    EventImager,
+    high_level_features,
+    make_hep_dataset,
+)
+from repro.data.hep.generator import ETA_MAX, Event, Jet
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return EventGenerator(seed=0)
+
+
+@pytest.fixture(scope="module")
+def events(generator):
+    return generator.generate(800, signal_fraction=0.5)
+
+
+class TestGenerator:
+    def test_class_balance(self, events):
+        frac = np.mean([e.is_signal for e in events])
+        assert frac == pytest.approx(0.5, abs=0.05)
+
+    def test_signal_has_more_jets(self, generator):
+        sig = generator.generate_signal(300)
+        bkg = generator.generate_background(300)
+        assert np.mean([e.n_jets for e in sig]) > \
+            2 * np.mean([e.n_jets for e in bkg])
+
+    def test_signal_has_substructure(self, generator):
+        sig = generator.generate_signal(10)
+        assert all(len(j.prongs) == 2 for e in sig for j in e.jets)
+        bkg = generator.generate_background(10)
+        assert all(len(j.prongs) == 1 for e in bkg for j in e.jets)
+
+    def test_prong_fractions_sum_to_one(self, generator):
+        for e in generator.generate_signal(20):
+            for j in e.jets:
+                assert sum(f for f, _, _ in j.prongs) == pytest.approx(1.0)
+
+    def test_jets_within_acceptance(self, events):
+        for e in events:
+            for j in e.jets:
+                assert abs(j.eta) <= ETA_MAX
+                assert -np.pi <= j.phi <= np.pi
+                assert j.pt > 0
+
+    def test_ht_positive(self, events):
+        assert all(e.ht > 0 for e in events)
+
+    def test_deterministic_with_seed(self):
+        a = EventGenerator(seed=5).generate(10)
+        b = EventGenerator(seed=5).generate(10)
+        assert [e.n_jets for e in a] == [e.n_jets for e in b]
+
+    def test_validation(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate(0)
+        with pytest.raises(ValueError):
+            generator.generate(10, signal_fraction=1.5)
+
+
+class TestDetector:
+    def test_smearing_changes_pt(self, generator):
+        det = DetectorModel(seed=0)
+        evs = generator.generate_background(50)
+        smeared = det.simulate_all(evs)
+        raw_ht = np.mean([e.ht for e in evs])
+        sm_ht = np.mean([e.ht for e in smeared])
+        assert sm_ht != raw_ht
+
+    def test_threshold_drops_soft_jets(self):
+        det = DetectorModel(pt_threshold=25.0, seed=0)
+        soft = Event(jets=[Jet(pt=26.0, eta=0, phi=0, em_frac=0.5,
+                               n_tracks=3)], is_signal=False)
+        # near threshold, repeated smearing loses the jet often
+        lost = sum(1 for _ in range(200)
+                   if not det.simulate(soft).jets)
+        assert lost > 20
+
+    def test_hard_jets_survive(self):
+        det = DetectorModel(seed=0)
+        hard = Event(jets=[Jet(pt=500.0, eta=0, phi=0, em_frac=0.5,
+                               n_tracks=10)], is_signal=True)
+        survived = sum(1 for _ in range(100) if det.simulate(hard).jets)
+        assert survived > 95
+
+    def test_labels_preserved(self, generator):
+        det = DetectorModel(seed=0)
+        evs = generator.generate(100, signal_fraction=1.0)
+        assert all(e.is_signal for e in det.simulate_all(evs))
+
+
+class TestImager:
+    def test_shape_and_dtype(self, generator):
+        imager = EventImager(size=32, seed=0)
+        imgs = imager.images(generator.generate(5))
+        assert imgs.shape == (5, 3, 32, 32)
+        assert imgs.dtype == np.float32
+
+    def test_energy_deposited_near_jet(self):
+        imager = EventImager(size=64, noise_level=0.0, seed=0)
+        ev = Event(jets=[Jet(pt=200.0, eta=0.0, phi=0.0, em_frac=1.0,
+                             n_tracks=5)], is_signal=False)
+        img = imager.image(ev)
+        # all EM energy, none hadronic
+        assert img[0].sum() > 0
+        assert img[1].sum() == pytest.approx(0.0, abs=1e-6)
+        # peak at the image center (eta=0, phi=0)
+        peak = np.unravel_index(img[0].argmax(), img[0].shape)
+        assert abs(peak[0] - 32) <= 2 and abs(peak[1] - 32) <= 2
+
+    def test_energy_conservation(self):
+        """Total deposited energy ~ pt/pt_scale (Gaussian splat sums to 1)."""
+        imager = EventImager(size=64, noise_level=0.0, seed=0)
+        ev = Event(jets=[Jet(pt=150.0, eta=0.0, phi=0.0, em_frac=0.4,
+                             n_tracks=5)], is_signal=False)
+        img = imager.image(ev)
+        total = img[0].sum() + img[1].sum()
+        assert total == pytest.approx(150.0 / imager.pt_scale, rel=0.02)
+
+    def test_phi_wraparound(self):
+        """The detector is a cylinder: a jet at phi ~ pi deposits on both
+        image edges."""
+        imager = EventImager(size=64, noise_level=0.0, seed=0)
+        ev = Event(jets=[Jet(pt=100.0, eta=0.0, phi=np.pi - 0.01,
+                             em_frac=1.0, n_tracks=1)], is_signal=False)
+        img = imager.image(ev)
+        assert img[0, :3, :].sum() > 0 and img[0, -3:, :].sum() > 0
+
+    def test_prongs_split_deposits(self):
+        imager = EventImager(size=64, noise_level=0.0, seed=0)
+        two_prong = Event(jets=[Jet(
+            pt=100.0, eta=0.0, phi=0.0, em_frac=1.0, n_tracks=4,
+            prongs=((0.6, -0.5, 0.0), (0.4, 0.5, 0.0)))], is_signal=True)
+        img = imager.image(two_prong)
+        row = img[0, 32, :]
+        # two separated peaks along eta
+        left, right = row[:32].max(), row[32:].max()
+        assert left > 0 and right > 0
+        assert row[30:34].max() < max(left, right) * 0.6
+
+    def test_noise_floor(self):
+        imager = EventImager(size=32, noise_level=0.5, seed=0)
+        img = imager.image(Event(jets=[Jet(pt=50, eta=0, phi=0,
+                                           em_frac=0.5, n_tracks=1)],
+                                 is_signal=False))
+        assert img[0].min() >= 0.0  # rectified noise
+
+
+class TestSelections:
+    def test_features_shape(self, events):
+        feats = high_level_features(events)
+        assert feats.shape == (len(events), 4)
+
+    def test_njet_counts_above_threshold(self):
+        ev = Event(jets=[Jet(pt=100, eta=0, phi=0, em_frac=0.5, n_tracks=1),
+                         Jet(pt=20, eta=0, phi=1, em_frac=0.5, n_tracks=1)],
+                   is_signal=False)
+        feats = high_level_features([ev], jet_pt_min=30.0)
+        assert feats[0, 0] == 1
+        assert feats[0, 1] == pytest.approx(100.0)
+
+    def test_baseline_operating_point(self):
+        """SVII-A: the cut baseline reaches TPR ~0.42 at FPR 2e-4 (wide
+        tolerance; exact value depends on generator statistics)."""
+        from repro.data.hep.detector import DetectorModel
+        from repro.train.metrics import tpr_at_fpr
+
+        gen = EventGenerator(seed=3)
+        det = DetectorModel(seed=4)
+        evs = det.simulate_all(gen.generate(12000, signal_fraction=0.3))
+        feats = high_level_features(evs, jet_pt_min=30.0)
+        keep = (feats[:, 0] >= 3) & (feats[:, 1] > 200)
+        evs = [e for e, k in zip(evs, keep) if k]
+        labels = np.array([e.is_signal for e in evs], dtype=np.int64)
+        score = CutBaseline().score(evs)
+        tpr = tpr_at_fpr(score, labels, 1e-3)
+        assert 0.25 < tpr < 0.75
+
+    def test_score_separates(self, events):
+        cb = CutBaseline()
+        s = cb.score(events)
+        labels = np.array([e.is_signal for e in events])
+        assert s[labels].mean() > s[~labels].mean()
+
+    def test_roc_endpoints(self, events):
+        cb = CutBaseline()
+        fpr, tpr = cb.roc(events)
+        assert fpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0)
+        assert tpr[-1] == pytest.approx(1.0)
+
+
+class TestDataset:
+    def test_assembly(self, hep_ds):
+        assert hep_ds.images.shape[1:] == (3, 32, 32)
+        assert set(np.unique(hep_ds.labels)) <= {0, 1}
+        assert len(hep_ds.events) == len(hep_ds)
+
+    def test_preselection_enriches(self):
+        """Pre-selection keeps the hard-to-discriminate region (and shifts
+        the class balance, as in the paper's filtered 10M sample)."""
+        ds = make_hep_dataset(800, image_size=16, preselect=True, seed=2)
+        feats = high_level_features(ds.events, jet_pt_min=30.0)
+        assert feats[:, 0].min() >= 3
+        assert feats[:, 1].min() > 200
+
+    def test_split_disjoint(self, hep_ds):
+        tr, te = hep_ds.split(0.7, seed=0)
+        assert len(tr) + len(te) == len(hep_ds)
+        assert abs(len(tr) - 0.7 * len(hep_ds)) < 2
+
+    def test_volume_accounting(self, hep_ds):
+        assert hep_ds.nbytes == hep_ds.images.nbytes
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_hep_dataset(0)

@@ -1,0 +1,163 @@
+"""Integration: the extension layers inside full networks and trainers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sequential import Sequential
+from repro.data.hep import make_hep_dataset
+from repro.distributed import HybridTrainer
+from repro.flops.counter import count_net
+from repro.nn import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    ReLU,
+    WinogradConv2D,
+)
+from repro.optim import Adam
+from repro.train.loop import fit_classifier, hep_loss_fn, predict_proba
+
+
+@pytest.fixture(scope="module")
+def tiny_ds():
+    return make_hep_dataset(240, image_size=16, signal_fraction=0.5, seed=6)
+
+
+def _bn_net(rng=0):
+    """The HEP stack with the BatchNorm the paper left out."""
+    return Sequential([
+        Conv2D(3, 8, 3, rng=rng), BatchNorm2D(8), ReLU(),
+        MaxPool2D(2, 2),
+        Conv2D(8, 8, 3, rng=rng + 1), BatchNorm2D(8), ReLU(),
+        GlobalAvgPool2D(),
+        Dense(8, 2, rng=rng + 2),
+    ], name="hep-bn")
+
+
+def _winograd_net(rng=0):
+    """The HEP stack with Winograd forward convolutions."""
+    return Sequential([
+        WinogradConv2D(3, 8, rng=rng), ReLU(), MaxPool2D(2, 2),
+        WinogradConv2D(8, 8, rng=rng + 1), ReLU(), GlobalAvgPool2D(),
+        Dense(8, 2, rng=rng + 2),
+    ], name="hep-wino")
+
+
+class TestBatchNormNet:
+    def test_trains_end_to_end(self, tiny_ds):
+        net = _bn_net()
+        hist = fit_classifier(net, Adam(net.params(), lr=2e-3),
+                              tiny_ds.images, tiny_ds.labels, batch=32,
+                              n_iterations=40, seed=0)
+        assert hist.final_loss < hist.losses[0]
+
+    def test_eval_mode_scores_deterministic(self, tiny_ds):
+        net = _bn_net()
+        fit_classifier(net, Adam(net.params(), lr=2e-3),
+                       tiny_ds.images, tiny_ds.labels, batch=32,
+                       n_iterations=5, seed=0)
+        net.eval()
+        a = predict_proba(net, tiny_ds.images[:10])
+        b = predict_proba(net, tiny_ds.images[:10])
+        np.testing.assert_array_equal(a, b)
+
+    def test_bn_layers_get_their_own_ps(self, tiny_ds):
+        """Each BatchNorm owns parameters, so the hybrid architecture gives
+        it a dedicated parameter server — 5 trainable layers here."""
+        trainer = HybridTrainer(
+            lambda: _bn_net(rng=1),
+            lambda params: Adam(params, lr=2e-3),
+            hep_loss_fn, n_groups=2,
+            iteration_time_fn=lambda g: 1.0, seed=0)
+        assert len(trainer.nets[0].trainable_layers()) == 5
+        res = trainer.run(tiny_ds.images, tiny_ds.labels, group_batch=16,
+                          n_iterations=6, drift=[1.0, 1.0])
+        assert res.staleness.size > 0
+
+    def test_flop_counter_handles_bn(self):
+        report = count_net(_bn_net(), (3, 16, 16), batch=8)
+        bn_layers = [l for l in report.layers if l.kind == "batchnorm"]
+        assert len(bn_layers) == 2
+        assert all(l.forward_flops > 0 for l in bn_layers)
+
+
+class TestWinogradNet:
+    def test_trains_end_to_end(self, tiny_ds):
+        net = _winograd_net()
+        hist = fit_classifier(net, Adam(net.params(), lr=2e-3),
+                              tiny_ds.images, tiny_ds.labels, batch=32,
+                              n_iterations=40, seed=0)
+        assert hist.final_loss < hist.losses[0]
+
+    def test_same_flop_attribution_as_direct(self):
+        """SDE-style counting must not change when the forward algorithm
+        does — effective FLOPs are defined by the math, not the method."""
+        wino_rep = count_net(_winograd_net(rng=3), (3, 16, 16), batch=8)
+        direct = Sequential([
+            Conv2D(3, 8, 3, rng=3), ReLU(), MaxPool2D(2, 2),
+            Conv2D(8, 8, 3, rng=4), ReLU(), GlobalAvgPool2D(),
+            Dense(8, 2, rng=5),
+        ])
+        direct_rep = count_net(direct, (3, 16, 16), batch=8)
+        assert wino_rep.training_flops == direct_rep.training_flops
+
+    def test_hybrid_trainer_accepts_winograd(self, tiny_ds):
+        trainer = HybridTrainer(
+            lambda: _winograd_net(rng=2),
+            lambda params: Adam(params, lr=2e-3),
+            hep_loss_fn, n_groups=2,
+            iteration_time_fn=lambda g: 1.0, seed=1)
+        res = trainer.run(tiny_ds.images, tiny_ds.labels, group_batch=16,
+                          n_iterations=8, drift=[1.0, 1.0])
+        _t, losses = res.merged_curve(smooth=3)
+        assert np.isfinite(losses).all()
+
+
+class TestDropoutNet:
+    def test_train_stochastic_eval_deterministic(self, tiny_ds):
+        net = Sequential([
+            Conv2D(3, 8, 3, rng=0), ReLU(), GlobalAvgPool2D(),
+            Dropout(0.5, rng=0), Dense(8, 2, rng=1),
+        ])
+        x = tiny_ds.images[:8]
+        net.train()
+        a = net.forward(x)
+        b = net.forward(x)
+        assert not np.array_equal(a, b)  # different masks
+        net.eval()
+        c = net.forward(x)
+        d = net.forward(x)
+        np.testing.assert_array_equal(c, d)
+
+    def test_gradient_flows_through_dropout(self, tiny_ds):
+        net = Sequential([
+            Conv2D(3, 4, 3, rng=0), ReLU(), GlobalAvgPool2D(),
+            Dropout(0.3, rng=0), Dense(4, 2, rng=1),
+        ])
+        loss, grad_out = hep_loss_fn(net, tiny_ds.images[:8],
+                                     tiny_ds.labels[:8])
+        net.backward(grad_out)
+        conv_grad = net.layers[0].weight.grad
+        assert np.abs(conv_grad).sum() > 0
+
+
+class TestBatchNormProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(shift=st.floats(-10, 10), scale=st.floats(0.5, 5.0),
+           seed=st.integers(0, 50))
+    def test_affine_input_invariance(self, shift, scale, seed):
+        """BN output is invariant to affine reparameterizations of its
+        input (the property that makes it useful — and that makes its
+        statistics a cross-node dependency)."""
+        bn_a = BatchNorm2D(2)
+        bn_b = BatchNorm2D(2)
+        x = np.random.default_rng(seed).normal(
+            size=(6, 2, 4, 4)).astype(np.float32)
+        y_a = bn_a.forward(x)
+        y_b = bn_b.forward((scale * x + shift).astype(np.float32))
+        np.testing.assert_allclose(y_a, y_b, atol=5e-3)

@@ -1,0 +1,250 @@
+"""Future-work extensions (paper SVIII/SIX): FFT conv, low precision,
+residual blocks, hyper-parameter search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameter import Parameter
+from repro.nn import Conv2D, FFTConv2D, ResidualBlock, build_resnet
+from repro.optim import (
+    QuantizedGradSGD,
+    SGD,
+    quantize_nearest,
+    quantize_stochastic,
+)
+from repro.train import grid_search, random_search
+
+
+class TestFFTConv:
+    @pytest.mark.parametrize("stride,pad,k", [(1, 1, 3), (2, 1, 3),
+                                              (1, 2, 5), (1, 0, 3)])
+    def test_matches_gemm_conv(self, stride, pad, k, rng):
+        """The FFT path must agree with the im2col GEMM path exactly."""
+        gemm = Conv2D(3, 4, k, stride=stride, pad=pad, rng=7)
+        fft = FFTConv2D(3, 4, k, stride=stride, pad=pad, rng=8)
+        fft.weight.data[...] = gemm.weight.data
+        fft.bias.data[...] = gemm.bias.data
+        x = rng.normal(size=(2, 3, 9, 9)).astype(np.float32)
+        np.testing.assert_allclose(fft.forward(x), gemm.forward(x),
+                                   rtol=1e-3, atol=1e-4)
+
+    def test_backward_matches_gemm(self, rng):
+        gemm = Conv2D(2, 3, 3, rng=7)
+        fft = FFTConv2D(2, 3, 3, rng=8)
+        fft.weight.data[...] = gemm.weight.data
+        fft.bias.data[...] = gemm.bias.data
+        x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        g = rng.normal(size=(1, 3, 6, 6)).astype(np.float32)
+        gemm.zero_grad()
+        fft.zero_grad()
+        gemm.forward(x)
+        fft.forward(x)
+        gx_gemm = gemm.backward(g)
+        gx_fft = fft.backward(g)
+        np.testing.assert_allclose(gx_fft, gx_gemm, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(fft.weight.grad, gemm.weight.grad,
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_backward_before_forward_raises(self):
+        fft = FFTConv2D(1, 1, 3, rng=0)
+        with pytest.raises(RuntimeError):
+            fft.backward(np.zeros((1, 1, 4, 4), dtype=np.float32))
+
+    def test_flops_same_as_conv(self):
+        # the FLOP *accounting* stays at the direct-algorithm count, as the
+        # paper's SDE methodology would measure the mathematical operation
+        gemm = Conv2D(3, 8, 3, rng=0)
+        fft = FFTConv2D(3, 8, 3, rng=0)
+        assert fft.flops(2, input_shape=(3, 16, 16)) == \
+            gemm.flops(2, input_shape=(3, 16, 16))
+
+
+class TestQuantization:
+    def test_nearest_idempotent(self, rng):
+        x = rng.normal(size=100).astype(np.float32)
+        q = quantize_nearest(x, bits=8, scale=4.0)
+        np.testing.assert_allclose(quantize_nearest(q, 8, 4.0), q,
+                                   atol=1e-7)
+
+    def test_values_on_lattice(self, rng):
+        x = rng.normal(size=200).astype(np.float32)
+        step = 2 * 4.0 / (2**4 - 2)
+        q = quantize_nearest(x, bits=4, scale=4.0)
+        np.testing.assert_allclose(q / step, np.round(q / step), atol=1e-5)
+
+    def test_clipping(self):
+        x = np.array([100.0, -100.0], dtype=np.float32)
+        q = quantize_nearest(x, bits=8, scale=1.0)
+        assert q[0] <= 1.0 and q[1] >= -1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(bits=st.integers(2, 8), seed=st.integers(0, 10**6))
+    def test_stochastic_rounding_unbiased(self, bits, seed):
+        """E[stochastic_quantize(x)] == x (within the clip range) — THE
+        property the paper flags as 'of critical importance'."""
+        rng = np.random.default_rng(seed)
+        x = np.full(4000, float(rng.uniform(-0.9, 0.9)), dtype=np.float32)
+        q = quantize_stochastic(x, bits=bits, scale=1.0, rng=rng)
+        step = 2.0 / (2**bits - 2)
+        assert abs(q.mean() - x[0]) < 4 * step / np.sqrt(len(x))
+
+    def test_nearest_rounding_biased_at_low_bits(self):
+        """Round-to-nearest loses any signal smaller than half a step."""
+        x = np.full(100, 0.04, dtype=np.float32)
+        q = quantize_nearest(x, bits=3, scale=1.0)  # step = 1/3
+        assert q.sum() == 0.0  # the gradient signal vanished entirely
+        q_st = quantize_stochastic(x, bits=3, scale=1.0, rng=0)
+        assert q_st.sum() > 0.0  # stochastic keeps it in expectation
+
+    def test_quantized_sgd_converges_stochastic(self):
+        w = Parameter(np.array([4.0], dtype=np.float32), name="w")
+        opt = QuantizedGradSGD([w], lr=0.2, bits=6, mode="stochastic",
+                               seed=0)
+        for _ in range(120):
+            w.grad[:] = w.data
+            opt.step()
+        assert abs(w.data[0]) < 0.4
+
+    def test_quantized_sgd_nearest_stalls_at_2bits(self):
+        """2-bit nearest rounding maps almost every gradient to the same
+        lattice point -> optimization stalls away from the optimum, while
+        stochastic still drifts in expectation."""
+        def run(mode):
+            w = Parameter(np.array([4.0], dtype=np.float32), name="w")
+            opt = QuantizedGradSGD([w], lr=0.05, bits=2, mode=mode,
+                                   scale=8.0, seed=1)
+            for _ in range(150):
+                w.grad[:] = w.data
+                opt.step()
+            return abs(float(w.data[0]))
+
+        assert run("stochastic") < run("nearest") + 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_nearest(np.zeros(1), bits=1, scale=1.0)
+        with pytest.raises(ValueError):
+            quantize_stochastic(np.zeros(1), bits=4, scale=-1.0)
+        with pytest.raises(ValueError):
+            QuantizedGradSGD([Parameter(np.zeros(1), "w")], lr=0.1,
+                             mode="nope")
+
+
+class TestResidual:
+    def test_identity_skip_shapes(self, rng):
+        block = ResidualBlock(4, 4, rng=0)
+        x = rng.normal(size=(2, 4, 8, 8)).astype(np.float32)
+        assert block.forward(x).shape == x.shape
+        assert block.proj is None
+
+    def test_projection_when_downsampling(self, rng):
+        block = ResidualBlock(4, 8, stride=2, rng=0)
+        x = rng.normal(size=(2, 4, 8, 8)).astype(np.float32)
+        assert block.forward(x).shape == (2, 8, 4, 4)
+        assert block.proj is not None
+
+    def test_gradients_flow_through_both_paths(self, rng):
+        block = ResidualBlock(3, 3, rng=0)
+        x = rng.normal(size=(1, 3, 6, 6)).astype(np.float32)
+        y = block.forward(x)
+        gx = block.backward(np.ones_like(y))
+        assert gx.shape == x.shape
+        for p in block.params():
+            assert np.isfinite(p.grad).all()
+
+    def test_input_gradient_numeric(self, rng):
+        from conftest import numeric_grad
+
+        block = ResidualBlock(2, 2, rng=1)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        g = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        block.zero_grad()
+        block.forward(x)
+        gx = block.backward(g)
+        num = numeric_grad(lambda: float((block.forward(x) * g).sum()), x)
+        np.testing.assert_allclose(gx, num, rtol=3e-2, atol=3e-2)
+
+    def test_resnet_trains_on_hep(self, hep_ds):
+        from repro.optim import Adam
+        from repro.train import fit_classifier
+
+        net = build_resnet(in_channels=3, n_classes=2, widths=(8, 16),
+                           rng=0)
+        h = fit_classifier(net, Adam(net.params(), lr=1e-3),
+                           hep_ds.images[:128], hep_ds.labels[:128],
+                           batch=16, n_iterations=20, seed=0)
+        assert np.mean(h.losses[-4:]) < np.mean(h.losses[:4])
+
+    def test_resnet_flops_countable(self):
+        from repro.flops import count_net
+
+        net = build_resnet(widths=(8, 16), rng=0)
+        report = count_net(net, (3, 32, 32), batch=2)
+        assert report.training_flops > 0
+
+    def test_resnet_works_with_ps_registry(self):
+        """Residual nets drop into the hybrid machinery (paper SIX)."""
+        from repro.distributed import PSRegistry
+
+        net = build_resnet(widths=(8,), rng=0)
+        reg = PSRegistry(net.trainable_layers(),
+                         lambda params: SGD(params, lr=0.1))
+        assert len(reg) == len(net.trainable_layers())
+
+
+class TestSearch:
+    def test_random_search_finds_minimum_region(self):
+        result = random_search(
+            {"x": (-4.0, 4.0, "linear")},
+            lambda cfg: (cfg["x"] - 1.0) ** 2,
+            n_trials=200, seed=0)
+        assert abs(result.best.config["x"] - 1.0) < 0.5
+
+    def test_log_dimension(self):
+        result = random_search(
+            {"lr": (1e-5, 1e-1, "log")},
+            lambda cfg: abs(np.log10(cfg["lr"]) + 3),  # optimum at 1e-3
+            n_trials=150, seed=0)
+        assert 1e-4 < result.best.config["lr"] < 1e-2
+
+    def test_choice_dimension(self):
+        result = random_search(
+            {"groups": [1, 2, 4, 8]},
+            lambda cfg: abs(cfg["groups"] - 4),
+            n_trials=30, seed=0)
+        assert result.best.config["groups"] == 4
+
+    def test_grid_search_exhaustive(self):
+        result = grid_search(
+            {"g": [1, 2, 4], "mu": [0.0, 0.4, 0.7]},
+            lambda cfg: cfg["g"] + cfg["mu"])
+        assert len(result.trials) == 9
+        assert result.best.config == {"g": 1, "mu": 0.0}
+
+    def test_top_k(self):
+        result = grid_search({"x": [3, 1, 2]}, lambda cfg: cfg["x"])
+        assert [t.config["x"] for t in result.top(2)] == [1, 2]
+
+    def test_paper_fig8_grid_reproduced(self):
+        """Automate the paper's (groups x momentum) grid with the implied
+        statistical-efficiency model: effective momentum should match the
+        0.9 target."""
+        from repro.optim import effective_momentum
+
+        result = grid_search(
+            {"groups": [1, 2, 4, 8], "mu": [0.0, 0.4, 0.7, 0.9]},
+            lambda cfg: abs(
+                effective_momentum(cfg["mu"], cfg["groups"]) - 0.9))
+        best = result.best.config
+        assert effective_momentum(best["mu"], best["groups"]) == \
+            pytest.approx(0.9, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_search({}, lambda c: 0.0, 5)
+        with pytest.raises(ValueError):
+            random_search({"x": (1.0, 0.0, "linear")}, lambda c: 0.0, 5)
+        with pytest.raises(ValueError):
+            random_search({"x": (0.0, 1.0, "log")}, lambda c: 0.0, 5)

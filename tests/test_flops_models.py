@@ -1,0 +1,143 @@
+"""FLOP counting + Table II architecture specifications."""
+
+import numpy as np
+import pytest
+
+from repro.flops import count_net, training_flops
+from repro.models import (
+    CLIMATE_PAPER_INPUT,
+    HEP_PAPER_INPUT,
+    build_climate_net,
+    build_hep_net,
+)
+from repro.sim.workload import climate_workload, hep_workload
+from repro.utils.units import MIB
+
+
+class TestCounter:
+    def test_hand_computed_hep_conv1(self):
+        net = build_hep_net(rng=0)
+        report = count_net(net, HEP_PAPER_INPUT, batch=1)
+        conv1 = report.layers[0]
+        # conv1: 3->128 ch, 3x3, 224x224 out
+        expected = 2 * 128 * 224 * 224 * 3 * 9 + 128 * 224 * 224
+        assert conv1.forward_flops == expected
+
+    def test_training_is_3x_forward_for_conv(self):
+        net = build_hep_net(rng=0)
+        report = count_net(net, HEP_PAPER_INPUT, batch=1)
+        conv = report.layers[0]
+        assert conv.training_flops == 3 * conv.forward_flops
+
+    def test_batch_linearity(self):
+        net = build_hep_net(filters=16, rng=0)
+        f1 = training_flops(net, (3, 32, 32), batch=1)
+        f8 = training_flops(net, (3, 32, 32), batch=8)
+        assert f8 == 8 * f1
+
+    def test_invalid_batch(self):
+        net = build_hep_net(filters=16, rng=0)
+        with pytest.raises(ValueError):
+            count_net(net, (3, 32, 32), batch=0)
+
+    def test_report_table_renders(self):
+        net = build_hep_net(filters=16, rng=0)
+        table = count_net(net, (3, 32, 32), batch=2).table()
+        assert "TOTAL" in table
+
+
+class TestTable2HEP:
+    """Table II row 1: supervised HEP, 5xconv-pool + 1 FC, 2.3 MiB."""
+
+    def test_parameter_size_matches_paper(self):
+        net = build_hep_net(rng=0)
+        mib = net.param_bytes() / MIB
+        assert mib == pytest.approx(2.3, abs=0.1)
+
+    def test_layer_structure(self):
+        net = build_hep_net(rng=0)
+        kinds = [l.kind for l in net.trainable_layers()]
+        assert kinds == ["conv"] * 5 + ["dense"]
+
+    def test_output_is_two_classes(self):
+        net = build_hep_net(rng=0)
+        assert net.output_shape(HEP_PAPER_INPUT) == (2,)
+
+    def test_param_count_independent_of_input_size(self):
+        # global average pooling makes this possible
+        a = build_hep_net(rng=0).num_params()
+        b = build_hep_net(rng=1).num_params()
+        assert a == b
+        net = build_hep_net(rng=0)
+        assert net.output_shape((3, 64, 64)) == (2,)
+
+    def test_small_input_raises_cleanly(self):
+        net = build_hep_net(rng=0)
+        with pytest.raises(ValueError):
+            net.output_shape((3, 8, 8))
+
+
+class TestTable2Climate:
+    """Table II row 2: semi-supervised climate, 9 conv + 5 deconv, 302 MiB."""
+
+    def test_parameter_size_matches_paper(self):
+        net = build_climate_net(rng=0)
+        mib = net.param_bytes() / MIB
+        assert mib == pytest.approx(302.1, rel=0.03)
+
+    def test_encoder_decoder_structure(self):
+        net = build_climate_net(rng=0)
+        enc_convs = [l for l in net.encoder.trainable_layers()]
+        dec_deconvs = [l for l in net.decoder.trainable_layers()]
+        assert len(enc_convs) == 9
+        assert len(dec_deconvs) == 5
+
+    def test_reconstruction_shape(self):
+        net = build_climate_net(in_channels=8, preset="small", rng=0)
+        x = np.zeros((1, 8, 64, 64), dtype=np.float32)
+        out = net.forward(x)
+        assert out["recon"].shape == x.shape
+
+    def test_head_shapes(self):
+        net = build_climate_net(in_channels=8, n_classes=3, preset="small",
+                                rng=0)
+        x = np.zeros((2, 8, 64, 64), dtype=np.float32)
+        out = net.forward(x)
+        gh, gw = net.grid_shape((64, 64))
+        assert out["conf"].shape == (2, 1, gh, gw)
+        assert out["cls"].shape == (2, 3, gh, gw)
+        assert out["box"].shape == (2, 4, gh, gw)
+
+    def test_stride_is_downsampling_factor(self):
+        net = build_climate_net(rng=0)
+        gh, gw = net.grid_shape((768, 768))
+        assert gh == 768 // net.stride
+
+    def test_decoder_must_close_the_autoencoder(self):
+        from repro.models.climate import ClimateNet
+
+        with pytest.raises(ValueError, match="reconstruct"):
+            ClimateNet(16, 3, [(8, 3, 2)], [(4, 4, 2)])
+
+
+class TestWorkloads:
+    def test_hep_flops_per_image(self):
+        # hand-estimate ~15.8 GF training flops per 224^2 image
+        per_img = hep_workload().training_flops_per_image()
+        assert per_img == pytest.approx(15.8e9, rel=0.05)
+
+    def test_climate_flops_per_image(self):
+        per_img = climate_workload().training_flops_per_image()
+        assert 1.5e12 < per_img < 3.5e12
+
+    def test_hep_model_bytes(self):
+        assert hep_workload().model_bytes / MIB == pytest.approx(2.3,
+                                                                 abs=0.1)
+
+    def test_trainable_layer_counts(self):
+        assert hep_workload().n_trainable_layers == 6
+        assert climate_workload().n_trainable_layers == 17
+
+    def test_report_scales_linearly(self):
+        wl = hep_workload()
+        assert wl.report(8).training_flops == 8 * wl.report(1).training_flops

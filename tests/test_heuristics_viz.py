@@ -1,0 +1,108 @@
+"""Heuristic climate baselines and ASCII visualization."""
+
+import numpy as np
+import pytest
+
+from repro.data.climate import (
+    HeuristicARDetector,
+    HeuristicTCDetector,
+    detect_all,
+    make_climate_dataset,
+)
+from repro.data.climate.events import AtmosphericRiver, TropicalCyclone
+from repro.data.climate.fields import FieldGenerator
+from repro.models.bbox import Box, detection_metrics, iou
+from repro.utils.viz import ascii_plot, loss_curve_plot, scaling_plot
+
+
+@pytest.fixture(scope="module")
+def raw_ds():
+    return make_climate_dataset(16, size=96, n_channels=16,
+                                keep_raw=True, seed=13)
+
+
+class TestHeuristicTC:
+    def test_finds_planted_tc(self, rng):
+        gen = FieldGenerator(height=96, width=96, n_channels=16, seed=0)
+        fields = gen.background()
+        tc = TropicalCyclone(cy=48, cx=40, radius=6, intensity=1.4)
+        gt = tc.imprint(fields, rng)
+        dets = HeuristicTCDetector().detect(fields)
+        assert dets, "heuristic missed a strong planted TC"
+        _score, best = dets[0]
+        assert iou(best, gt) > 0.25
+
+    def test_quiet_field_few_detections(self):
+        gen = FieldGenerator(height=96, width=96, n_channels=16, seed=1)
+        dets = HeuristicTCDetector().detect(gen.background())
+        assert len(dets) <= 2  # background rarely satisfies all conditions
+
+    def test_detects_on_dataset(self, raw_ds):
+        dets = detect_all(raw_ds.raw)
+        assert len(dets) == len(raw_ds)
+        # heuristics should recall a reasonable share of planted TCs
+        tc_gt = [[b for b in boxes if b.class_id == 0]
+                 for boxes in raw_ds.boxes]
+        m = detection_metrics(
+            [[(s, b) for s, b in d if b.class_id == 0] for d in dets],
+            tc_gt, iou_threshold=0.2)
+        assert m["recall"] > 0.3
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            HeuristicTCDetector().detect(np.zeros((4, 4)))
+
+
+class TestHeuristicAR:
+    def test_finds_planted_ar(self, rng):
+        gen = FieldGenerator(height=96, width=96, n_channels=16, seed=2)
+        fields = gen.background()
+        ar = AtmosphericRiver(cy=48, cx=48, length=66, width=3,
+                              angle=0.4, intensity=1.6)
+        gt = ar.imprint(fields, rng)
+        dets = HeuristicARDetector().detect(fields)
+        assert dets, "heuristic missed a strong planted AR"
+        _s, best = dets[0]
+        assert iou(best, gt) > 0.2
+
+    def test_rejects_compact_blobs(self, rng):
+        gen = FieldGenerator(height=96, width=96, n_channels=16, seed=3)
+        fields = gen.background()
+        TropicalCyclone(cy=48, cx=48, radius=6,
+                        intensity=1.5).imprint(fields, rng)
+        dets = HeuristicARDetector().detect(fields)
+        # a TC moisture core is compact, not river-like
+        assert all(b.class_id == 2 for _s, b in dets)
+        assert len(dets) <= 1
+
+
+class TestViz:
+    def test_ascii_plot_renders(self):
+        s = ascii_plot({"a": ([1, 2, 3], [1, 4, 9])})
+        assert "legend: * a" in s
+        assert s.count("\n") > 10
+
+    def test_log_axes(self):
+        s = ascii_plot({"a": ([1, 10, 100], [1, 10, 100])},
+                       logx=True, logy=True)
+        assert "1 .. 100" in s
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([0, 1], [1, 2])}, logx=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_scaling_plot_from_points(self):
+        from repro.sim.scaling import ScalingPoint
+
+        pts = [ScalingPoint("hep", "sync", 1, n, 8, 0.1, n * 10.0,
+                            float(n) * 0.8) for n in (64, 128, 256)]
+        s = scaling_plot(pts)
+        assert "sync" in s and "ideal" in s
+
+    def test_loss_curve_plot(self):
+        s = loss_curve_plot({"sync": ([1, 2, 3], [0.9, 0.5, 0.3])})
+        assert "training loss" in s

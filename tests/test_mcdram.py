@@ -1,0 +1,115 @@
+"""MCDRAM memory-mode model (paper SIV)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.knl import KNLNodeModel
+from repro.cluster.mcdram import (
+    GIB,
+    MCDRAMConfig,
+    activation_working_set,
+    node_with_memory_mode,
+)
+from repro.flops.counter import count_net
+from repro.models import build_hep_net
+
+
+@pytest.fixture()
+def cfg():
+    return MCDRAMConfig()
+
+
+class TestCacheMode:
+    def test_fitting_working_set_gets_mcdram_speed(self, cfg):
+        bw = cfg.cache_mode_bandwidth(4 * GIB)
+        assert bw == pytest.approx(
+            cfg.mcdram_bandwidth * cfg.cache_hit_penalty)
+
+    def test_overflow_blends_toward_ddr(self, cfg):
+        small = cfg.cache_mode_bandwidth(8 * GIB)
+        over = cfg.cache_mode_bandwidth(64 * GIB)
+        assert over < small
+        assert over > cfg.ddr_bandwidth  # still better than DDR alone
+
+    def test_monotone_in_working_set(self, cfg):
+        sets = [2, 8, 16, 24, 48, 96]
+        bws = [cfg.cache_mode_bandwidth(s * GIB) for s in sets]
+        assert all(a >= b for a, b in zip(bws, bws[1:]))
+
+    def test_huge_working_set_approaches_ddr(self, cfg):
+        bw = cfg.cache_mode_bandwidth(10_000 * GIB)
+        assert bw == pytest.approx(cfg.ddr_bandwidth, rel=0.05)
+
+    def test_negative_raises(self, cfg):
+        with pytest.raises(ValueError):
+            cfg.cache_mode_bandwidth(-1)
+
+
+class TestFlatMode:
+    def test_fitting_hot_set_beats_cache_mode(self, cfg):
+        """Flat mode skips the tag-check penalty when placement fits."""
+        assert cfg.flat_mode_bandwidth(8 * GIB) > \
+            cfg.cache_mode_bandwidth(8 * GIB)
+
+    def test_hot_fraction_zero_is_ddr(self, cfg):
+        assert cfg.flat_mode_bandwidth(8 * GIB, hot_fraction=0.0) == \
+            pytest.approx(cfg.ddr_bandwidth)
+
+    def test_spill_degrades(self, cfg):
+        fits = cfg.flat_mode_bandwidth(8 * GIB)
+        spills = cfg.flat_mode_bandwidth(64 * GIB)
+        assert spills < fits
+
+    def test_invalid_hot_fraction(self, cfg):
+        with pytest.raises(ValueError):
+            cfg.flat_mode_bandwidth(GIB, hot_fraction=1.5)
+
+
+class TestModeDispatch:
+    def test_modes(self, cfg):
+        ws = 8 * GIB
+        assert cfg.effective_bandwidth(ws, "cache") == \
+            cfg.cache_mode_bandwidth(ws)
+        assert cfg.effective_bandwidth(ws, "flat") == \
+            cfg.flat_mode_bandwidth(ws)
+        assert cfg.effective_bandwidth(ws, "ddr") == cfg.ddr_bandwidth
+
+    def test_unknown_mode_raises(self, cfg):
+        with pytest.raises(ValueError, match="unknown memory mode"):
+            cfg.effective_bandwidth(GIB, "hbm2")
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MCDRAMConfig(mcdram_bytes=0)
+        with pytest.raises(ValueError):
+            MCDRAMConfig(cache_hit_penalty=0.0)
+
+
+class TestNodeIntegration:
+    def test_cache_mode_is_the_calibrated_baseline(self, cfg):
+        node = KNLNodeModel()
+        same = node_with_memory_mode(node, cfg, working_set=4 * GIB,
+                                     mode="cache")
+        assert same.act_bandwidth == pytest.approx(node.act_bandwidth)
+
+    def test_ddr_mode_slows_memory_bound_layers(self, cfg):
+        node = KNLNodeModel()
+        ddr = node_with_memory_mode(node, cfg, working_set=4 * GIB,
+                                    mode="ddr")
+        assert ddr.act_bandwidth < 0.5 * node.act_bandwidth
+        # Compute-bound conv rates are untouched.
+        assert ddr.peak_flops == node.peak_flops
+
+    def test_working_set_from_flop_report(self):
+        net = build_hep_net(in_channels=3, filters=16, rng=0)
+        report = count_net(net, (3, 32, 32), batch=8)
+        ws = activation_working_set(report)
+        assert ws > 0
+        # 2x (fwd + resident-for-bwd) the sum of all layer outputs.
+        manual = 0
+        for layer in report.layers:
+            n = 8 * 4
+            for d in layer.output_shape:
+                n *= d
+            manual += n
+        assert ws == 2 * manual

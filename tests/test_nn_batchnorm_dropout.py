@@ -1,0 +1,227 @@
+"""BatchNorm2D and Dropout: statistics, gradients, train/eval semantics."""
+
+import numpy as np
+import pytest
+
+from conftest import numeric_grad
+from repro.nn.batchnorm import BatchNorm2D
+from repro.nn.dropout import Dropout
+
+
+class TestBatchNormForward:
+    def test_normalizes_batch_statistics(self, rng):
+        bn = BatchNorm2D(3)
+        x = rng.normal(5.0, 4.0, size=(8, 3, 6, 6)).astype(np.float32)
+        y = bn.forward(x)
+        np.testing.assert_allclose(y.mean(axis=(0, 2, 3)), 0.0, atol=1e-5)
+        np.testing.assert_allclose(y.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_gamma_beta_applied(self, rng):
+        bn = BatchNorm2D(2)
+        bn.gamma.data[:] = [2.0, 0.5]
+        bn.beta.data[:] = [1.0, -1.0]
+        x = rng.normal(size=(4, 2, 5, 5)).astype(np.float32)
+        y = bn.forward(x)
+        np.testing.assert_allclose(y.mean(axis=(0, 2, 3)), [1.0, -1.0],
+                                   atol=1e-5)
+        np.testing.assert_allclose(y.std(axis=(0, 2, 3)), [2.0, 0.5],
+                                   atol=2e-3)
+
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm2D(1, momentum=0.5)
+        for _ in range(60):
+            x = rng.normal(3.0, 2.0, size=(64, 1, 4, 4)).astype(np.float32)
+            bn.forward(x)
+        assert bn.running_mean[0] == pytest.approx(3.0, abs=0.2)
+        assert np.sqrt(bn.running_var[0]) == pytest.approx(2.0, abs=0.2)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2D(2)
+        for _ in range(40):
+            bn.forward(rng.normal(1.0, 1.0,
+                                  size=(32, 2, 4, 4)).astype(np.float32))
+        bn.eval()
+        # A wildly shifted eval batch must NOT be renormalized to zero mean.
+        x = rng.normal(10.0, 1.0, size=(16, 2, 4, 4)).astype(np.float32)
+        y = bn.forward(x)
+        assert y.mean() > 5.0
+
+    def test_eval_deterministic(self, rng):
+        bn = BatchNorm2D(2)
+        bn.forward(rng.normal(size=(8, 2, 4, 4)).astype(np.float32))
+        bn.eval()
+        x = rng.normal(size=(4, 2, 4, 4)).astype(np.float32)
+        np.testing.assert_array_equal(bn.forward(x), bn.forward(x))
+
+    def test_wrong_channels_raises(self):
+        bn = BatchNorm2D(3)
+        with pytest.raises(ValueError, match="expected"):
+            bn.forward(np.zeros((1, 4, 2, 2), dtype=np.float32))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BatchNorm2D(0)
+        with pytest.raises(ValueError):
+            BatchNorm2D(3, momentum=1.0)
+        with pytest.raises(ValueError):
+            BatchNorm2D(3, eps=0.0)
+
+
+class TestBatchNormBackward:
+    def test_input_gradient_numeric(self, rng):
+        bn = BatchNorm2D(2)
+        bn.gamma.data[:] = [1.5, 0.7]
+        x = rng.normal(size=(3, 2, 4, 4)).astype(np.float32)
+        g = rng.normal(size=x.shape).astype(np.float32)
+
+        def loss():
+            return float((bn.forward(x) * g).sum())
+
+        expected = numeric_grad(loss, x)
+        bn.zero_grad()
+        bn.forward(x)
+        got = bn.backward(g)
+        np.testing.assert_allclose(got, expected, rtol=2e-2, atol=2e-3)
+
+    def test_param_gradients_numeric(self, rng):
+        bn = BatchNorm2D(2)
+        x = rng.normal(size=(4, 2, 3, 3)).astype(np.float32)
+        g = rng.normal(size=x.shape).astype(np.float32)
+
+        def loss():
+            return float((bn.forward(x) * g).sum())
+
+        for p in (bn.gamma, bn.beta):
+            expected = numeric_grad(loss, p.data)
+            bn.zero_grad()
+            bn.forward(x)
+            bn.backward(g)
+            np.testing.assert_allclose(p.grad, expected, rtol=2e-2, atol=2e-3)
+
+    def test_backward_before_forward_raises(self):
+        bn = BatchNorm2D(2)
+        with pytest.raises(RuntimeError, match="before forward"):
+            bn.backward(np.zeros((1, 2, 2, 2), dtype=np.float32))
+
+    def test_grad_sums_to_zero_per_channel(self, rng):
+        """Normalization makes the input gradient mean-free per channel."""
+        bn = BatchNorm2D(3)
+        x = rng.normal(size=(5, 3, 4, 4)).astype(np.float32)
+        g = rng.normal(size=x.shape).astype(np.float32)
+        bn.forward(x)
+        dx = bn.backward(g)
+        np.testing.assert_allclose(dx.sum(axis=(0, 2, 3)), 0.0, atol=1e-3)
+
+
+class TestBatchNormAccounting:
+    def test_sync_cost_model(self):
+        bn = BatchNorm2D(128)
+        assert bn.sync_stat_bytes() == 2 * 128 * 4
+        assert bn.extra_sync_points() == 2
+
+    def test_flops_scale_with_elements(self):
+        bn = BatchNorm2D(4)
+        assert bn.flops(2, input_shape=(4, 8, 8)) == 8 * 2 * 4 * 8 * 8
+
+    def test_output_shape_identity(self):
+        assert BatchNorm2D(4).output_shape((4, 9, 9)) == (4, 9, 9)
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        d = Dropout(0.5, rng=0).eval()
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        np.testing.assert_array_equal(d.forward(x), x)
+
+    def test_p_zero_is_identity(self, rng):
+        d = Dropout(0.0, rng=0)
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        np.testing.assert_array_equal(d.forward(x), x)
+
+    def test_expectation_preserved(self):
+        d = Dropout(0.3, rng=42)
+        x = np.ones((200, 200), dtype=np.float32)
+        y = d.forward(x)
+        assert y.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_drop_fraction(self):
+        d = Dropout(0.4, rng=7)
+        y = d.forward(np.ones((300, 300), dtype=np.float32))
+        assert (y == 0).mean() == pytest.approx(0.4, abs=0.02)
+
+    def test_backward_uses_same_mask(self, rng):
+        d = Dropout(0.5, rng=3)
+        x = rng.normal(size=(6, 6)).astype(np.float32)
+        y = d.forward(x)
+        g = np.ones_like(x)
+        dx = d.backward(g)
+        # Gradient is zero exactly where the activation was dropped.
+        np.testing.assert_array_equal(dx == 0, y == 0)
+
+    def test_backward_shape_mismatch_raises(self, rng):
+        d = Dropout(0.5, rng=3)
+        d.forward(rng.normal(size=(4, 4)).astype(np.float32))
+        with pytest.raises(ValueError, match="shape"):
+            d.backward(np.zeros((2, 2), dtype=np.float32))
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_output_shape_identity(self):
+        assert Dropout(0.5).output_shape((3, 2, 2)) == (3, 2, 2)
+
+
+class TestBatchNormCheckpointing:
+    def test_buffers_exposed(self):
+        bn = BatchNorm2D(3)
+        bufs = bn.buffers()
+        assert set(bufs) == {"running_mean", "running_var"}
+        assert bufs["running_mean"] is bn.running_mean  # live arrays
+
+    def test_running_stats_survive_state_dict_roundtrip(self, rng):
+        from repro.core.sequential import Sequential
+        from repro.nn.conv import Conv2D
+
+        net = Sequential([Conv2D(2, 4, 3, rng=0), BatchNorm2D(4)])
+        for _ in range(10):
+            net.forward(rng.normal(2.0, 3.0,
+                                   size=(8, 2, 6, 6)).astype(np.float32))
+        state = net.state_dict()
+        assert "batchnorm.buffer.running_mean" in state
+        net2 = Sequential([Conv2D(2, 4, 3, rng=1), BatchNorm2D(4)])
+        net2.load_state_dict(state)
+        np.testing.assert_array_equal(net2.layers[1].running_mean,
+                                      net.layers[1].running_mean)
+        # Eval-mode outputs agree after the restore.
+        net.eval()
+        net2.eval()
+        x = rng.normal(size=(4, 2, 6, 6)).astype(np.float32)
+        np.testing.assert_allclose(net2.forward(x), net.forward(x),
+                                   rtol=1e-5, atol=1e-6)
+
+    def test_checkpoint_file_roundtrip(self, rng, tmp_path):
+        from repro.core.sequential import Sequential
+        from repro.nn.conv import Conv2D
+        from repro.train.checkpoint import load_checkpoint, save_checkpoint
+
+        net = Sequential([Conv2D(1, 2, 3, rng=0), BatchNorm2D(2)])
+        for _ in range(5):
+            net.forward(rng.normal(1.0, 2.0,
+                                   size=(8, 1, 4, 4)).astype(np.float32))
+        save_checkpoint(net, tmp_path / "ck")
+        net2 = Sequential([Conv2D(1, 2, 3, rng=9), BatchNorm2D(2)])
+        load_checkpoint(net2, tmp_path / "ck")
+        np.testing.assert_array_equal(net2.layers[1].running_var,
+                                      net.layers[1].running_var)
+
+    def test_missing_buffer_raises(self):
+        from repro.core.sequential import Sequential
+
+        net = Sequential([BatchNorm2D(2)])
+        state = net.state_dict()
+        del state["batchnorm.buffer.running_mean"]
+        with pytest.raises(KeyError, match="buffer"):
+            net.load_state_dict(state)

@@ -1,0 +1,130 @@
+"""Conv2D: forward values, gradients, shapes, error handling."""
+
+import numpy as np
+import pytest
+
+from conftest import numeric_grad
+from repro.nn.conv import Conv2D
+
+
+def _loss_through(layer, x, g):
+    return float((layer.forward(x) * g).sum())
+
+
+class TestForward:
+    def test_identity_kernel(self):
+        conv = Conv2D(1, 1, 1, rng=0)
+        conv.weight.data[...] = 1.0
+        conv.bias.data[...] = 0.0
+        x = np.arange(9, dtype=np.float32).reshape(1, 1, 3, 3)
+        np.testing.assert_allclose(conv.forward(x), x)
+
+    def test_bias_added(self):
+        conv = Conv2D(1, 2, 1, rng=0)
+        conv.weight.data[...] = 0.0
+        conv.bias.data[:] = [1.5, -2.0]
+        x = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        y = conv.forward(x)
+        assert np.all(y[0, 0] == 1.5)
+        assert np.all(y[0, 1] == -2.0)
+
+    def test_sum_kernel(self):
+        conv = Conv2D(1, 1, 3, pad=0, rng=0)
+        conv.weight.data[...] = 1.0
+        conv.bias.data[...] = 0.0
+        x = np.ones((1, 1, 3, 3), dtype=np.float32)
+        assert conv.forward(x).item() == pytest.approx(9.0)
+
+    def test_output_shape_stride2(self):
+        conv = Conv2D(3, 8, 3, stride=2, rng=0)
+        x = np.zeros((4, 3, 16, 16), dtype=np.float32)
+        assert conv.forward(x).shape == (4, 8, 8, 8)
+        assert conv.output_shape((3, 16, 16)) == (8, 8, 8)
+
+    def test_wrong_channels_raises(self):
+        conv = Conv2D(3, 8, 3, rng=0)
+        with pytest.raises(ValueError, match="channels"):
+            conv.forward(np.zeros((1, 4, 8, 8), dtype=np.float32))
+
+    def test_contiguous_output(self):
+        conv = Conv2D(2, 4, 3, rng=0)
+        y = conv.forward(np.zeros((2, 2, 8, 8), dtype=np.float32))
+        assert y.flags["C_CONTIGUOUS"]
+
+
+class TestBackward:
+    @pytest.mark.parametrize("stride,pad", [(1, 1), (2, 1), (1, 0), (2, 0)])
+    def test_input_gradient_numeric(self, stride, pad, rng):
+        conv = Conv2D(2, 3, 3, stride=stride, pad=pad, rng=1)
+        x = rng.normal(size=(2, 2, 6, 6)).astype(np.float32)
+        g = rng.normal(size=conv.forward(x).shape).astype(np.float32)
+        conv.zero_grad()
+        conv.forward(x)
+        gx = conv.backward(g)
+        num = numeric_grad(lambda: _loss_through(conv, x, g), x)
+        np.testing.assert_allclose(gx, num, rtol=2e-2, atol=2e-2)
+
+    def test_weight_gradient_numeric(self, rng):
+        conv = Conv2D(2, 2, 3, rng=1)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        g = rng.normal(size=conv.forward(x).shape).astype(np.float32)
+        conv.zero_grad()
+        conv.forward(x)
+        conv.backward(g)
+        num = numeric_grad(lambda: _loss_through(conv, x, g),
+                           conv.weight.data)
+        np.testing.assert_allclose(conv.weight.grad, num, rtol=2e-2,
+                                   atol=2e-2)
+
+    def test_bias_gradient_is_sum(self, rng):
+        conv = Conv2D(1, 2, 3, rng=1)
+        x = rng.normal(size=(2, 1, 4, 4)).astype(np.float32)
+        g = rng.normal(size=conv.forward(x).shape).astype(np.float32)
+        conv.zero_grad()
+        conv.forward(x)
+        conv.backward(g)
+        np.testing.assert_allclose(conv.bias.grad, g.sum(axis=(0, 2, 3)),
+                                   rtol=1e-4)
+
+    def test_grad_accumulates(self, rng):
+        conv = Conv2D(1, 1, 3, rng=1)
+        x = rng.normal(size=(1, 1, 4, 4)).astype(np.float32)
+        g = rng.normal(size=(1, 1, 4, 4)).astype(np.float32)
+        conv.zero_grad()
+        conv.forward(x)
+        conv.backward(g)
+        once = conv.weight.grad.copy()
+        conv.forward(x)
+        conv.backward(g)
+        np.testing.assert_allclose(conv.weight.grad, 2 * once, rtol=1e-5)
+
+    def test_backward_before_forward_raises(self):
+        conv = Conv2D(1, 1, 3, rng=0)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 1, 4, 4), dtype=np.float32))
+
+
+class TestAccounting:
+    def test_flops_hand_computed(self):
+        conv = Conv2D(3, 8, 3, stride=1, pad=1, rng=0)
+        # 4x4 output, per output pixel: 2*3*9 MACs -> flops
+        expected = 2 * (1 * 8 * 4 * 4 * 3 * 9) + 1 * 8 * 4 * 4
+        assert conv.flops(1, input_shape=(3, 4, 4)) == expected
+
+    def test_flops_scale_with_batch(self):
+        conv = Conv2D(3, 8, 3, rng=0)
+        f1 = conv.flops(1, input_shape=(3, 8, 8))
+        f4 = conv.flops(4, input_shape=(3, 8, 8))
+        assert f4 == 4 * f1
+
+    def test_param_count(self):
+        conv = Conv2D(3, 128, 3, rng=0)
+        assert conv.num_params() == 128 * 3 * 9 + 128
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 1, 3)
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, 3, stride=0)
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, 3, pad=-1)

@@ -1,0 +1,111 @@
+"""Deconv2D: the conv-swap trick, gradients, upsampling shapes."""
+
+import numpy as np
+import pytest
+
+from conftest import numeric_grad
+from repro.nn.conv import Conv2D
+from repro.nn.deconv import Deconv2D
+
+
+class TestSwapTrick:
+    """Paper SIII-C: deconv forward == conv backward-data and vice versa."""
+
+    def test_deconv_forward_equals_conv_backward_data(self, rng):
+        """With shared weights, Deconv2D.forward(x) must equal the input
+        gradient of the mirrored Conv2D fed x as output gradient."""
+        conv = Conv2D(3, 4, 3, stride=2, pad=1, rng=2)  # 3ch -> 4ch conv
+        deconv = Deconv2D(4, 3, 3, stride=2, pad=1, rng=3)
+        # Conv weight (out=4, in=3, k, k) == deconv weight (in=4, out=3,...)
+        deconv.weight.data[...] = conv.weight.data
+        deconv.bias.data[...] = 0.0
+        x_img = rng.normal(size=(2, 3, 9, 9)).astype(np.float32)
+        y = conv.forward(x_img)              # (2, 4, 5, 5)
+        conv.zero_grad()
+        g = rng.normal(size=y.shape).astype(np.float32)
+        grad_data = conv.backward(g)         # (2, 3, 9, 9)
+        up = deconv.forward(g)               # same computation, as a forward
+        np.testing.assert_allclose(up, grad_data, rtol=1e-4, atol=1e-5)
+
+    def test_deconv_backward_data_equals_conv_forward(self, rng):
+        conv = Conv2D(3, 4, 3, stride=2, pad=1, rng=2)
+        conv.bias.data[...] = 0.0
+        deconv = Deconv2D(4, 3, 3, stride=2, pad=1, rng=3)
+        deconv.weight.data[...] = conv.weight.data
+        x = rng.normal(size=(1, 4, 5, 5)).astype(np.float32)
+        up = deconv.forward(x)               # (1, 3, 9, 9)
+        g = rng.normal(size=up.shape).astype(np.float32)
+        deconv.zero_grad()
+        grad_in = deconv.backward(g)
+        np.testing.assert_allclose(grad_in, conv.forward(g), rtol=1e-4,
+                                   atol=1e-5)
+
+
+class TestShapes:
+    def test_upsample_2x(self):
+        d = Deconv2D(8, 4, 4, stride=2, rng=0)
+        x = np.zeros((2, 8, 12, 12), dtype=np.float32)
+        assert d.forward(x).shape == (2, 4, 24, 24)
+        assert d.output_shape((8, 12, 12)) == (4, 24, 24)
+
+    def test_stride1_same(self):
+        d = Deconv2D(4, 4, 5, stride=1, rng=0)
+        x = np.zeros((1, 4, 10, 10), dtype=np.float32)
+        assert d.forward(x).shape == (1, 4, 10, 10)
+
+    def test_wrong_channels_raises(self):
+        d = Deconv2D(4, 2, 4, stride=2, rng=0)
+        with pytest.raises(ValueError, match="channels"):
+            d.forward(np.zeros((1, 3, 8, 8), dtype=np.float32))
+
+
+class TestGradients:
+    def test_input_gradient_numeric(self, rng):
+        d = Deconv2D(3, 2, 4, stride=2, pad=1, rng=4)
+        x = rng.normal(size=(1, 3, 4, 4)).astype(np.float32)
+        g = rng.normal(size=d.forward(x).shape).astype(np.float32)
+
+        def loss():
+            return float((d.forward(x) * g).sum())
+
+        d.zero_grad()
+        d.forward(x)
+        gx = d.backward(g)
+        num = numeric_grad(loss, x)
+        np.testing.assert_allclose(gx, num, rtol=2e-2, atol=2e-2)
+
+    def test_weight_gradient_numeric(self, rng):
+        d = Deconv2D(2, 2, 3, stride=1, rng=4)
+        x = rng.normal(size=(1, 2, 4, 4)).astype(np.float32)
+        g = rng.normal(size=d.forward(x).shape).astype(np.float32)
+
+        def loss():
+            return float((d.forward(x) * g).sum())
+
+        d.zero_grad()
+        d.forward(x)
+        d.backward(g)
+        num = numeric_grad(loss, d.weight.data)
+        np.testing.assert_allclose(d.weight.grad, num, rtol=2e-2, atol=2e-2)
+
+    def test_bias_gradient(self, rng):
+        d = Deconv2D(2, 3, 4, stride=2, rng=4)
+        x = rng.normal(size=(2, 2, 3, 3)).astype(np.float32)
+        g = rng.normal(size=d.forward(x).shape).astype(np.float32)
+        d.zero_grad()
+        d.forward(x)
+        d.backward(g)
+        np.testing.assert_allclose(d.bias.grad, g.sum(axis=(0, 2, 3)),
+                                   rtol=1e-4)
+
+
+class TestAccounting:
+    def test_flops_match_mirrored_conv_volume(self):
+        d = Deconv2D(8, 4, 4, stride=2, pad=1, rng=0)
+        f = d.flops(2, input_shape=(8, 6, 6))
+        macs = 2 * 2 * 8 * 6 * 6 * 4 * 16
+        assert f == macs + 2 * 4 * 12 * 12
+
+    def test_params(self):
+        d = Deconv2D(8, 4, 4, rng=0)
+        assert d.num_params() == 8 * 4 * 16 + 4

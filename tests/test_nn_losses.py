@@ -1,0 +1,171 @@
+"""Losses: values, gradients, masking semantics, stability."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import numeric_grad
+from repro.nn.losses import (
+    BCEWithLogitsLoss,
+    MSELoss,
+    SmoothL1Loss,
+    SoftmaxCrossEntropyLoss,
+)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]], dtype=np.float32)
+        loss, _ = SoftmaxCrossEntropyLoss()(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_log_k(self):
+        logits = np.zeros((4, 3), dtype=np.float32)
+        loss, _ = SoftmaxCrossEntropyLoss()(logits, np.array([0, 1, 2, 0]))
+        assert loss == pytest.approx(np.log(3), rel=1e-5)
+
+    def test_gradient_numeric(self, rng):
+        logits = rng.normal(size=(5, 3)).astype(np.float32)
+        labels = np.array([0, 2, 1, 1, 0])
+        fn = SoftmaxCrossEntropyLoss()
+        _, grad = fn(logits, labels)
+        num = numeric_grad(lambda: fn(logits, labels)[0], logits)
+        np.testing.assert_allclose(grad, num, rtol=2e-2, atol=2e-2)
+
+    def test_gradient_sums_to_zero_per_row(self, rng):
+        logits = rng.normal(size=(6, 4)).astype(np.float32)
+        labels = rng.integers(0, 4, 6)
+        _, grad = SoftmaxCrossEntropyLoss()(logits, labels)
+        np.testing.assert_allclose(grad.sum(axis=1), np.zeros(6), atol=1e-6)
+
+    def test_label_validation(self):
+        fn = SoftmaxCrossEntropyLoss()
+        with pytest.raises(ValueError):
+            fn(np.zeros((2, 2), dtype=np.float32), np.array([0, 5]))
+        with pytest.raises(ValueError):
+            fn(np.zeros((2, 2), dtype=np.float32), np.array([0]))
+
+
+class TestMSE:
+    def test_zero_on_match(self, rng):
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        loss, grad = MSELoss()(x, x.copy())
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, np.zeros_like(x))
+
+    def test_value(self):
+        pred = np.ones((2, 2), dtype=np.float32)
+        target = np.zeros((2, 2), dtype=np.float32)
+        loss, grad = MSELoss()(pred, target)
+        assert loss == pytest.approx(1.0)
+        np.testing.assert_allclose(grad, np.full((2, 2), 0.5))
+
+    def test_gradient_numeric(self, rng):
+        pred = rng.normal(size=(3, 3)).astype(np.float32)
+        target = rng.normal(size=(3, 3)).astype(np.float32)
+        fn = MSELoss()
+        _, grad = fn(pred, target)
+        num = numeric_grad(lambda: fn(pred, target)[0], pred)
+        np.testing.assert_allclose(grad, num, rtol=2e-2, atol=2e-2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestBCEWithLogits:
+    def test_confident_correct_low_loss(self):
+        fn = BCEWithLogitsLoss()
+        logits = np.array([[20.0, -20.0]], dtype=np.float32)
+        targets = np.array([[1.0, 0.0]], dtype=np.float32)
+        loss, _ = fn(logits, targets)
+        assert loss < 1e-6
+
+    def test_gradient_numeric(self, rng):
+        fn = BCEWithLogitsLoss()
+        logits = rng.normal(size=(3, 4)).astype(np.float32)
+        targets = (rng.random((3, 4)) > 0.5).astype(np.float32)
+        _, grad = fn(logits, targets)
+        num = numeric_grad(lambda: fn(logits, targets)[0], logits)
+        np.testing.assert_allclose(grad, num, rtol=2e-2, atol=2e-2)
+
+    def test_weights_zero_out(self, rng):
+        fn = BCEWithLogitsLoss()
+        logits = rng.normal(size=(2, 3)).astype(np.float32)
+        targets = np.ones((2, 3), dtype=np.float32)
+        w = np.zeros((2, 3), dtype=np.float32)
+        w[0, 0] = 1.0
+        loss, grad = fn(logits, targets, weights=w)
+        assert grad[w == 0].sum() == 0.0
+
+    def test_extreme_logits_stable(self):
+        fn = BCEWithLogitsLoss()
+        logits = np.array([[1e4, -1e4]], dtype=np.float32)
+        targets = np.array([[0.0, 1.0]], dtype=np.float32)
+        loss, grad = fn(logits, targets)
+        assert np.isfinite(loss) and np.isfinite(grad).all()
+
+    def test_all_zero_weights_raises(self):
+        fn = BCEWithLogitsLoss()
+        with pytest.raises(ValueError):
+            fn(np.zeros((1, 1), dtype=np.float32),
+               np.zeros((1, 1), dtype=np.float32),
+               weights=np.zeros((1, 1), dtype=np.float32))
+
+
+class TestSmoothL1:
+    def test_quadratic_region(self):
+        fn = SmoothL1Loss(beta=1.0)
+        pred = np.array([[0.5]], dtype=np.float32)
+        target = np.zeros((1, 1), dtype=np.float32)
+        loss, grad = fn(pred, target)
+        assert loss == pytest.approx(0.125)
+        assert grad[0, 0] == pytest.approx(0.5)
+
+    def test_linear_region(self):
+        fn = SmoothL1Loss(beta=1.0)
+        pred = np.array([[3.0]], dtype=np.float32)
+        target = np.zeros((1, 1), dtype=np.float32)
+        loss, grad = fn(pred, target)
+        assert loss == pytest.approx(2.5)
+        assert grad[0, 0] == pytest.approx(1.0)
+
+    def test_mask_restricts(self, rng):
+        fn = SmoothL1Loss()
+        pred = rng.normal(size=(2, 4)).astype(np.float32)
+        target = rng.normal(size=(2, 4)).astype(np.float32)
+        mask = np.zeros((2, 4), dtype=np.float32)
+        mask[0, 1] = 1.0
+        loss, grad = fn(pred, target, mask=mask)
+        assert np.count_nonzero(grad) <= 1
+
+    def test_empty_mask_zero_loss(self):
+        fn = SmoothL1Loss()
+        pred = np.ones((2, 2), dtype=np.float32)
+        target = np.zeros((2, 2), dtype=np.float32)
+        loss, grad = fn(pred, target, mask=np.zeros((2, 2),
+                                                    dtype=np.float32))
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, np.zeros((2, 2)))
+
+    def test_gradient_numeric(self, rng):
+        fn = SmoothL1Loss(beta=0.7)
+        pred = rng.normal(size=(3, 3)).astype(np.float32) * 2
+        target = rng.normal(size=(3, 3)).astype(np.float32)
+        _, grad = fn(pred, target)
+        num = numeric_grad(lambda: fn(pred, target)[0], pred)
+        np.testing.assert_allclose(grad, num, rtol=3e-2, atol=3e-2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 8), k=st.integers(2, 5), seed=st.integers(0, 10**6))
+def test_xent_loss_positive_and_grad_batch_scaled(n, k, seed):
+    """Property: cross-entropy is positive and its gradient magnitude
+    scales like 1/batch (mean reduction)."""
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(n, k)).astype(np.float32)
+    labels = rng.integers(0, k, n)
+    loss, grad = SoftmaxCrossEntropyLoss()(logits, labels)
+    assert loss > 0
+    assert np.abs(grad).max() <= 1.0 / n + 1e-6

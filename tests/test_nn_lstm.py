@@ -1,0 +1,149 @@
+"""LSTM: forward dynamics, BPTT gradients, shapes, FLOP accounting."""
+
+import numpy as np
+import pytest
+
+from conftest import numeric_grad
+from repro.core.sequential import Sequential
+from repro.flops.counter import count_net
+from repro.nn.dense import Dense
+from repro.nn.lstm import LSTM
+from repro.nn.losses import SoftmaxCrossEntropyLoss
+from repro.optim import Adam
+
+
+class TestForward:
+    def test_output_shapes(self, rng):
+        x = rng.normal(size=(4, 7, 5)).astype(np.float32)
+        assert LSTM(5, 6, rng=0).forward(x).shape == (4, 6)
+        assert LSTM(5, 6, return_sequences=True,
+                    rng=0).forward(x).shape == (4, 7, 6)
+
+    def test_output_shape_contract(self):
+        assert LSTM(5, 6, rng=0).output_shape((7, 5)) == (6,)
+        assert LSTM(5, 6, return_sequences=True,
+                    rng=0).output_shape((7, 5)) == (7, 6)
+        with pytest.raises(ValueError, match="feature dim"):
+            LSTM(5, 6, rng=0).output_shape((7, 4))
+
+    def test_hidden_bounded_by_tanh(self, rng):
+        lstm = LSTM(3, 8, return_sequences=True, rng=1)
+        x = rng.normal(0, 10.0, size=(2, 20, 3)).astype(np.float32)
+        y = lstm.forward(x)
+        assert np.all(np.abs(y) <= 1.0 + 1e-6)
+
+    def test_zero_input_zero_state_output(self):
+        """With zero input the cell candidate g = tanh(b_g) = 0, so c and h
+        stay exactly zero regardless of gate values."""
+        lstm = LSTM(4, 3, return_sequences=True, rng=2)
+        y = lstm.forward(np.zeros((1, 5, 4), dtype=np.float32))
+        np.testing.assert_allclose(y, 0.0, atol=1e-7)
+
+    def test_forget_bias_initialized_to_one(self):
+        lstm = LSTM(4, 6, rng=0)
+        h = 6
+        np.testing.assert_array_equal(lstm.bias.data[h:2 * h], 1.0)
+        np.testing.assert_array_equal(lstm.bias.data[:h], 0.0)
+
+    def test_last_step_of_sequences_equals_final_state(self, rng):
+        x = rng.normal(size=(3, 9, 4)).astype(np.float32)
+        seq = LSTM(4, 5, return_sequences=True, rng=3)
+        fin = LSTM(4, 5, return_sequences=False, rng=3)
+        np.testing.assert_allclose(seq.forward(x)[:, -1, :], fin.forward(x),
+                                   rtol=1e-6)
+
+    def test_wrong_input_shape_raises(self):
+        lstm = LSTM(4, 5, rng=0)
+        with pytest.raises(ValueError, match="expected"):
+            lstm.forward(np.zeros((2, 4), dtype=np.float32))
+        with pytest.raises(ValueError, match="expected"):
+            lstm.forward(np.zeros((2, 3, 5), dtype=np.float32))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LSTM(0, 4)
+        with pytest.raises(ValueError):
+            LSTM(4, 0)
+
+
+class TestBackward:
+    @pytest.mark.parametrize("return_sequences", [False, True])
+    def test_input_gradient_numeric(self, return_sequences, rng):
+        lstm = LSTM(3, 4, return_sequences=return_sequences, rng=5)
+        x = rng.normal(size=(2, 4, 3)).astype(np.float32)
+        g = rng.normal(size=lstm.forward(x).shape).astype(np.float32)
+
+        def loss():
+            return float((lstm.forward(x) * g).sum())
+
+        expected = numeric_grad(loss, x)
+        lstm.zero_grad()
+        lstm.forward(x)
+        got = lstm.backward(g)
+        np.testing.assert_allclose(got, expected, rtol=3e-2, atol=3e-3)
+
+    def test_param_gradients_numeric(self, rng):
+        lstm = LSTM(2, 3, rng=6)
+        x = rng.normal(size=(2, 3, 2)).astype(np.float32)
+        g = rng.normal(size=(2, 3)).astype(np.float32)
+
+        def loss():
+            return float((lstm.forward(x) * g).sum())
+
+        for p in lstm.params():
+            expected = numeric_grad(loss, p.data)
+            lstm.zero_grad()
+            lstm.forward(x)
+            lstm.backward(g)
+            np.testing.assert_allclose(p.grad, expected, rtol=3e-2,
+                                       atol=3e-3, err_msg=p.name)
+
+    def test_grad_shape_mismatch_raises(self, rng):
+        lstm = LSTM(3, 4, rng=0)
+        lstm.forward(rng.normal(size=(2, 5, 3)).astype(np.float32))
+        with pytest.raises(ValueError, match="grad shape"):
+            lstm.backward(np.zeros((2, 5, 4), dtype=np.float32))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError, match="before forward"):
+            LSTM(3, 4, rng=0).backward(np.zeros((1, 4), dtype=np.float32))
+
+
+class TestTraining:
+    def test_learns_sequence_sum_sign(self, rng):
+        """A tiny sequence-classification task: is the running sum of the
+        inputs positive? Checks the LSTM + Dense stack trains end to end in
+        the framework's Sequential/optimizer machinery (paper SIX claim)."""
+        n, t = 256, 8
+        x = rng.normal(size=(n, t, 1)).astype(np.float32)
+        y = (x.sum(axis=(1, 2)) > 0).astype(np.int64)
+        net = Sequential([LSTM(1, 12, rng=8), Dense(12, 2, rng=9)],
+                         name="lstm-clf")
+        opt = Adam(net.params(), lr=5e-3)
+        loss_fn = SoftmaxCrossEntropyLoss()
+        first = None
+        for _ in range(120):
+            net.zero_grad()
+            logits = net.forward(x)
+            loss, grad = loss_fn(logits, y)
+            net.backward(grad)
+            opt.step()
+            if first is None:
+                first = loss
+        pred = net.forward(x).argmax(axis=1)
+        acc = (pred == y).mean()
+        assert loss < first
+        assert acc > 0.9
+
+    def test_flop_counter_integration(self):
+        net = Sequential([LSTM(4, 8, rng=0), Dense(8, 2, rng=0)])
+        report = count_net(net, (10, 4), batch=16)
+        lstm_rec = report.layers[0]
+        assert lstm_rec.kind == "lstm"
+        # Dominated by the two gate GEMMs: 2*N*(D+H)*4H per step.
+        assert lstm_rec.forward_flops >= 10 * 2 * 16 * (4 + 8) * 4 * 8
+        assert report.layers[1].kind == "dense"
+
+    def test_flops_requires_shape(self):
+        with pytest.raises(ValueError, match="input_shape"):
+            LSTM(4, 8, rng=0).flops(16)

@@ -1,0 +1,108 @@
+"""Pooling layers: values, gradients (fast + general paths)."""
+
+import numpy as np
+import pytest
+
+from conftest import numeric_grad
+from repro.nn.pooling import GlobalAvgPool2D, MaxPool2D
+
+
+class TestMaxPoolForward:
+    def test_basic_2x2(self):
+        x = np.array([[1, 2, 5, 6], [3, 4, 7, 8],
+                      [9, 10, 13, 14], [11, 12, 15, 16]],
+                     dtype=np.float32).reshape(1, 1, 4, 4)
+        pool = MaxPool2D(2, 2)
+        y = pool.forward(x)
+        np.testing.assert_array_equal(y[0, 0], [[4, 8], [12, 16]])
+
+    def test_output_shape(self):
+        pool = MaxPool2D(2, 2)
+        assert pool.output_shape((128, 224, 224)) == (128, 112, 112)
+
+    def test_general_path_overlapping(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        pool = MaxPool2D(2, 1)  # overlapping windows
+        y = pool.forward(x)
+        assert y.shape == (1, 1, 3, 3)
+        assert y[0, 0, 0, 0] == 5.0  # max of [[0,1],[4,5]]
+
+    def test_ragged_input_general_path(self):
+        x = np.arange(25, dtype=np.float32).reshape(1, 1, 5, 5)
+        pool = MaxPool2D(2, 2)  # 5 not divisible by 2 -> general path
+        y = pool.forward(x)
+        assert y.shape == (1, 1, 2, 2)
+        assert y[0, 0, 1, 1] == 18.0
+
+
+class TestMaxPoolBackward:
+    def test_routes_to_max_fast_path(self):
+        x = np.array([[1, 2], [3, 4]], dtype=np.float32).reshape(1, 1, 2, 2)
+        pool = MaxPool2D(2, 2)
+        pool.forward(x)
+        gx = pool.backward(np.array([[[[10.0]]]], dtype=np.float32))
+        np.testing.assert_array_equal(
+            gx[0, 0], [[0, 0], [0, 10.0]])
+
+    def test_ties_split_evenly(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        pool = MaxPool2D(2, 2)
+        pool.forward(x)
+        gx = pool.backward(np.full((1, 1, 1, 1), 8.0, dtype=np.float32))
+        # all four tie: gradient splits so the adjoint stays exact
+        np.testing.assert_allclose(gx[0, 0], np.full((2, 2), 2.0))
+
+    def test_numeric_fast_path(self, rng):
+        # add tiny noise to avoid exact ties (numeric diff breaks at ties)
+        x = (rng.normal(size=(2, 3, 4, 4)) * 10).astype(np.float32)
+        pool = MaxPool2D(2, 2)
+        g = rng.normal(size=(2, 3, 2, 2)).astype(np.float32)
+        pool.forward(x)
+        gx = pool.backward(g)
+        num = numeric_grad(lambda: float((pool.forward(x) * g).sum()), x)
+        np.testing.assert_allclose(gx, num, rtol=2e-2, atol=2e-2)
+
+    def test_numeric_general_path(self, rng):
+        x = (rng.normal(size=(1, 2, 5, 5)) * 10).astype(np.float32)
+        pool = MaxPool2D(3, 2)
+        y = pool.forward(x)
+        g = rng.normal(size=y.shape).astype(np.float32)
+        gx = pool.backward(g)
+        num = numeric_grad(lambda: float((pool.forward(x) * g).sum()), x)
+        np.testing.assert_allclose(gx, num, rtol=2e-2, atol=2e-2)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            MaxPool2D().backward(np.zeros((1, 1, 2, 2), dtype=np.float32))
+
+
+class TestGlobalAvgPool:
+    def test_value(self):
+        x = np.arange(8, dtype=np.float32).reshape(1, 2, 2, 2)
+        gap = GlobalAvgPool2D()
+        y = gap.forward(x)
+        np.testing.assert_allclose(y, [[1.5, 5.5]])
+
+    def test_shape(self):
+        gap = GlobalAvgPool2D()
+        assert gap.output_shape((128, 14, 14)) == (128,)
+
+    def test_backward_distributes(self):
+        x = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        gap = GlobalAvgPool2D()
+        gap.forward(x)
+        gx = gap.backward(np.array([[4.0]], dtype=np.float32))
+        np.testing.assert_allclose(gx[0, 0], np.ones((2, 2)))
+
+    def test_numeric(self, rng):
+        x = rng.normal(size=(2, 3, 3, 3)).astype(np.float32)
+        gap = GlobalAvgPool2D()
+        g = rng.normal(size=(2, 3)).astype(np.float32)
+        gap.forward(x)
+        gx = gap.backward(g)
+        num = numeric_grad(lambda: float((gap.forward(x) * g).sum()), x)
+        np.testing.assert_allclose(gx, num, rtol=2e-2, atol=2e-2)
+
+    def test_param_independence_of_input_size(self):
+        # the reason the paper uses GAP: no input-size-dependent weights
+        assert GlobalAvgPool2D().num_params() == 0

@@ -1,0 +1,150 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sequential import Sequential
+from repro.nn.activations import ReLU
+from repro.nn.conv import Conv2D
+from repro.nn.deconv import Deconv2D
+from repro.nn.dense import Dense
+from repro.nn.pooling import GlobalAvgPool2D, MaxPool2D
+from repro.optim import SGD, Adam
+from repro.core.parameter import Parameter
+
+
+@settings(max_examples=20, deadline=None)
+@given(scale=st.floats(0.1, 10.0), seed=st.integers(0, 10**6))
+def test_conv_is_linear_minus_bias(scale, seed):
+    """conv(a*x) - b == a * (conv(x) - b): convolution is linear."""
+    rng = np.random.default_rng(seed)
+    conv = Conv2D(2, 3, 3, rng=seed)
+    x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+    bias = conv.bias.data[None, :, None, None]
+    y1 = conv.forward(x * scale) - bias
+    y2 = scale * (conv.forward(x) - bias)
+    np.testing.assert_allclose(y1, y2, rtol=1e-3, atol=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_conv_additivity(seed):
+    """conv(x1 + x2) + b == conv(x1) + conv(x2) (bias counted once extra)."""
+    rng = np.random.default_rng(seed)
+    conv = Conv2D(1, 2, 3, rng=seed)
+    x1 = rng.normal(size=(1, 1, 5, 5)).astype(np.float32)
+    x2 = rng.normal(size=(1, 1, 5, 5)).astype(np.float32)
+    bias = conv.bias.data[None, :, None, None]
+    lhs = conv.forward(x1 + x2) + bias
+    rhs = conv.forward(x1) + conv.forward(x2)
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-3, atol=1e-4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(1, 4), c=st.integers(1, 3), h=st.sampled_from([4, 8]),
+       seed=st.integers(0, 10**6))
+def test_maxpool_dominates_avgpool(n, c, h, seed):
+    """max over a window >= mean over the window, elementwise in channels."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, c, h, h)).astype(np.float32)
+    mp = MaxPool2D(2, 2).forward(x)
+    gap = GlobalAvgPool2D().forward(x)
+    assert np.all(mp.max(axis=(2, 3)) >= gap - 1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6), batch=st.integers(1, 4))
+def test_backward_shapes_always_match_input(seed, batch):
+    """For any layer stack, dL/dx has exactly the input's shape."""
+    rng = np.random.default_rng(seed)
+    net = Sequential([
+        Conv2D(2, 4, 3, stride=2, rng=seed), ReLU(),
+        Deconv2D(4, 2, 4, stride=2, rng=seed + 1),
+    ])
+    x = rng.normal(size=(batch, 2, 8, 8)).astype(np.float32)
+    y = net.forward(x)
+    gx = net.backward(np.ones_like(y))
+    assert gx.shape == x.shape
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_gradient_descent_reduces_quadratic(seed):
+    """SGD on a random PSD quadratic always reduces the objective."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(4, 4))
+    q = a @ a.T + 0.5 * np.eye(4)  # PSD with margin
+    w = Parameter(rng.normal(size=4).astype(np.float32), name="w")
+    lr = 0.5 / np.linalg.eigvalsh(q).max()
+    opt = SGD([w], lr=float(lr))
+
+    def f():
+        return float(w.data @ q @ w.data)
+
+    before = f()
+    for _ in range(10):
+        w.grad[...] = (2 * q @ w.data).astype(np.float32)
+        opt.step()
+    assert f() <= before + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_adam_step_bounded_by_lr(seed):
+    """|ADAM step| <= ~lr per coordinate (the trust-region-like property)."""
+    rng = np.random.default_rng(seed)
+    w = Parameter(rng.normal(size=8).astype(np.float32), name="w")
+    before = w.data.copy()
+    opt = Adam([w], lr=0.01)
+    w.grad[...] = rng.normal(size=8).astype(np.float32) * 100
+    opt.step()
+    assert np.abs(w.data - before).max() <= 0.011
+
+
+@settings(max_examples=10, deadline=None)
+@given(k=st.integers(2, 5), seed=st.integers(0, 10**6))
+def test_dense_rank_bound(k, seed):
+    """A Dense layer's output lives in a k-dim affine subspace when
+    out_features = k (sanity of the matmul orientation)."""
+    rng = np.random.default_rng(seed)
+    d = Dense(6, k, rng=seed)
+    x = rng.normal(size=(20, 6)).astype(np.float32)
+    y = d.forward(x)
+    assert y.shape == (20, k)
+    assert np.linalg.matrix_rank(y - d.bias.data) <= min(6, k)
+
+
+@settings(max_examples=10, deadline=None)
+@given(p=st.integers(2, 6), nbytes=st.integers(100, 10**7))
+def test_cost_model_triangle(p, nbytes):
+    """Reduce-then-broadcast can never beat all-reduce's lower bound by
+    more than the model's slack: allreduce <= reduce + bcast + eps."""
+    from repro.comm import AlphaBetaModel, allreduce_time, bcast_time, \
+        reduce_time
+
+    m = AlphaBetaModel()
+    ar = allreduce_time(nbytes, p, m)
+    rb = reduce_time(nbytes, p, m) + bcast_time(nbytes, p, m)
+    assert ar <= rb * 1.2
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6), n=st.integers(2, 30))
+def test_staleness_nonnegative_in_ps(seed, n):
+    """PS staleness log is always non-negative whatever the push order."""
+    from repro.distributed import ParameterServer
+    from repro.nn.dense import Dense
+
+    layer = Dense(3, 2, name="fc", rng=seed)
+    ps = ParameterServer("fc", layer.params(),
+                         lambda params: SGD(params, lr=0.1))
+    rng = np.random.default_rng(seed)
+    versions = [0]
+    for _ in range(n):
+        read_v = int(rng.choice(versions))
+        grads = [np.zeros_like(p.data) for p in ps.params]
+        _, new_v = ps.push(grads, read_version=read_v)
+        versions.append(new_v)
+    assert np.all(ps.staleness_values() >= 0)

@@ -1,0 +1,101 @@
+"""Roofline analysis (the Fig 5 compute- vs memory-bound decomposition)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.knl import KNLNodeModel
+from repro.flops.counter import count_net
+from repro.flops.roofline import (
+    bound_fractions,
+    layer_bytes_moved,
+    machine_balance,
+    roofline,
+    roofline_table,
+)
+from repro.models import build_hep_net
+
+
+@pytest.fixture(scope="module")
+def node():
+    return KNLNodeModel()
+
+
+@pytest.fixture(scope="module")
+def hep_points(node):
+    net = build_hep_net(rng=0)
+    report = count_net(net, (3, 224, 224), batch=8)
+    return roofline(report, node)
+
+
+class TestBytesMoved:
+    def test_counts_activations_and_weights(self):
+        net = build_hep_net(filters=16, rng=0)
+        report = count_net(net, (3, 32, 32), batch=4)
+        conv1 = report.layers[0]
+        n_in = 3 * 32 * 32
+        n_out = int(np.prod(conv1.output_shape))
+        expected = 4 * (4 * (n_in + n_out) + conv1.params)
+        assert layer_bytes_moved(conv1, 4) == expected
+
+
+class TestMachineBalance:
+    def test_balance_point(self, node):
+        assert machine_balance(node) == pytest.approx(
+            node.peak_flops / node.act_bandwidth)
+
+    def test_knl_is_flop_rich(self, node):
+        # KNL: ~5 TF/s against ~100 GB/s -> balance around 50 FLOP/byte.
+        assert 20 < machine_balance(node) < 100
+
+
+class TestRoofline:
+    def test_deep_convs_compute_bound(self, hep_points, node):
+        """The 128-channel 3x3 convs have intensity far above the balance
+        point — they are the 3.5 TF/s layers of Fig 5."""
+        deep_convs = [p for p in hep_points
+                      if p.kind == "conv" and p.intensity > 100]
+        assert deep_convs, "expected high-intensity conv layers"
+        for p in deep_convs:
+            assert p.bound == "compute"
+            assert p.achievable == node.peak_flops
+
+    def test_pooling_memory_bound(self, hep_points):
+        pools = [p for p in hep_points if p.kind == "pool"]
+        assert pools
+        for p in pools:
+            assert p.bound == "memory"
+            assert p.intensity < 1.0
+
+    def test_achievable_on_the_roof(self, hep_points, node):
+        for p in hep_points:
+            assert p.achievable <= node.peak_flops + 1e-6
+            assert p.achievable == pytest.approx(
+                min(node.peak_flops, p.intensity * node.act_bandwidth))
+
+    def test_flops_dominated_by_compute_bound_layers(self, hep_points):
+        """Fig 5's observation: almost all arithmetic sits in the conv
+        stack, which is compute-bound on KNL."""
+        frac = bound_fractions(hep_points)
+        assert frac["compute"] > 0.9
+        assert frac["compute"] + frac["memory"] == pytest.approx(1.0)
+
+    def test_empty_points(self):
+        assert bound_fractions([]) == {"compute": 0.0, "memory": 0.0}
+
+    def test_table_renders(self, hep_points, node):
+        table = roofline_table(hep_points, node)
+        assert "machine balance" in table
+        assert "compute" in table and "memory" in table
+
+
+class TestBatchDependence:
+    def test_intensity_grows_with_batch_for_weighted_layers(self, node):
+        """Weights amortize over the batch: conv intensity rises with N
+        (the DeepBench small-batch cliff seen from the roofline side)."""
+        net = build_hep_net(filters=16, rng=0)
+        i_small = roofline(count_net(net, (3, 32, 32), batch=1),
+                           node)[0].intensity
+        net2 = build_hep_net(filters=16, rng=0)
+        i_large = roofline(count_net(net2, (3, 32, 32), batch=64),
+                           node)[0].intensity
+        assert i_large > i_small

@@ -1,0 +1,130 @@
+"""Single-node performance model — the Fig 5 calibration targets."""
+
+import numpy as np
+import pytest
+
+from repro.sim.perf_model import SingleNodePerf
+from repro.sim.workload import climate_workload, hep_workload
+
+
+class TestFig5HEP:
+    """Fig 5a: HEP at batch 8 — 1.90 TF/s overall, conv layers between
+    ~1.25 (first) and ~3.5 TF/s (deep), solver ~12.5 %, I/O ~2 %."""
+
+    @pytest.fixture(scope="class")
+    def perf(self):
+        return SingleNodePerf(hep_workload(), batch=8)
+
+    def test_overall_rate(self, perf):
+        assert perf.flop_rate() == pytest.approx(1.90e12, rel=0.15)
+
+    def test_first_conv_slow(self, perf):
+        conv1 = next(lt for lt in perf.layer_times() if lt.name == "conv1")
+        assert conv1.rate == pytest.approx(1.25e12, rel=0.25)
+
+    def test_deep_conv_fast(self, perf):
+        conv2 = next(lt for lt in perf.layer_times() if lt.name == "conv2")
+        assert conv2.rate == pytest.approx(3.5e12, rel=0.2)
+
+    def test_solver_fraction(self, perf):
+        assert perf.fraction("solver_update") == pytest.approx(0.125,
+                                                               abs=0.05)
+
+    def test_io_fraction_small(self, perf):
+        assert perf.fraction("io") < 0.06
+
+    def test_convs_dominate_runtime(self, perf):
+        conv_time = sum(lt.seconds for lt in perf.layer_times()
+                        if lt.kind == "conv")
+        assert conv_time / perf.iteration_time() > 0.5
+
+    def test_avg_conv_layer_about_12ms(self, perf):
+        """Paper SVI-B2: 'An average convolution layer in HEP takes about
+        12 ms to execute' at batch 8."""
+        convs = [lt.seconds for lt in perf.layer_times()
+                 if lt.kind == "conv"]
+        assert np.mean(convs) == pytest.approx(12e-3, rel=0.4)
+
+
+class TestFig5Climate:
+    """Fig 5b: climate at batch 8 — 2.09 TF/s overall, I/O ~13 %,
+    solver < 2 %."""
+
+    @pytest.fixture(scope="class")
+    def perf(self):
+        return SingleNodePerf(climate_workload(), batch=8)
+
+    def test_overall_rate(self, perf):
+        assert perf.flop_rate() == pytest.approx(2.09e12, rel=0.15)
+
+    def test_io_fraction(self, perf):
+        assert perf.fraction("io") == pytest.approx(0.13, abs=0.05)
+
+    def test_solver_fraction_small(self, perf):
+        assert perf.fraction("solver_update") < 0.03
+
+    def test_deconv_similar_to_conv(self, perf):
+        """Paper SIII-C: deconv layers 'perform very similarly to the
+        corresponding convolution layers'."""
+        rates = {lt.name: lt.rate for lt in perf.layer_times()}
+        deconv = rates["dec_deconv2"]
+        conv = rates["enc_conv6"]
+        assert deconv == pytest.approx(conv, rel=0.4)
+
+    def test_iteration_time_order_10s(self, perf):
+        # consistent with the paper's ~12 s full-system iterations at b=8
+        assert 5.0 < perf.iteration_time() < 20.0
+
+
+class TestMemoryModel:
+    def test_small_batch_fits_mcdram(self):
+        p = SingleNodePerf(hep_workload(), batch=8)
+        assert p.memory_penalty() == 1.0
+
+    def test_micro_batching_bounds_batch(self):
+        p = SingleNodePerf(hep_workload(), batch=2048)
+        assert p._micro <= 32
+        assert p._n_micro == -(-2048 // p._micro)
+
+    def test_big_batch_rate_saturates(self):
+        """Per-image throughput at giant batch should be close to the
+        optimum, not collapse (gradient accumulation)."""
+        r8 = SingleNodePerf(hep_workload(), batch=8).flop_rate()
+        r2048 = SingleNodePerf(hep_workload(), batch=2048).flop_rate()
+        assert r2048 > 0.8 * r8
+
+    def test_climate_spills(self):
+        p = SingleNodePerf(climate_workload(), batch=8)
+        assert p.memory_penalty() < 1.0
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            SingleNodePerf(hep_workload(), batch=0)
+
+    def test_breakdown_sums_to_iteration(self):
+        p = SingleNodePerf(hep_workload(), batch=4)
+        assert sum(p.breakdown().values()) == pytest.approx(
+            p.iteration_time(), rel=1e-9)
+
+    def test_unknown_component_raises(self):
+        p = SingleNodePerf(hep_workload(), batch=4)
+        with pytest.raises(KeyError):
+            p.fraction("nonexistent")
+
+    def test_table_renders(self):
+        p = SingleNodePerf(hep_workload(), batch=8)
+        t = p.table()
+        assert "conv1" in t and "solver_update" in t and "TOTAL" in t
+
+
+class TestBatchEfficiency:
+    def test_rate_improves_with_batch(self):
+        rates = [SingleNodePerf(hep_workload(), batch=b).flop_rate()
+                 for b in (1, 2, 4, 8)]
+        assert rates == sorted(rates)
+
+    def test_batch1_matches_headline_per_node(self):
+        """At small local batch the per-node rate drops toward the ~1.2
+        TF/s the full-system HEP run achieved per node."""
+        r1 = SingleNodePerf(hep_workload(), batch=1).flop_rate()
+        assert 0.1e12 < r1 < 1.4e12

@@ -1,0 +1,188 @@
+"""Sync/hybrid iteration models and scaling-curve shapes (Figs 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import cori
+from repro.sim.hybrid_sim import HybridSimConfig, simulate_hybrid
+from repro.sim.sampling import expected_max_std_normal, sample_max_std_normal
+from repro.sim.scaling import strong_scaling, weak_scaling
+from repro.sim.sync_sim import SyncIterationModel
+from repro.sim.workload import climate_workload, hep_workload
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return cori(seed=0)
+
+
+@pytest.fixture(scope="module")
+def quiet_machine():
+    return cori(seed=0, jitter=False)
+
+
+class TestSampling:
+    def test_expected_max_grows(self):
+        vals = [expected_max_std_normal(p) for p in (2, 16, 256, 4096)]
+        assert vals == sorted(vals)
+
+    def test_expected_max_approximation(self):
+        # against Monte Carlo for p = 64
+        rng = np.random.default_rng(0)
+        mc = rng.normal(size=(20000, 64)).max(axis=1).mean()
+        assert expected_max_std_normal(64) == pytest.approx(mc, rel=0.03)
+
+    def test_sampler_mean_matches_expectation(self):
+        rng = np.random.default_rng(1)
+        draws = [sample_max_std_normal(512, rng) for _ in range(3000)]
+        assert np.mean(draws) == pytest.approx(
+            expected_max_std_normal(512), rel=0.05)
+
+    def test_single_is_plain_normal(self):
+        assert expected_max_std_normal(1) == 0.0
+
+
+class TestSyncModel:
+    def test_single_node_no_comm(self, quiet_machine):
+        m = SyncIterationModel(hep_workload(), quiet_machine, 1, 8, seed=0)
+        assert m.allreduce_time() == 0.0
+        assert m.straggler_factor() == 1.0
+        assert m.sync_jitter_time() == 0.0
+
+    def test_iteration_decomposition_positive(self, machine):
+        m = SyncIterationModel(hep_workload(), machine, 256, 8, seed=0)
+        stats = m.sample_iterations(10)
+        assert stats.best > 0
+        assert stats.worst >= stats.best
+        assert all(v >= 0 for v in stats.breakdown.values())
+
+    def test_straggler_grows_with_nodes(self, machine):
+        wl = hep_workload()
+        f = [SyncIterationModel(wl, machine, n, 8, seed=0).straggler_factor()
+             for n in (2, 64, 2048)]
+        assert f == sorted(f)
+
+    def test_jitter_absorption_additive_mechanism(self, machine):
+        """The paper's SVI-B2 asymmetry: per-sync-point jitter is absolute,
+        so it hurts HEP (12 ms layers) proportionally more than climate
+        (300 ms layers)."""
+        hep = SyncIterationModel(hep_workload(), machine, 2048, 8, seed=0)
+        cli = SyncIterationModel(climate_workload(), machine, 2048, 8,
+                                 seed=0)
+        hep_frac = hep.sync_jitter_time() / hep.expected_iteration_time()
+        cli_frac = cli.sync_jitter_time() / cli.expected_iteration_time()
+        assert hep_frac > 5 * cli_frac
+
+    def test_validation(self, machine):
+        with pytest.raises(ValueError):
+            SyncIterationModel(hep_workload(), machine, 0, 8)
+        with pytest.raises(ValueError):
+            SyncIterationModel(hep_workload(), machine, 8, 0)
+
+
+class TestFig6StrongScaling:
+    @pytest.fixture(scope="class")
+    def hep_curves(self):
+        machine = cori(seed=0)
+        return strong_scaling(hep_workload(), machine,
+                              node_counts=(256, 512, 1024),
+                              group_counts=(1, 4), seed=0)
+
+    def test_sync_saturates(self, hep_curves):
+        """Fig 6a: 'the synchronous algorithm does not scale past 256
+        nodes' — speedup at 1024 is NOT ~4x the 256-node speedup."""
+        sync = {p.n_nodes: p.speedup for p in hep_curves if p.mode == "sync"}
+        assert sync[1024] < 1.6 * sync[256]
+
+    def test_hybrid4_beats_sync_at_1024(self, hep_curves):
+        by = {(p.mode, p.n_nodes): p.speedup for p in hep_curves}
+        assert by[("hybrid", 1024)] > 1.5 * by[("sync", 1024)]
+
+    def test_hybrid4_magnitude(self, hep_curves):
+        """Paper: ~580x at 1024 nodes for 4 hybrid groups (we accept a
+        generous band — the shape is the claim)."""
+        h4 = {p.n_nodes: p.speedup for p in hep_curves
+              if p.mode == "hybrid"}
+        assert 350 < h4[1024] < 900
+
+    def test_speedups_positive_and_bounded(self, hep_curves):
+        for p in hep_curves:
+            assert 0 < p.speedup <= p.n_nodes * 1.5
+
+
+class TestFig7WeakScaling:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        machine = cori(seed=0)
+        hep = weak_scaling(hep_workload(), machine,
+                           node_counts=(1024, 2048), group_counts=(1, 8),
+                           seed=0)
+        cli = weak_scaling(climate_workload(), machine,
+                           node_counts=(1024, 2048), group_counts=(1, 8),
+                           seed=0)
+        return hep, cli
+
+    def test_hep_sublinear(self, curves):
+        """Fig 7a: HEP weak scaling ~1500x (sync) at 2048 — clearly
+        sublinear."""
+        hep, _ = curves
+        sync = {p.n_nodes: p.speedup for p in hep if p.mode == "sync"}
+        assert 1000 < sync[2048] < 1800
+
+    def test_climate_near_linear(self, curves):
+        """Fig 7b: climate ~1750x+ at 2048 — near-linear."""
+        _, cli = curves
+        sync = {p.n_nodes: p.speedup for p in cli if p.mode == "sync"}
+        assert sync[2048] > 1600
+
+    def test_climate_scales_better_than_hep(self, curves):
+        hep, cli = curves
+        hep_sync = {p.n_nodes: p.speedup for p in hep if p.mode == "sync"}
+        cli_sync = {p.n_nodes: p.speedup for p in cli if p.mode == "sync"}
+        assert cli_sync[2048] > hep_sync[2048]
+
+    def test_hep_hybrid_pays_ps_overhead(self, curves):
+        """Fig 7a: hybrid weak scaling is BELOW sync for HEP (the two extra
+        PS communication steps, paper SVI-B2)."""
+        hep, _ = curves
+        by = {(p.mode, p.n_nodes): p.speedup for p in hep}
+        assert by[("hybrid", 2048)] < by[("sync", 2048)] * 1.05
+
+
+class TestHybridSim:
+    def test_staleness_mean_near_groups_minus_one(self, machine):
+        """[31]: expected staleness of a G-stream async system is ~G-1."""
+        wl = hep_workload()
+        for g in (2, 4, 8):
+            cfg = HybridSimConfig(workload=wl, machine=machine,
+                                  n_workers=64 * g, n_groups=g, n_ps=4,
+                                  local_batch=8, n_iterations=25, seed=0)
+            res = simulate_hybrid(cfg)
+            assert res.mean_staleness == pytest.approx(g - 1, abs=0.75)
+
+    def test_single_group_zero_staleness(self, machine):
+        cfg = HybridSimConfig(workload=hep_workload(), machine=machine,
+                              n_workers=64, n_groups=1, n_ps=2,
+                              local_batch=8, n_iterations=10, seed=0)
+        res = simulate_hybrid(cfg)
+        assert res.mean_staleness == 0.0
+
+    def test_images_processed(self, machine):
+        cfg = HybridSimConfig(workload=hep_workload(), machine=machine,
+                              n_workers=128, n_groups=4, n_ps=4,
+                              local_batch=8, n_iterations=5, seed=0)
+        res = simulate_hybrid(cfg)
+        assert res.images_processed == 128 * 8 * 5
+
+    def test_ps_utilization_below_one(self, machine):
+        cfg = HybridSimConfig(workload=hep_workload(), machine=machine,
+                              n_workers=512, n_groups=8, n_ps=4,
+                              local_batch=8, n_iterations=10, seed=0)
+        res = simulate_hybrid(cfg)
+        assert np.all(res.ps_utilization() <= 1.0)
+        assert np.all(res.ps_utilization() > 0.0)
+
+    def test_config_validation(self, machine):
+        with pytest.raises(ValueError):
+            HybridSimConfig(workload=hep_workload(), machine=machine,
+                            n_workers=2, n_groups=4, n_ps=1, local_batch=8)

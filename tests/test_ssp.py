@@ -1,0 +1,136 @@
+"""Stale-synchronous parallel trainer: bound semantics, waits, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.data.hep import make_hep_dataset
+from repro.distributed import HybridTrainer, SSPTrainer
+from repro.models import build_hep_net
+from repro.optim import Adam
+from repro.train.loop import hep_loss_fn
+
+
+@pytest.fixture(scope="module")
+def tiny_ds():
+    return make_hep_dataset(200, image_size=16, signal_fraction=0.5, seed=2)
+
+
+def _make_trainer(bound, n_groups=3, seed=0):
+    return SSPTrainer(
+        lambda: build_hep_net(filters=4, rng=3),
+        lambda params: Adam(params, lr=1e-3),
+        hep_loss_fn,
+        n_groups=n_groups, bound=bound,
+        iteration_time_fn=lambda g: 1.0, seed=seed)
+
+
+class TestBoundSemantics:
+    def test_progress_spread_respects_bound(self, tiny_ds):
+        """With a straggling group, no group's completed-iteration count may
+        exceed the slowest active group's by more than the bound at any
+        update — visible in the PS staleness, which is capped by
+        ~(bound + 1) * (G - 1) under round-robin interleaving."""
+        for bound in (0, 1, 3):
+            trainer = _make_trainer(bound)
+            res = trainer.run(tiny_ds.images, tiny_ds.labels, group_batch=8,
+                              n_iterations=6, drift=[1.0, 1.0, 4.0])
+            max_stale = int(res.staleness.max())
+            assert max_stale <= (bound + 1) * (trainer.n_groups - 1), \
+                f"bound={bound}: staleness {max_stale}"
+
+    def test_bound_zero_is_lockstep(self, tiny_ds):
+        """bound=0: all groups complete iteration k before any starts k+1,
+        so per-update staleness never exceeds G-1."""
+        trainer = _make_trainer(0)
+        res = trainer.run(tiny_ds.images, tiny_ds.labels, group_batch=8,
+                          n_iterations=5, drift=[1.0, 2.0, 5.0])
+        assert int(res.staleness.max()) <= trainer.n_groups - 1
+
+    def test_large_bound_matches_hybrid_staleness(self, tiny_ds):
+        """bound >= n_iterations never blocks: the run degenerates to the
+        hybrid trainer (same seeds -> same staleness profile)."""
+        ssp = _make_trainer(100, seed=4)
+        res_ssp = ssp.run(tiny_ds.images, tiny_ds.labels, group_batch=8,
+                          n_iterations=6, drift=[1.0, 1.0, 4.0])
+        hyb = HybridTrainer(
+            lambda: build_hep_net(filters=4, rng=3),
+            lambda params: Adam(params, lr=1e-3),
+            hep_loss_fn, n_groups=3,
+            iteration_time_fn=lambda g: 1.0, seed=4)
+        res_hyb = hyb.run(tiny_ds.images, tiny_ds.labels, group_batch=8,
+                          n_iterations=6, drift=[1.0, 1.0, 4.0])
+        assert res_ssp.total_wait == 0.0
+        np.testing.assert_array_equal(res_ssp.staleness, res_hyb.staleness)
+
+
+class TestWaitAccounting:
+    def test_straggler_forces_waits_at_tight_bound(self, tiny_ds):
+        trainer = _make_trainer(0)
+        res = trainer.run(tiny_ds.images, tiny_ds.labels, group_batch=8,
+                          n_iterations=6, drift=[1.0, 1.0, 6.0])
+        # The fast groups wait on the 6x straggler.
+        assert res.wait_times[0] > 0
+        assert res.wait_times[1] > 0
+        assert res.wait_times[2] == 0.0
+
+    def test_waits_shrink_with_looser_bound(self, tiny_ds):
+        waits = {}
+        for bound in (0, 2, 8):
+            trainer = _make_trainer(bound)
+            res = trainer.run(tiny_ds.images, tiny_ds.labels, group_batch=8,
+                              n_iterations=8, drift=[1.0, 1.0, 3.0])
+            waits[bound] = res.total_wait
+        assert waits[0] >= waits[2] >= waits[8]
+        assert waits[8] == 0.0  # bound >= n_iterations: never blocks
+
+    def test_uniform_groups_never_wait(self, tiny_ds):
+        trainer = _make_trainer(0)
+        res = trainer.run(tiny_ds.images, tiny_ds.labels, group_batch=8,
+                          n_iterations=5, drift=[1.0, 1.0, 1.0])
+        assert res.total_wait == 0.0
+
+    def test_blocked_group_resumes_at_unblock_time(self, tiny_ds):
+        """With bound=0 and a 3x straggler, a fast group's k-th iteration
+        cannot complete before the straggler's (k-1)-th."""
+        trainer = _make_trainer(0, n_groups=2)
+        res = trainer.run(tiny_ds.images, tiny_ds.labels, group_batch=8,
+                          n_iterations=4, drift=[1.0, 3.0])
+        fast, slow = res.traces[0], res.traces[1]
+        for k in range(1, 4):
+            assert fast.times[k] >= slow.times[k - 1]
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_ds):
+        trainer = _make_trainer(1)
+        res = trainer.run(tiny_ds.images, tiny_ds.labels, group_batch=16,
+                          n_iterations=20)
+        times, losses = res.merged_curve(smooth=5)
+        assert losses[-1] < losses[0]
+
+    def test_result_has_all_samples(self, tiny_ds):
+        trainer = _make_trainer(2)
+        res = trainer.run(tiny_ds.images, tiny_ds.labels, group_batch=8,
+                          n_iterations=7)
+        for tr in res.traces:
+            assert len(tr.losses) == 7
+
+
+class TestValidation:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError, match="n_groups"):
+            _make_trainer(1, n_groups=0)
+        with pytest.raises(ValueError, match="bound"):
+            _make_trainer(-1)
+
+    def test_invalid_run_args(self, tiny_ds):
+        trainer = _make_trainer(1)
+        with pytest.raises(ValueError, match="group_batch"):
+            trainer.run(tiny_ds.images, tiny_ds.labels, group_batch=0,
+                        n_iterations=3)
+        with pytest.raises(ValueError, match="n_iterations"):
+            trainer.run(tiny_ds.images, tiny_ds.labels, group_batch=8,
+                        n_iterations=0)
+        with pytest.raises(ValueError, match="drift"):
+            trainer.run(tiny_ds.images, tiny_ds.labels, group_batch=8,
+                        n_iterations=3, drift=[1.0])
