@@ -1,0 +1,16 @@
+"""Paper-vs-measured reporting helper shared by the benchmarks.
+
+Lives in its own module (not ``conftest.py``) so the import name cannot
+collide with the tests' conftest when both directories are collected in one
+pytest run.
+"""
+
+
+def report(title, rows):
+    """Print a paper-vs-measured table. rows: (label, paper, measured)."""
+    bar = "=" * 74
+    print(f"\n{bar}\n{title}\n{bar}")
+    print(f"{'quantity':42s} {'paper':>14s} {'measured':>14s}")
+    for label, paper, measured in rows:
+        print(f"{label:42s} {paper:>14s} {measured:>14s}")
+    print(bar)

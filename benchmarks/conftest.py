@@ -1,22 +1,13 @@
-"""Shared benchmark fixtures and reporting helpers.
+"""Shared benchmark fixtures.
 
-Every benchmark prints a ``paper vs measured`` block so the console output
-doubles as the reproduction record (EXPERIMENTS.md is generated from the
-same numbers).
+Every benchmark prints a ``paper vs measured`` block (via
+:func:`bench_report.report`) so the console output doubles as the
+reproduction record (EXPERIMENTS.md is generated from the same numbers).
+This file is fixtures-only; importable helpers live in ``bench_report.py``
+so the module name cannot collide with the tests' conftest.
 """
 
-import numpy as np
 import pytest
-
-
-def report(title, rows):
-    """Print a paper-vs-measured table. rows: (label, paper, measured)."""
-    bar = "=" * 74
-    print(f"\n{bar}\n{title}\n{bar}")
-    print(f"{'quantity':42s} {'paper':>14s} {'measured':>14s}")
-    for label, paper, measured in rows:
-        print(f"{label:42s} {paper:>14s} {measured:>14s}")
-    print(bar)
 
 
 @pytest.fixture(scope="session")

@@ -18,7 +18,7 @@ Each benchmark quantifies a design decision the paper makes by fiat:
 import numpy as np
 import pytest
 
-from conftest import report
+from bench_report import report
 from repro.cluster.knl import KNLNodeModel
 from repro.cluster.mcdram import (
     GIB,

@@ -14,7 +14,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import report
+from bench_report import report
 from repro.core.parameter import Parameter
 from repro.nn import Conv2D, FFTConv2D, build_resnet
 from repro.optim import Adam, QuantizedGradSGD, SGD

@@ -9,7 +9,7 @@
 import numpy as np
 import pytest
 
-from conftest import report
+from bench_report import report
 from repro.cluster.machine import cori
 from repro.optim import effective_momentum, tune_momentum_for_groups
 from repro.sim.hybrid_sim import HybridSimConfig, simulate_hybrid

@@ -10,7 +10,7 @@ benchmark to compare our results to", SVII-B).
 
 import numpy as np
 
-from conftest import report
+from bench_report import report
 from repro.data.climate import detect_all, make_climate_dataset
 from repro.models.bbox import detection_metrics
 

@@ -20,7 +20,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import report
+from bench_report import report
 from repro.cluster.knl import KNLNodeModel
 
 

@@ -12,7 +12,7 @@ runtime with shape-dependent rates.
 
 import numpy as np
 
-from conftest import report
+from bench_report import report
 from repro.flops import count_net
 from repro.models import build_hep_net
 from repro.sim.perf_model import SingleNodePerf

@@ -6,7 +6,7 @@ worse than 256); hybrid-2 saturates ~280x beyond 512; hybrid-4 reaches
 ~580x and hybrid-4 ~780x at 1024.
 """
 
-from conftest import report
+from bench_report import report
 from repro.sim.scaling import strong_scaling
 
 

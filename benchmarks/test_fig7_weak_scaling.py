@@ -6,7 +6,7 @@ and sync ~1500x at 2048 (hybrid pays the two extra PS communication steps).
 slightly better from reduced straggler effects on 300 ms layers).
 """
 
-from conftest import report
+from bench_report import report
 from repro.sim.scaling import weak_scaling
 
 

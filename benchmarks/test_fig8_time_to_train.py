@@ -14,7 +14,7 @@ calibrated 1024-node machine model.
 import numpy as np
 import pytest
 
-from conftest import report
+from bench_report import report
 from repro.cluster.machine import cori
 from repro.data.hep import make_hep_dataset
 from repro.distributed import HybridTrainer

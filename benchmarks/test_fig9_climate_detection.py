@@ -10,7 +10,7 @@ truth, and the semi-supervised (unlabeled-data) branch does not hurt.
 import numpy as np
 import pytest
 
-from conftest import report
+from bench_report import report
 from repro.data.climate import make_climate_dataset
 from repro.models import SemiSupervisedLoss, build_climate_net
 from repro.models.bbox import (detection_average_precision, detection_metrics,

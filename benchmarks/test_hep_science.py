@@ -15,7 +15,7 @@ baseline's absolute TPR at its tightest measurable working point and
 import numpy as np
 import pytest
 
-from conftest import report
+from bench_report import report
 from repro.data.hep import CutBaseline, make_hep_dataset
 from repro.models import build_hep_net
 from repro.optim import Adam

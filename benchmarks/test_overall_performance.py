@@ -9,7 +9,7 @@ Paper anchors:
 
 import pytest
 
-from conftest import report
+from bench_report import report
 from repro.sim.headline import climate_headline, hep_headline
 from repro.utils.units import PFLOPS
 

@@ -9,7 +9,7 @@ scale.
 import numpy as np
 import pytest
 
-from conftest import report
+from bench_report import report
 from repro.cluster.failures import FailureModel
 from repro.cluster.machine import cori
 from repro.sim.hybrid_sim import HybridSimConfig, simulate_hybrid

@@ -1,0 +1,90 @@
+"""Serving benchmarks: micro-batching throughput and SLO curves.
+
+No paper column here — the paper stops at training. These numbers extend the
+reproduction to the serving side using the same Fig 5 single-node model and
+alpha-beta network: the DeepBench efficiency collapse at minibatch 1 (SII-A)
+is exactly why unbatched serving forfeits ~10x throughput.
+
+Acceptance: micro-batching >= 5x throughput over batch-size-1 serving at
+equal replica count; p99-latency / SLO-attainment curves monotone across a
+request-rate sweep for both workloads.
+"""
+
+import numpy as np
+import pytest
+
+from bench_report import report
+from repro.serve import BatchingPolicy, ServingSimulator
+
+
+def _throughput(wl, max_batch, max_wait, n_requests=400):
+    """Saturated goodput of one replica at the given batching policy."""
+    sim = ServingSimulator(wl, n_replicas=1,
+                           policy=BatchingPolicy(max_batch=max_batch,
+                                                 max_wait=max_wait),
+                           max_queue=None)
+    # Offer 2x the full-batch saturation rate so the policy, not the
+    # arrival stream, is the bottleneck.
+    sat = ServingSimulator(
+        wl, n_replicas=1, policy=BatchingPolicy(max_batch=32)
+    ).saturation_rate()
+    return sim.run(2.0 * sat, n_requests=n_requests).throughput
+
+
+class TestMicroBatchingThroughput:
+    def test_hep_microbatching_5x(self, hep_wl):
+        unbatched = _throughput(hep_wl, max_batch=1, max_wait=0.0)
+        batched = _throughput(hep_wl, max_batch=32, max_wait=0.01)
+        ratio = batched / unbatched
+        report("serving throughput: micro-batching vs batch-1 (HEP, "
+               "1 replica)", [
+                   ("batch-1 goodput (req/s)", "--", f"{unbatched:.1f}"),
+                   ("max-batch-32 goodput (req/s)", "--", f"{batched:.1f}"),
+                   ("speedup", ">= 5x", f"{ratio:.1f}x"),
+               ])
+        assert ratio >= 5.0
+
+    def test_climate_microbatching_5x(self, climate_wl):
+        unbatched = _throughput(climate_wl, max_batch=1, max_wait=0.0,
+                                n_requests=200)
+        batched = _throughput(climate_wl, max_batch=32, max_wait=0.2,
+                              n_requests=200)
+        ratio = batched / unbatched
+        report("serving throughput: micro-batching vs batch-1 (climate, "
+               "1 replica)", [
+                   ("batch-1 goodput (req/s)", "--", f"{unbatched:.2f}"),
+                   ("max-batch-32 goodput (req/s)", "--", f"{batched:.2f}"),
+                   ("speedup", ">= 5x", f"{ratio:.1f}x"),
+               ])
+        assert ratio >= 5.0
+
+
+class TestSLOCurves:
+    @pytest.mark.parametrize("which", ["hep", "climate"])
+    def test_sweep_monotone(self, which, hep_wl, climate_wl):
+        wl = hep_wl if which == "hep" else climate_wl
+        sim = ServingSimulator(wl, n_replicas=4)
+        sweep = sim.sweep(n_requests=1024)
+        print(f"\n--- {which}: SLO sweep, 4 replicas, "
+              f"slo={sweep.slo * 1e3:.0f} ms ---")
+        print(sweep.table())
+        assert sweep.p99_is_monotone(), (
+            f"p99 curve not monotone: {sweep.p99_curve}")
+        assert sweep.attainment_is_monotone(), (
+            f"attainment curve not monotone: {sweep.attainment_curve}")
+        # The sweep brackets saturation: light load meets the SLO in full,
+        # 2x overload visibly does not.
+        assert sweep.attainment_curve[0] == pytest.approx(1.0)
+        assert sweep.attainment_curve[-1] < 1.0
+        assert sweep.p99_curve[-1] > 1.5 * sweep.p99_curve[0]
+
+    def test_replicas_scale_capacity(self, hep_wl):
+        one = ServingSimulator(hep_wl, n_replicas=1)
+        four = ServingSimulator(hep_wl, n_replicas=4)
+        assert four.saturation_rate() == pytest.approx(
+            4 * one.saturation_rate())
+        # At a rate that overloads 1 replica, 4 replicas still meet the SLO.
+        rate = 2.0 * one.saturation_rate()
+        slo = one.default_slo()
+        assert four.run(rate, n_requests=400).attainment(slo) > \
+            one.run(rate, n_requests=400).attainment(slo)

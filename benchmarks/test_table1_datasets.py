@@ -10,7 +10,7 @@ extrapolate the raw volumes analytically at paper-native shapes.
 
 import numpy as np
 
-from conftest import report
+from bench_report import report
 from repro.data.climate import make_climate_dataset
 from repro.data.hep import make_hep_dataset
 from repro.data.io import dataset_volume_bytes

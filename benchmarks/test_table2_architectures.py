@@ -5,7 +5,7 @@
 | climate | 768x768x16  | 9xconv, 5xdeconv        | 302.1 MiB |
 """
 
-from conftest import report
+from bench_report import report
 from repro.models import (
     CLIMATE_PAPER_INPUT,
     HEP_PAPER_INPUT,

@@ -1,5 +1,10 @@
-"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`)
-in offline environments without the `wheel` package."""
+"""Shim for editable installs in offline environments.
+
+All project metadata lives in ``pyproject.toml``; with network access a
+plain ``pip install -e .`` uses that directly and does not need this file.
+Offline images without the ``wheel`` package can fall back to
+``python setup.py develop`` (setuptools-only), which reads the same
+pyproject metadata through this shim."""
 
 from setuptools import setup
 

@@ -11,7 +11,10 @@ Layout:
 - :mod:`repro.sim` — at-scale timing simulation (Figs 5-7, PFLOP/s);
 - :mod:`repro.distributed` — real sync / hybrid-async training (Fig 8);
 - :mod:`repro.data` — synthetic HEP and climate datasets (Table I);
-- :mod:`repro.train` — loops, metrics (TPR@FPR), checkpoints.
+- :mod:`repro.train` — loops, metrics (TPR@FPR), checkpoints;
+- :mod:`repro.serve` — batched inference serving: versioned model registry,
+  dynamic micro-batching, replica placement/routing with admission control,
+  and SLO simulation (throughput, p50/p99, attainment) on the machine model.
 
 Quickstart::
 
@@ -27,7 +30,7 @@ Quickstart::
                              n_iterations=100)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro import (  # noqa: F401
     cluster,
@@ -39,6 +42,7 @@ from repro import (  # noqa: F401
     models,
     nn,
     optim,
+    serve,
     sim,
     train,
     utils,
@@ -56,6 +60,7 @@ __all__ = [
     "distributed",
     "data",
     "train",
+    "serve",
     "utils",
     "__version__",
 ]

@@ -55,6 +55,73 @@ class Module:
         for p in self.params():
             p.zero_grad()
 
+    # -- children ----------------------------------------------------------
+    def children(self) -> List["Module"]:
+        """Direct child modules. Containers override this one hook and get
+        train/eval propagation and the checkpoint buffer walk for free —
+        hand-rolling those per container is how a child is silently left in
+        training mode or dropped from a checkpoint."""
+        return []
+
+    # -- state I/O ---------------------------------------------------------
+    def _buffer_items(self):
+        """(name, array) pairs of every buffer, recursively, with
+        globally-unique names.
+
+        Own buffers are keyed ``<name>.buffer.<key>``; child items are
+        prefixed with the child's name unless already so prefixed — the
+        same scheme Sequential applies to parameter names — so same-named
+        layers in sibling containers cannot collide."""
+        for key, arr in self.buffers().items():
+            yield f"{self.name}.buffer.{key}", arr
+        for child in self.children():
+            for key, arr in child._buffer_items():
+                if not key.startswith(child.name + "."):
+                    key = f"{child.name}.{key}"
+                yield key, arr
+
+    def state_dict(self) -> dict:
+        """Full serializable state: parameters plus non-trainable buffers
+        (e.g. BatchNorm running statistics) — an eval-mode restore silently
+        misbehaves without the latter."""
+        state = {p.name: p.data.copy() for p in self.params()}
+        for name, arr in self._buffer_items():
+            state[name] = arr.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Strict restore of :meth:`state_dict` output (in-place).
+
+        Strict both ways: missing entries raise, and so do surplus ones — a
+        state dict with unknown keys almost always means the checkpoint came
+        from a different architecture, and dropping weights silently is how
+        serving ends up with a half-restored model."""
+        params = {p.name: p for p in self.params()}
+        missing = set(params) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+        known = set(params) | {name for name, _ in self._buffer_items()}
+        unexpected = set(state) - known
+        if unexpected:
+            raise KeyError(
+                f"state dict has unexpected keys: {sorted(unexpected)}")
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: {value.shape} vs "
+                    f"{param.data.shape}")
+            param.data[...] = value
+        for name, arr in self._buffer_items():
+            if name not in state:
+                raise KeyError(f"state dict missing buffer: {name!r}")
+            value = np.asarray(state[name], dtype=arr.dtype)
+            if value.shape != arr.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: {value.shape} vs "
+                    f"{arr.shape}")
+            arr[...] = value
+
     def num_params(self) -> int:
         return sum(p.size for p in self.params())
 
@@ -64,10 +131,14 @@ class Module:
     # -- modes -------------------------------------------------------------
     def train(self) -> "Module":
         self.training = True
+        for child in self.children():
+            child.train()
         return self
 
     def eval(self) -> "Module":
         self.training = False
+        for child in self.children():
+            child.eval()
         return self
 
     # -- accounting --------------------------------------------------------

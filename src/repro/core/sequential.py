@@ -61,18 +61,11 @@ class Sequential(Module):
         """Layers that own parameters — each gets a dedicated PS (paper Fig 4)."""
         return [layer for layer in self.layers if layer.params()]
 
-    # -- modes -------------------------------------------------------------
-    def train(self) -> "Sequential":
-        super().train()
-        for layer in self.layers:
-            layer.train()
-        return self
-
-    def eval(self) -> "Sequential":
-        super().eval()
-        for layer in self.layers:
-            layer.eval()
-        return self
+    # -- children ----------------------------------------------------------
+    # train/eval propagation and the checkpoint buffer walk come from
+    # Module via this hook.
+    def children(self) -> List[Module]:
+        return list(self.layers)
 
     # -- accounting --------------------------------------------------------
     def flops(self, batch: int) -> int:
@@ -83,42 +76,6 @@ class Sequential(Module):
         for layer in self.layers:
             shape = layer.output_shape(shape)
         return shape
-
-    # -- state I/O ---------------------------------------------------------
-    def _buffer_items(self):
-        for layer in self.layers:
-            for key, arr in layer.buffers().items():
-                yield f"{layer.name}.buffer.{key}", arr
-
-    def state_dict(self) -> dict:
-        state = {p.name: p.data.copy() for p in self.params()}
-        # Non-trainable state (e.g. BatchNorm running statistics) must ride
-        # along or an eval-mode restore silently misbehaves.
-        for name, arr in self._buffer_items():
-            state[name] = arr.copy()
-        return state
-
-    def load_state_dict(self, state: dict) -> None:
-        params = {p.name: p for p in self.params()}
-        missing = set(params) - set(state)
-        if missing:
-            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
-        for name, param in params.items():
-            value = np.asarray(state[name], dtype=np.float32)
-            if value.shape != param.data.shape:
-                raise ValueError(
-                    f"shape mismatch for {name!r}: {value.shape} vs "
-                    f"{param.data.shape}")
-            param.data[...] = value
-        for name, arr in self._buffer_items():
-            if name not in state:
-                raise KeyError(f"state dict missing buffer: {name!r}")
-            value = np.asarray(state[name], dtype=arr.dtype)
-            if value.shape != arr.shape:
-                raise ValueError(
-                    f"shape mismatch for {name!r}: {value.shape} vs "
-                    f"{arr.shape}")
-            arr[...] = value
 
     # -- conveniences ------------------------------------------------------
     def __iter__(self) -> Iterator[Module]:

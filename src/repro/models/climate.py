@@ -142,11 +142,9 @@ class ClimateNet(Module):
 
     # -- parameters / accounting -------------------------------------------
     def params(self) -> List[Parameter]:
-        out = list(self.encoder.params())
-        out += self.conf_head.params()
-        out += self.cls_head.params()
-        out += self.box_head.params()
-        out += self.decoder.params()
+        out: List[Parameter] = []
+        for sub in self.children():
+            out.extend(sub.params())
         return out
 
     def trainable_layers(self) -> List[Module]:
@@ -156,25 +154,18 @@ class ClimateNet(Module):
                 + [self.conf_head, self.cls_head, self.box_head]
                 + self.decoder.trainable_layers())
 
+    def children(self) -> List[Module]:
+        """Every child, in parameter order — the single enumeration that
+        params(), train/eval propagation, and the checkpoint buffer walk
+        (both via Module) all share."""
+        return [self.encoder, self.conf_head, self.cls_head,
+                self.box_head, self.decoder]
+
     def grid_shape(self, input_hw: Tuple[int, int]) -> Tuple[int, int]:
         """Prediction-grid size for a given input size."""
         c, h, w = self.encoder.output_shape(
             (self.in_channels,) + tuple(input_hw))
         return (h, w)
-
-    def train(self) -> "ClimateNet":
-        super().train()
-        for sub in (self.encoder, self.decoder, self.conf_head,
-                    self.cls_head, self.box_head):
-            sub.train()
-        return self
-
-    def eval(self) -> "ClimateNet":
-        super().eval()
-        for sub in (self.encoder, self.decoder, self.conf_head,
-                    self.cls_head, self.box_head):
-            sub.eval()
-        return self
 
     def predict(self, x: np.ndarray, conf_threshold: float = 0.8,
                 apply_nms: bool = True):

@@ -37,8 +37,11 @@ class ReLU(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0).astype(x.dtype)
+        mask = x > 0
+        # Eval-mode forwards (inference serving) never run backward: don't
+        # hold the activation-sized mask alive between requests.
+        self._mask = mask if self.training else None
+        return np.where(mask, x, 0.0).astype(x.dtype)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
@@ -61,8 +64,9 @@ class Sigmoid(Module):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._out = sigmoid(x)
-        return self._out
+        out = sigmoid(x)
+        self._out = out if self.training else None
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._out is None:
@@ -81,8 +85,9 @@ class Tanh(Module):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._out = np.tanh(x)
-        return self._out
+        out = np.tanh(x)
+        self._out = out if self.training else None
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._out is None:

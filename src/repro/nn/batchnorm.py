@@ -62,15 +62,24 @@ class BatchNorm2D(Module):
             mean = x.mean(axis=(0, 2, 3))
             var = x.var(axis=(0, 2, 3))
             m = self.momentum
+            # The running average tracks the *unbiased* variance: eval-mode
+            # batches were not part of the statistic, so the population
+            # estimate is the right normalizer at inference time.
+            n_stat = x.shape[0] * x.shape[2] * x.shape[3]
+            unbiased = var * n_stat / (n_stat - 1) if n_stat > 1 else var
             # In-place: the arrays are exposed via buffers() for
             # checkpointing and must keep their identity.
             self.running_mean *= m
             self.running_mean += ((1 - m) * mean).astype(np.float32)
             self.running_var *= m
-            self.running_var += ((1 - m) * var).astype(np.float32)
+            self.running_var += ((1 - m) * unbiased).astype(np.float32)
         else:
             mean = self.running_mean
             var = self.running_var
+            # Eval forwards are not training state: drop any cache left by a
+            # previous training forward so a later backward() fails loudly
+            # instead of silently using stale statistics.
+            self._cache = None
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
         out = (self.gamma.data[None, :, None, None] * x_hat

@@ -62,7 +62,9 @@ class Conv2D(Module):
         out = cols @ w_mat.T                             # (N*oh*ow, F)
         out += self.bias.data
         out = out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
-        self._cache = (x.shape, cols)
+        # The im2col matrix is the layer's largest buffer; eval-mode forwards
+        # (inference serving) never run backward, so don't hold it alive.
+        self._cache = (x.shape, cols) if self.training else None
         return np.ascontiguousarray(out)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

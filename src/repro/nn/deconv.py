@@ -77,7 +77,9 @@ class Deconv2D(Module):
         cols = x_mat @ w_mat                      # (N*h*w, C_out*k*k)
         out = col2im(cols, (n, self.out_channels, oh, ow), k, k, s, p)
         out += self.bias.data[None, :, None, None]
-        self._cache = (x.shape, x_mat, (n, oh, ow))
+        # As in Conv2D: eval-mode forwards never run backward, so don't pin
+        # the reshaped input matrix in memory.
+        self._cache = (x.shape, x_mat, (n, oh, ow)) if self.training else None
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

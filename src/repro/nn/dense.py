@@ -40,7 +40,7 @@ class Dense(Module):
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"{self.name}: expected (N, {self.in_features}), got {x.shape}")
-        self._cache = x
+        self._cache = x if self.training else None
         return x @ self.weight.data.T + self.bias.data
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

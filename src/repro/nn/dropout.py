@@ -41,8 +41,14 @@ class Dropout(Module):
             self._mask = None
             return x
         keep = 1.0 - self.p
-        self._mask = (self._rng.random(x.shape) < keep) / keep
-        return (x * self._mask).astype(np.float32)
+        # float32 throughout — both the kept mask and the transients (a
+        # float64 intermediate would double the layer's peak working set
+        # for no precision gain).
+        mask = (self._rng.random(x.shape, dtype=np.float32)
+                < keep).astype(np.float32)
+        mask /= np.float32(keep)
+        self._mask = mask
+        return (x * mask).astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:

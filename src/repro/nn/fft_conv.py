@@ -56,8 +56,12 @@ class FFTConv2D(Conv2D):
         out += self.bias.data[None, :, None, None]
         # Cache the input; the adjoint (backward) lazily builds the im2col
         # matrix so gradients are identical to the GEMM implementation.
-        self._cache = (x.shape, None)
-        self._x = x
+        if self.training:
+            self._cache = (x.shape, None)
+            self._x = x
+        else:
+            self._cache = None
+            self._x = None
         return np.ascontiguousarray(out)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

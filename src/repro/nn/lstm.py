@@ -83,7 +83,7 @@ class LSTM(Module):
             steps.append((x_t, h, c, i, f, g, o, tanh_c))
             h, c = h_new, c_new
             outputs[:, t, :] = h
-        self._cache = (steps, x.shape)
+        self._cache = (steps, x.shape) if self.training else None
         return outputs if self.return_sequences else h
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

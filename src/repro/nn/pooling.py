@@ -43,13 +43,18 @@ class MaxPool2D(Module):
             # Non-overlapping: reshape into (N, C, oh, k, ow, k) blocks.
             blocks = x.reshape(n, c, h // k, k, w // k, k)
             out = blocks.max(axis=(3, 5))
-            # Mask of winners for backward (ties split gradient evenly is NOT
-            # what Caffe does; Caffe routes to the first max. We route to all
-            # maxima scaled by multiplicity for a correct adjoint).
-            expanded = out[:, :, :, None, :, None]
-            mask = (blocks == expanded)
-            counts = mask.sum(axis=(3, 5), keepdims=True)
-            self._cache = ("fast", x.shape, mask, counts)
+            if self.training:
+                # Mask of winners for backward (ties split gradient evenly
+                # is NOT what Caffe does; Caffe routes to the first max. We
+                # route to all maxima scaled by multiplicity for a correct
+                # adjoint). Eval forwards skip the construction entirely —
+                # it is an input-sized allocation serving never uses.
+                expanded = out[:, :, :, None, :, None]
+                mask = (blocks == expanded)
+                counts = mask.sum(axis=(3, 5), keepdims=True)
+                self._cache = ("fast", x.shape, mask, counts)
+            else:
+                self._cache = None
             return out
         # General (overlapping / ragged) path via explicit windows.
         oh = conv_output_size(h, k, s, 0)
@@ -61,7 +66,8 @@ class MaxPool2D(Module):
         flat = view.reshape(n, c, oh, ow, k * k)
         arg = flat.argmax(axis=-1)
         out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
-        self._cache = ("general", x.shape, arg, (oh, ow))
+        self._cache = ("general", x.shape, arg, (oh, ow)) \
+            if self.training else None
         return np.ascontiguousarray(out)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

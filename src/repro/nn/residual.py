@@ -53,6 +53,15 @@ class ResidualBlock(Module):
                 if not p.name.startswith(sub.name + "."):
                     p.name = f"{sub.name}.{p.name}"
 
+    # train/eval propagation and the checkpoint buffer walk come from
+    # Module via this hook (sub-layer names already carry the block prefix).
+    def children(self) -> List[Module]:
+        subs: List[Module] = [self.conv1, self.relu1, self.conv2,
+                              self.relu_out]
+        if self.proj is not None:
+            subs.append(self.proj)
+        return subs
+
     # -- computation -------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
         h = self.relu1.forward(self.conv1.forward(x))

@@ -147,7 +147,7 @@ class WinogradConv2D(Module):
         out = y.transpose(0, 1, 2, 4, 3, 5).reshape(n, self.out_channels,
                                                     2 * th, 2 * tw)
         out = out[:, :, :oh, :ow] + self.bias.data[None, :, None, None]
-        self._cache = (x,)
+        self._cache = (x,) if self.training else None
         return np.ascontiguousarray(out.astype(np.float32))
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -1,0 +1,70 @@
+"""repro.serve: batched inference serving on the Cori machine model.
+
+The training side of the reproduction produces checkpoints; this package
+turns them into a servable system with explicit throughput/latency
+accounting:
+
+- :mod:`repro.serve.registry` — versioned checkpoint store; loads snapshots
+  into immutable eval-mode replicas (:class:`ServableModel`);
+- :mod:`repro.serve.batching` — dynamic micro-batching (max-batch/max-wait
+  policy) for both simulated queues and real coalesced forwards;
+- :mod:`repro.serve.router` — replica placement on
+  :class:`repro.cluster.machine.CoriMachine` nodes, least-loaded routing,
+  admission control;
+- :mod:`repro.serve.latency` — per-batch service times from the Fig 5
+  single-node model (forward-only) + alpha-beta request transport;
+- :mod:`repro.serve.metrics` — latency percentiles, throughput, SLO
+  attainment;
+- :mod:`repro.serve.slo_sim` — request-rate sweeps producing p50/p99 and
+  SLO-attainment curves for capacity planning.
+
+Quickstart::
+
+    from repro.serve import (BatchingPolicy, ModelRegistry, ServingSimulator)
+    from repro.models import build_hep_net
+    from repro.sim.workload import hep_workload
+
+    registry = ModelRegistry("checkpoints")
+    registry.register("hep", lambda: build_hep_net(rng=0), (3, 224, 224))
+    registry.publish("hep", trained_net)
+    replica = registry.load("hep")            # frozen, eval-mode
+    logits = replica(batch)                   # real batched inference
+
+    sim = ServingSimulator(hep_workload(), n_replicas=4,
+                           policy=BatchingPolicy(max_batch=32))
+    print(sim.sweep().table())                # p50/p99/SLO vs offered rate
+"""
+
+from repro.serve.batching import (  # noqa: F401
+    Batch,
+    BatchExecutor,
+    BatchingPolicy,
+    ReplicaBatchQueue,
+    plan_batches,
+)
+from repro.serve.latency import ServiceTimeModel  # noqa: F401
+from repro.serve.metrics import (  # noqa: F401
+    LatencyStats,
+    RatePoint,
+    SweepReport,
+)
+from repro.serve.registry import ModelRegistry, ServableModel  # noqa: F401
+from repro.serve.router import ReplicaHandle, Router  # noqa: F401
+from repro.serve.slo_sim import ServingSimulator  # noqa: F401
+
+__all__ = [
+    "Batch",
+    "BatchExecutor",
+    "BatchingPolicy",
+    "LatencyStats",
+    "ModelRegistry",
+    "RatePoint",
+    "ReplicaBatchQueue",
+    "ReplicaHandle",
+    "Router",
+    "ServableModel",
+    "ServiceTimeModel",
+    "ServingSimulator",
+    "SweepReport",
+    "plan_batches",
+]

@@ -1,0 +1,149 @@
+"""Latency/throughput accounting for the serving layer.
+
+A serving run produces one :class:`LatencyStats` (per-request latencies plus
+drop counts); a request-rate sweep stacks them into a :class:`SweepReport`
+whose p50/p99 and SLO-attainment curves are the serving analogue of the
+paper's scaling figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class LatencyStats:
+    """Outcome of serving one request stream at a fixed offered rate."""
+
+    latencies: np.ndarray          # seconds, one entry per completed request
+    n_offered: int                 # requests that arrived at the front door
+    n_dropped: int = 0             # rejected by admission control
+    horizon: float = 0.0           # first arrival -> last completion (s)
+
+    def __post_init__(self) -> None:
+        self.latencies = np.asarray(self.latencies, dtype=np.float64)
+        if self.n_offered < 0 or self.n_dropped < 0:
+            raise ValueError("counts must be non-negative")
+        if self.n_completed + self.n_dropped > self.n_offered:
+            raise ValueError(
+                f"completed ({self.n_completed}) + dropped ({self.n_dropped})"
+                f" exceed offered ({self.n_offered})")
+
+    @property
+    def n_completed(self) -> int:
+        return int(self.latencies.size)
+
+    @property
+    def drop_rate(self) -> float:
+        return self.n_dropped / self.n_offered if self.n_offered else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100] over completed requests."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.latencies.size == 0:
+            return float("nan")
+        return float(np.percentile(self.latencies, q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        return float(self.latencies.mean()) if self.latencies.size else float(
+            "nan")
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second over the run's makespan."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.n_completed / self.horizon
+
+    def attainment(self, slo: float) -> float:
+        """Fraction of *offered* requests answered within ``slo`` seconds.
+
+        Drops count as violations — an operator cares about the requests
+        users sent, not the ones the system deigned to serve.
+        """
+        if slo <= 0:
+            raise ValueError(f"slo must be positive, got {slo}")
+        if self.n_offered == 0:
+            return 1.0
+        ok = int((self.latencies <= slo).sum())
+        return ok / self.n_offered
+
+
+@dataclass(frozen=True)
+class RatePoint:
+    """One point of a request-rate sweep."""
+
+    rate: float                    # offered requests/second
+    stats: LatencyStats
+
+
+@dataclass
+class SweepReport:
+    """SLO-attainment and tail-latency curves across offered rates."""
+
+    slo: float                     # latency target (s)
+    points: List[RatePoint] = field(default_factory=list)
+
+    def add(self, rate: float, stats: LatencyStats) -> None:
+        self.points.append(RatePoint(rate, stats))
+
+    @property
+    def rates(self) -> np.ndarray:
+        return np.array([p.rate for p in self.points])
+
+    @property
+    def p50_curve(self) -> np.ndarray:
+        return np.array([p.stats.p50 for p in self.points])
+
+    @property
+    def p99_curve(self) -> np.ndarray:
+        return np.array([p.stats.p99 for p in self.points])
+
+    @property
+    def throughput_curve(self) -> np.ndarray:
+        return np.array([p.stats.throughput for p in self.points])
+
+    @property
+    def attainment_curve(self) -> np.ndarray:
+        return np.array([p.stats.attainment(self.slo) for p in self.points])
+
+    def p99_is_monotone(self, rel_tol: float = 5e-3) -> bool:
+        """Check that p99 latency never decreases as offered load rises.
+
+        This is a *check*, not a universal law: it holds for sweeps whose
+        batching ``max_wait`` is at or below the full-batch service time
+        (see :meth:`ServingSimulator.sweep`); wait-dominated configs can
+        legitimately fail it. ``rel_tol`` absorbs percentile-interpolation
+        noise on the flat sub-saturation part of the curve.
+        """
+        c = self.p99_curve
+        return bool(np.all(c[1:] >= c[:-1] * (1.0 - rel_tol)))
+
+    def attainment_is_monotone(self, tol: float = 1e-9) -> bool:
+        """SLO attainment never improves as offered load rises."""
+        c = self.attainment_curve
+        return bool(np.all(c[1:] <= c[:-1] + tol))
+
+    def table(self) -> str:
+        rows = [f"{'rate (req/s)':>12s} {'goodput':>9s} {'p50 (ms)':>9s} "
+                f"{'p99 (ms)':>9s} {'attain':>7s} {'drops':>6s}"]
+        for p in self.points:
+            s = p.stats
+            rows.append(
+                f"{p.rate:>12.2f} {s.throughput:>9.2f} {s.p50 * 1e3:>9.1f} "
+                f"{s.p99 * 1e3:>9.1f} {s.attainment(self.slo):>7.3f} "
+                f"{s.n_dropped:>6d}")
+        return "\n".join(rows)

@@ -1,0 +1,213 @@
+"""Model registry: versioned checkpoints -> immutable eval-mode replicas.
+
+Training (:mod:`repro.train`) publishes snapshots; serving loads them. The
+registry pairs a *builder* (architecture) with a directory of versioned
+``.npz`` checkpoints (weights), so a replica is always reconstructed from
+code + data rather than pickled — the same split the paper's IntelCaffe
+deployment had between prototxt and caffemodel.
+
+Loaded replicas are frozen: parameter and buffer arrays are marked
+read-only, so a stray optimizer step or in-place edit on a serving replica
+raises instead of silently skewing production traffic.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
+
+_VERSION_RE = re.compile(r"^v(\d+)\.npz$")
+_NAME_RE = re.compile(r"[A-Za-z0-9._-]+")  # fullmatch: one path component
+
+
+def _state_spec(net) -> Dict[str, Tuple[int, ...]]:
+    """{state-dict key: shape} without copying any array — same keys as
+    ``net.state_dict()`` (parameters plus buffers)."""
+    spec = {p.name: tuple(p.data.shape) for p in net.params()}
+    for key, arr in net._buffer_items():
+        spec[key] = tuple(arr.shape)
+    return spec
+
+
+def _freeze(net) -> None:
+    """Mark every parameter and buffer array read-only, in place."""
+    for p in net.params():
+        p.data.flags.writeable = False
+    if hasattr(net, "_buffer_items"):
+        for _, arr in net._buffer_items():
+            arr.flags.writeable = False
+
+
+class ServableModel:
+    """An immutable, eval-mode replica of a registered model.
+
+    ``forward``/``__call__`` validate the input signature (per-sample shape)
+    and run the frozen net. Train-mode switches are refused — a replica is a
+    snapshot, not a trainee.
+    """
+
+    def __init__(self, name: str, version: int, net,
+                 input_shape: Tuple[int, ...]) -> None:
+        self.name = name
+        self.version = version
+        self.input_shape = tuple(input_shape)
+        net.eval()
+        _freeze(net)
+        self.net = net
+
+    def forward(self, x: np.ndarray):
+        x = np.asarray(x, dtype=np.float32)
+        if tuple(x.shape[1:]) != self.input_shape:
+            raise ValueError(
+                f"{self.name}:v{self.version} expects per-sample shape "
+                f"{self.input_shape}, got batch of {tuple(x.shape[1:])}")
+        return self.net.forward(x)
+
+    def __call__(self, x: np.ndarray):
+        return self.forward(x)
+
+    def train(self):  # pragma: no cover - guard rail
+        raise RuntimeError(
+            f"{self.name}:v{self.version} is a frozen serving replica; "
+            "train on a fresh builder() net and publish a new version")
+
+    def param_bytes(self) -> int:
+        return self.net.param_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ServableModel({self.name}:v{self.version}, "
+                f"input={self.input_shape})")
+
+
+class ModelRegistry:
+    """Builder + versioned checkpoint store under one root directory.
+
+    Layout: ``root/<model-name>/v<NNNN>.npz``. ``publish`` writes the next
+    version; ``load`` reconstructs an eval-mode :class:`ServableModel` from
+    any stored version (latest by default).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._builders: Dict[str, Callable[[], object]] = {}
+        self._input_shapes: Dict[str, Tuple[int, ...]] = {}
+        #: name -> expected state-dict spec {key: shape}, built lazily from
+        #: one builder() call (publishing a 300 MiB net should not construct
+        #: a second one per snapshot just to validate it)
+        self._specs: Dict[str, Dict[str, Tuple[int, ...]]] = {}
+
+    # -- registration --------------------------------------------------------
+    def register(self, name: str, builder: Callable[[], object],
+                 input_shape: Tuple[int, ...]) -> None:
+        """Associate ``name`` with a zero-arg net factory and its per-sample
+        input shape."""
+        # The name becomes a directory under root: allow one plain path
+        # component only (no separators, no '.'/'..' traversal).
+        if not _NAME_RE.fullmatch(name) or name in (".", ".."):
+            raise ValueError(f"invalid model name {name!r}")
+        if name in self._builders:
+            raise ValueError(f"model {name!r} already registered")
+        self._builders[name] = builder
+        self._input_shapes[name] = tuple(input_shape)
+
+    def names(self) -> List[str]:
+        return sorted(self._builders)
+
+    def _require(self, name: str) -> None:
+        if name not in self._builders:
+            raise KeyError(
+                f"unknown model {name!r}; registered: {self.names()}")
+
+    # -- versions ------------------------------------------------------------
+    def _version_files(self, name: str) -> Dict[int, Path]:
+        """version -> checkpoint path, from whatever v<N>.npz files exist
+        (zero-padded or not, so hand-placed checkpoints load too)."""
+        model_dir = self.root / name
+        out: Dict[int, Path] = {}
+        if model_dir.is_dir():
+            for f in sorted(model_dir.iterdir()):
+                m = _VERSION_RE.match(f.name)
+                if m:
+                    version = int(m.group(1))
+                    if version in out:
+                        raise ValueError(
+                            f"model {name!r} has two checkpoints for "
+                            f"version {version}: {out[version].name} and "
+                            f"{f.name}; remove one")
+                    out[version] = f
+        return out
+
+    def versions(self, name: str) -> List[int]:
+        """Published versions of ``name``, ascending (empty if none)."""
+        self._require(name)
+        return sorted(self._version_files(name))
+
+    def latest(self, name: str) -> int:
+        versions = self.versions(name)
+        if not versions:
+            raise FileNotFoundError(
+                f"model {name!r} has no published checkpoints under "
+                f"{self.root / name}")
+        return versions[-1]
+
+    def _path(self, name: str, version: int) -> Path:
+        return self.root / name / f"v{version:04d}.npz"
+
+    # -- publish / load ------------------------------------------------------
+    def _spec(self, name: str) -> Dict[str, Tuple[int, ...]]:
+        if name not in self._specs:
+            self._specs[name] = _state_spec(self._builders[name]())
+        return self._specs[name]
+
+    def publish(self, name: str, net) -> int:
+        """Snapshot ``net`` as the next version of ``name``; returns it.
+
+        The snapshot is validated against the registered builder's
+        state-dict spec first (same keys, same shapes — the checks the
+        strict loader applies at load time) — publishing an incompatible
+        net would otherwise poison the model's latest version and break
+        every subsequent ``load``.
+        """
+        self._require(name)
+        spec = self._spec(name)
+        # Shape-only view of the net: no array copies during validation
+        # (save_checkpoint materializes the one state dict actually written).
+        state = _state_spec(net)
+        problems = []
+        missing = set(spec) - set(state)
+        unexpected = set(state) - set(spec)
+        if missing:
+            problems.append(f"missing keys {sorted(missing)}")
+        if unexpected:
+            problems.append(f"unexpected keys {sorted(unexpected)}")
+        problems += [
+            f"shape mismatch for {key!r}: {state[key]} vs {spec[key]}"
+            for key in sorted(set(spec) & set(state))
+            if state[key] != spec[key]]
+        if problems:
+            raise ValueError(
+                f"net does not fit the builder registered for {name!r}: "
+                + "; ".join(problems))
+        versions = self.versions(name)
+        version = (versions[-1] + 1) if versions else 1
+        save_checkpoint(net, self._path(name, version))
+        return version
+
+    def load(self, name: str, version: Optional[int] = None) -> ServableModel:
+        """Rebuild ``name`` at ``version`` (default: latest) for serving."""
+        self._require(name)
+        if version is None:
+            version = self.latest(name)
+        files = self._version_files(name)
+        if version not in files:
+            raise FileNotFoundError(
+                f"model {name!r} has no version {version} "
+                f"(have {sorted(files)})")
+        net = self._builders[name]()
+        load_checkpoint(net, files[version])
+        return ServableModel(name, version, net, self._input_shapes[name])

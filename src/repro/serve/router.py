@@ -1,0 +1,128 @@
+"""Replica placement and request routing with admission control.
+
+Replicas are placed on :class:`repro.cluster.machine.CoriMachine` nodes the
+same way the training simulators place compute groups (one contiguous
+dragonfly allocation, paper Fig 3). The router sends each request to the
+replica with the fewest outstanding requests; when every replica is at the
+admission limit (``max_queue`` outstanding each), the request is rejected
+up front — a shed request costs the client a retry, a queued-forever
+request costs every client behind it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.cluster.machine import CoriMachine, cori
+from repro.serve.batching import BatchingPolicy, ReplicaBatchQueue
+
+ROUTING_STRATEGIES = ("least_loaded", "round_robin")
+
+
+@dataclass
+class ReplicaHandle:
+    """One placed replica: machine node + its virtual-time batch queue."""
+
+    index: int
+    node_id: int
+    queue: ReplicaBatchQueue
+
+
+class Router:
+    """Places ``n_replicas`` on machine nodes and routes a request stream."""
+
+    def __init__(self, machine: Optional[CoriMachine], n_replicas: int,
+                 policy: BatchingPolicy,
+                 service_time: Callable[[int], float],
+                 max_queue: Optional[int] = 64,
+                 strategy: str = "least_loaded") -> None:
+        if n_replicas <= 0:
+            raise ValueError(
+                f"n_replicas must be positive, got {n_replicas}")
+        if max_queue is not None and max_queue <= 0:
+            raise ValueError(
+                f"max_queue must be positive or None, got {max_queue}")
+        if strategy not in ROUTING_STRATEGIES:
+            raise ValueError(f"unknown routing strategy {strategy!r}; "
+                             f"have {ROUTING_STRATEGIES}")
+        self.machine = machine or cori(seed=0, jitter=False)
+        if n_replicas > self.machine.n_nodes:
+            raise ValueError(
+                f"{n_replicas} replicas > machine size "
+                f"{self.machine.n_nodes}")
+        self.policy = policy
+        self.max_queue = max_queue
+        self.strategy = strategy
+        # One contiguous allocation, one node per replica (Fig 3 ideal).
+        placement = self.machine.topology.place(n_replicas, 1)
+        self.replicas: List[ReplicaHandle] = [
+            ReplicaHandle(i, node_id,
+                          ReplicaBatchQueue(policy, service_time))
+            for i, node_id in enumerate(placement.group_nodes[0])]
+        self.n_offered = 0
+        self.n_dropped = 0
+        self._rr_next = 0
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    def node_ids(self) -> List[int]:
+        return [r.node_id for r in self.replicas]
+
+    # -- routing -------------------------------------------------------------
+    @staticmethod
+    def _least_loaded(replicas: List[ReplicaHandle],
+                      t: float) -> ReplicaHandle:
+        # Ties broken by replica index for determinism.
+        return min(replicas, key=lambda r: (r.queue.backlog(t), r.index))
+
+    def pick(self, t: float) -> ReplicaHandle:
+        """Choose the target replica for a request arriving at ``t``."""
+        for r in self.replicas:
+            r.queue.advance(t)
+        if self.strategy == "round_robin":
+            r = self.replicas[self._rr_next % self.n_replicas]
+            self._rr_next += 1
+            return r
+        return self._least_loaded(self.replicas, t)
+
+    def _full(self, replica: ReplicaHandle, t: float) -> bool:
+        return (self.max_queue is not None
+                and replica.queue.outstanding(t) >= self.max_queue)
+
+    def submit(self, t: float, request_id: int) -> bool:
+        """Route one arrival; returns False if admission control shed it.
+
+        ``max_queue`` bounds each replica's *outstanding* requests (queued
+        plus launched-but-unfinished), so per-request latency is bounded by
+        roughly ``max_queue / replica_throughput`` even under sustained
+        overload. A request is shed only when every replica is at the
+        limit — if the strategy's first pick is full (round_robin doesn't
+        look at load), the request fails over to the least-loaded replica
+        with headroom rather than being dropped amid idle capacity.
+        """
+        self.n_offered += 1
+        replica = self.pick(t)
+        if self._full(replica, t):
+            open_replicas = [r for r in self.replicas
+                             if not self._full(r, t)]
+            if not open_replicas:
+                self.n_dropped += 1
+                return False
+            replica = self._least_loaded(open_replicas, t)
+        replica.queue.push(t, request_id)
+        return True
+
+    def drain(self) -> None:
+        """Flush all replica queues (end of the arrival stream)."""
+        for r in self.replicas:
+            r.queue.drain()
+
+    def completions(self) -> dict:
+        """request_id -> completion time, merged across replicas."""
+        out: dict = {}
+        for r in self.replicas:
+            out.update(r.queue.completions)
+        return out

@@ -98,21 +98,31 @@ def _records_from_net(net, input_shape) -> Tuple[LayerFlops, ...]:
     return tuple(records)
 
 
+def custom_workload(name: str, net, input_shape: Tuple[int, int, int],
+                    solver: str = "adam") -> Workload:
+    """Workload descriptor for any layer-iterable net (e.g. ``Sequential``).
+
+    Lets the timing and serving models run on scaled-down nets without
+    building the paper-size networks — tests and quickstarts use this.
+    """
+    records = _records_from_net(net, input_shape)
+    layer_bytes = tuple(
+        sum(p.nbytes for p in layer.params())
+        for layer in net.trainable_layers())
+    return Workload(
+        name=name, input_shape=tuple(input_shape),
+        layer_shapes=tuple((r.name, r.kind) for r in records),
+        trainable_layer_bytes=layer_bytes, solver=solver,
+        _base_records=records)
+
+
 @lru_cache(maxsize=4)
 def hep_workload() -> Workload:
     """The HEP network at the paper-native 224x224x3 input."""
     from repro.models.hep import HEP_PAPER_INPUT, build_hep_net
 
-    net = build_hep_net(rng=0)
-    records = _records_from_net(net, HEP_PAPER_INPUT)
-    layer_bytes = tuple(
-        sum(p.nbytes for p in layer.params())
-        for layer in net.trainable_layers())
-    return Workload(
-        name="hep", input_shape=HEP_PAPER_INPUT,
-        layer_shapes=tuple((r.name, r.kind) for r in records),
-        trainable_layer_bytes=layer_bytes, solver="adam",
-        _base_records=records)
+    return custom_workload("hep", build_hep_net(rng=0), HEP_PAPER_INPUT,
+                           solver="adam")
 
 
 @lru_cache(maxsize=4)

@@ -19,15 +19,12 @@ from repro.core.sequential import Sequential
 
 def save_checkpoint(net, path: Union[str, os.PathLike]) -> int:
     """Save a model's full state (parameters + buffers); returns bytes
-    written. Nets exposing ``state_dict`` (e.g. :class:`Sequential`)
-    checkpoint their non-trainable buffers too — BatchNorm running
-    statistics would otherwise be silently lost across a restore."""
+    written. ``state_dict`` (on every :class:`repro.core.module.Module`)
+    includes the non-trainable buffers — BatchNorm running statistics
+    would otherwise be silently lost across a restore."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    if hasattr(net, "state_dict"):
-        state = net.state_dict()
-    else:
-        state = {p.name: p.data for p in net.params()}
+    state = net.state_dict()
     if not state:
         raise ValueError("model has no parameters to checkpoint")
     np.savez(path, **state)
@@ -43,18 +40,4 @@ def load_checkpoint(net, path: Union[str, os.PathLike]) -> None:
     if path.suffix != ".npz" and not path.exists():
         path = path.with_suffix(path.suffix + ".npz")
     with np.load(path) as data:
-        if hasattr(net, "load_state_dict"):
-            net.load_state_dict({name: data[name] for name in data.files})
-            return
-        params = {p.name: p for p in net.params()}
-        missing = set(params) - set(data.files)
-        if missing:
-            raise KeyError(f"checkpoint missing parameters: "
-                           f"{sorted(missing)}")
-        for name, p in params.items():
-            value = data[name]
-            if value.shape != p.data.shape:
-                raise ValueError(
-                    f"shape mismatch for {name!r}: {value.shape} vs "
-                    f"{p.data.shape}")
-            p.data[...] = value
+        net.load_state_dict({name: data[name] for name in data.files})

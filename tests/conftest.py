@@ -1,4 +1,8 @@
-"""Shared fixtures: small datasets and nets reused across test modules."""
+"""Shared fixtures: small datasets and nets reused across test modules.
+
+Helpers that tests import by module name live in :mod:`grad_check`; keeping
+this file fixtures-only avoids any reliance on ``import conftest``.
+"""
 
 import numpy as np
 import pytest
@@ -23,20 +27,3 @@ def climate_ds():
 @pytest.fixture()
 def rng():
     return np.random.default_rng(1234)
-
-
-def numeric_grad(f, x, eps=1e-3):
-    """Central-difference gradient of scalar f at a float32 array x."""
-    g = np.zeros_like(x, dtype=np.float64)
-    it = np.nditer(x, flags=["multi_index"])
-    while not it.finished:
-        i = it.multi_index
-        orig = x[i]
-        x[i] = orig + eps
-        fp = f()
-        x[i] = orig - eps
-        fm = f()
-        x[i] = orig
-        g[i] = (fp - fm) / (2 * eps)
-        it.iternext()
-    return g

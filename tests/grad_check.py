@@ -1,0 +1,25 @@
+"""Numeric gradient checking shared by the nn-layer tests.
+
+Lives in its own module (not ``conftest.py``) so the import name cannot be
+shadowed by the benchmarks' conftest when both directories are collected in
+one pytest run.
+"""
+
+import numpy as np
+
+
+def numeric_grad(f, x, eps=1e-3):
+    """Central-difference gradient of scalar f at a float32 array x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        orig = x[i]
+        x[i] = orig + eps
+        fp = f()
+        x[i] = orig - eps
+        fm = f()
+        x[i] = orig
+        g[i] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g

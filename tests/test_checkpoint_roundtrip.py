@@ -1,0 +1,159 @@
+"""Checkpoint round-trips through the serving registry.
+
+The contract serving depends on: ``save -> registry-load`` reproduces the
+training-time model *exactly* — bitwise-identical logits on a fixed input,
+for both paper architectures, including non-trainable state (BatchNorm
+running statistics).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import Sequential
+from repro.models import build_hep_net
+from repro.models.climate import build_climate_net
+from repro.nn.batchnorm import BatchNorm2D
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense
+from repro.nn.pooling import GlobalAvgPool2D
+from repro.serve import ModelRegistry
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
+
+
+def _perturb(net, rng):
+    """Make the weights distinguishable from any freshly-built net."""
+    for p in net.params():
+        p.data[...] += rng.normal(scale=0.05,
+                                  size=p.data.shape).astype(np.float32)
+
+
+class TestHEPRoundTrip:
+    def test_registry_load_bitwise_identical_logits(self, tmp_path, rng):
+        src = build_hep_net(filters=8, n_units=3, rng=0)
+        _perturb(src, rng)
+        reg = ModelRegistry(tmp_path)
+        # Builder uses a different seed: only the checkpoint can explain
+        # matching logits.
+        reg.register("hep", lambda: build_hep_net(filters=8, n_units=3,
+                                                  rng=777), (3, 16, 16))
+        reg.publish("hep", src)
+        replica = reg.load("hep")
+        x = rng.normal(size=(4, 3, 16, 16)).astype(np.float32)
+        src.eval()
+        np.testing.assert_array_equal(replica(x), src.forward(x))
+
+    def test_direct_checkpoint_bitwise(self, tmp_path, rng):
+        src = build_hep_net(filters=8, n_units=3, rng=0)
+        _perturb(src, rng)
+        save_checkpoint(src, tmp_path / "hep")
+        dst = build_hep_net(filters=8, n_units=3, rng=1)
+        load_checkpoint(dst, tmp_path / "hep")
+        x = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        src.eval()
+        dst.eval()
+        np.testing.assert_array_equal(dst.forward(x), src.forward(x))
+
+
+class TestClimateRoundTrip:
+    def test_registry_load_bitwise_identical_outputs(self, tmp_path, rng):
+        src = build_climate_net(4, 3, preset="small", rng=0)
+        _perturb(src, rng)
+        reg = ModelRegistry(tmp_path)
+        reg.register("climate",
+                     lambda: build_climate_net(4, 3, preset="small",
+                                               rng=777), (4, 32, 32))
+        reg.publish("climate", src)
+        replica = reg.load("climate")
+        x = rng.normal(size=(2, 4, 32, 32)).astype(np.float32)
+        src.eval()
+        ref = src.forward(x)
+        got = replica(x)
+        assert set(got) == set(ref)
+        for key in ("conf", "cls", "box", "recon"):
+            np.testing.assert_array_equal(got[key], ref[key])
+
+    def test_climate_state_dict_roundtrip(self, rng):
+        """ClimateNet now supports the Module state I/O contract directly."""
+        src = build_climate_net(4, 3, preset="small", rng=0)
+        _perturb(src, rng)
+        state = src.state_dict()
+        dst = build_climate_net(4, 3, preset="small", rng=5)
+        dst.load_state_dict(state)
+        for p_src, p_dst in zip(src.params(), dst.params()):
+            assert p_src.name == p_dst.name
+            np.testing.assert_array_equal(p_src.data, p_dst.data)
+
+    def test_climate_missing_param_rejected(self, tmp_path, rng):
+        src = build_climate_net(4, 3, preset="small", rng=0)
+        state = src.state_dict()
+        key = next(iter(state))
+        del state[key]
+        dst = build_climate_net(4, 3, preset="small", rng=1)
+        with pytest.raises(KeyError, match="missing parameters"):
+            dst.load_state_dict(state)
+
+    def test_surplus_keys_rejected(self, rng):
+        """A checkpoint from a different architecture must not half-restore:
+        unknown entries are an error, not silently dropped weights."""
+        src = build_climate_net(4, 3, preset="small", rng=0)
+        state = src.state_dict()
+        state["phantom_layer.weight"] = np.zeros(3, dtype=np.float32)
+        dst = build_climate_net(4, 3, preset="small", rng=1)
+        with pytest.raises(KeyError, match="unexpected keys"):
+            dst.load_state_dict(state)
+
+
+class TestSiblingContainerBuffers:
+    def test_same_named_batchnorms_in_sibling_containers_stay_distinct(
+            self, rng):
+        """Buffer keys are container-prefixed like parameter names, so two
+        BatchNorms both named 'batchnorm' in sibling blocks must checkpoint
+        and restore their own running statistics, not silently share one."""
+        def make():
+            return Sequential([
+                Sequential([Conv2D(2, 4, 3, rng=0), BatchNorm2D(4)],
+                           name="a"),
+                Sequential([Conv2D(4, 4, 3, rng=1), BatchNorm2D(4)],
+                           name="b"),
+            ])
+
+        src = make()
+        for _ in range(6):
+            src.forward(rng.normal(1.0, 2.0,
+                                   size=(8, 2, 8, 8)).astype(np.float32))
+        state = src.state_dict()
+        buffer_keys = [k for k in state if ".buffer." in k]
+        assert len(buffer_keys) == 4          # 2 BNs x (mean, var), distinct
+        assert len(set(buffer_keys)) == 4
+        bn_a, bn_b = src.layers[0].layers[1], src.layers[1].layers[1]
+        assert not np.array_equal(bn_a.running_mean, bn_b.running_mean)
+        dst = make()
+        dst.load_state_dict(state)
+        np.testing.assert_array_equal(dst.layers[0].layers[1].running_mean,
+                                      bn_a.running_mean)
+        np.testing.assert_array_equal(dst.layers[1].layers[1].running_mean,
+                                      bn_b.running_mean)
+
+
+class TestBatchNormStateThroughRegistry:
+    def test_running_stats_survive_registry_roundtrip(self, tmp_path, rng):
+        def builder(seed=123):
+            return Sequential([Conv2D(2, 4, 3, rng=seed), BatchNorm2D(4),
+                               GlobalAvgPool2D(), Dense(4, 2, rng=seed)])
+
+        src = builder(seed=0)
+        for _ in range(8):   # accumulate non-trivial running statistics
+            src.forward(rng.normal(1.5, 2.0,
+                                   size=(8, 2, 8, 8)).astype(np.float32))
+        reg = ModelRegistry(tmp_path)
+        reg.register("bn_net", builder, (2, 8, 8))
+        reg.publish("bn_net", src)
+        replica = reg.load("bn_net")
+        bn_src = src.layers[1]
+        bn_dst = replica.net.layers[1]
+        np.testing.assert_array_equal(bn_dst.running_mean,
+                                      bn_src.running_mean)
+        np.testing.assert_array_equal(bn_dst.running_var, bn_src.running_var)
+        x = rng.normal(size=(4, 2, 8, 8)).astype(np.float32)
+        src.eval()
+        np.testing.assert_array_equal(replica(x), src.forward(x))

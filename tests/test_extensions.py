@@ -155,7 +155,7 @@ class TestResidual:
             assert np.isfinite(p.grad).all()
 
     def test_input_gradient_numeric(self, rng):
-        from conftest import numeric_grad
+        from grad_check import numeric_grad
 
         block = ResidualBlock(2, 2, rng=1)
         x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import numeric_grad
+from grad_check import numeric_grad
 from repro.core.sequential import Sequential
 from repro.flops.counter import count_net
 from repro.nn.dense import Dense

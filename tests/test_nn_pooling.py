@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import numeric_grad
+from grad_check import numeric_grad
 from repro.nn.pooling import GlobalAvgPool2D, MaxPool2D
 
 

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import numeric_grad
+from grad_check import numeric_grad
 from repro.nn.conv import Conv2D
 from repro.nn.winograd import (
     WinogradConv2D,

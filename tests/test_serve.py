@@ -1,0 +1,463 @@
+"""repro.serve: batching policy, registry, router, SLO simulator."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_hep_net
+from repro.models.climate import build_climate_net
+from repro.serve import (
+    BatchExecutor,
+    BatchingPolicy,
+    ModelRegistry,
+    ReplicaBatchQueue,
+    Router,
+    ServiceTimeModel,
+    ServingSimulator,
+    SweepReport,
+    plan_batches,
+)
+from repro.serve.metrics import LatencyStats
+from repro.sim.workload import custom_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_wl():
+    net = build_hep_net(filters=8, n_units=3, rng=0)
+    return custom_workload("tiny_hep", net, (3, 16, 16))
+
+
+def const_service(t=0.1):
+    return lambda b: t
+
+
+class TestBatchingPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchingPolicy(max_batch=0)
+        with pytest.raises(ValueError, match="max_wait"):
+            BatchingPolicy(max_wait=-1.0)
+
+    def test_defaults(self):
+        p = BatchingPolicy()
+        assert p.max_batch == 32 and p.max_wait > 0
+
+
+class TestPlanBatches:
+    def test_simultaneous_arrivals_fill_batches(self):
+        policy = BatchingPolicy(max_batch=4, max_wait=0.05)
+        batches = plan_batches([0.0] * 6, policy, const_service(0.1))
+        assert [b.size for b in batches] == [4, 2]
+        # Full batch launches immediately; remainder waits for the replica
+        # (service time 0.1 > max_wait 0.05).
+        assert batches[0].start == 0.0
+        assert batches[1].start == pytest.approx(0.1)
+
+    def test_max_wait_fires_partial_batch(self):
+        policy = BatchingPolicy(max_batch=8, max_wait=0.02)
+        batches = plan_batches([0.0], policy, const_service(0.1))
+        assert len(batches) == 1
+        assert batches[0].start == pytest.approx(0.02)
+        assert batches[0].size == 1
+
+    def test_arrivals_during_service_coalesce(self):
+        # One request launches alone; everything arriving during its service
+        # window launches together when the replica frees up.
+        policy = BatchingPolicy(max_batch=8, max_wait=0.0)
+        arrivals = [0.0, 0.01, 0.02, 0.03]
+        batches = plan_batches(arrivals, policy, const_service(0.1))
+        assert [b.size for b in batches] == [1, 3]
+        assert batches[1].start == pytest.approx(0.1)
+
+    def test_request_ids_fifo(self):
+        policy = BatchingPolicy(max_batch=2, max_wait=0.0)
+        batches = plan_batches([0.0, 0.0, 0.0, 0.0], policy,
+                               const_service(0.01))
+        assert batches[0].request_ids == (0, 1)
+        assert batches[1].request_ids == (2, 3)
+
+    def test_completion_times(self):
+        policy = BatchingPolicy(max_batch=2, max_wait=0.01)
+        batches = plan_batches([0.0, 0.0], policy, const_service(0.5))
+        assert batches[0].completion == pytest.approx(0.5)
+
+    def test_arrivals_before_free_at_queue_up(self):
+        """Requests arriving while the replica is mid-batch must queue, not
+        be rejected: free_at models a busy replica, not a time floor."""
+        policy = BatchingPolicy(max_batch=2, max_wait=0.01)
+        batches = plan_batches([0.0, 0.1], policy, const_service(0.3),
+                               free_at=0.5)
+        assert [b.size for b in batches] == [2]
+        assert batches[0].start == pytest.approx(0.5)
+
+
+class TestReplicaBatchQueue:
+    def test_push_must_be_nondecreasing(self):
+        q = ReplicaBatchQueue(BatchingPolicy(), const_service())
+        q.push(1.0, 0)
+        with pytest.raises(ValueError, match="nondecreasing"):
+            q.push(0.5, 1)
+
+    def test_queue_depth_and_completions(self):
+        q = ReplicaBatchQueue(BatchingPolicy(max_batch=2, max_wait=10.0),
+                              const_service(1.0))
+        q.push(0.0, 7)
+        assert q.queue_depth == 1
+        q.push(0.0, 8)          # fills the batch
+        q.advance(0.5)          # launch happened at t=0
+        assert q.queue_depth == 0
+        q.drain()
+        assert q.completions == {7: pytest.approx(1.0),
+                                 8: pytest.approx(1.0)}
+
+    def test_backlog_counts_in_flight_requests(self):
+        q = ReplicaBatchQueue(BatchingPolicy(max_batch=1, max_wait=0.0),
+                              const_service(1.0))
+        q.push(0.0, 0)
+        q.advance(0.5)          # launched at t=0, busy until t=1.0
+        assert q.backlog(0.5) == 1       # in service counts as outstanding
+        assert q.backlog(2.0) == 0       # completed -> gone
+
+
+class TestBatchExecutor:
+    def test_matches_per_sample_forward(self, rng):
+        net = build_hep_net(filters=8, n_units=3, rng=0).eval()
+        x = rng.normal(size=(5, 3, 16, 16)).astype(np.float32)
+        singles = [net.forward(x[i:i + 1])[0] for i in range(5)]
+        outs = BatchExecutor(net).run([x[i] for i in range(5)],
+                                      BatchingPolicy(max_batch=2))
+        assert len(outs) == 5
+        for got, ref in zip(outs, singles):
+            np.testing.assert_allclose(got, ref, rtol=1e-5, atol=1e-5)
+
+    def test_dict_outputs_split_per_sample(self, rng):
+        net = build_climate_net(4, 3, preset="small", rng=0).eval()
+        x = rng.normal(size=(3, 4, 32, 32)).astype(np.float32)
+        ref = net.forward(x)
+        outs = BatchExecutor(net).run_batch([x[i] for i in range(3)])
+        assert set(outs[0]) == set(ref)
+        for i in range(3):
+            np.testing.assert_array_equal(outs[i]["conf"], ref["conf"][i])
+
+    def test_empty_request_list(self):
+        net = build_hep_net(filters=8, n_units=3, rng=0).eval()
+        assert BatchExecutor(net).run_batch([]) == []
+
+    def test_eval_forward_leaves_no_layer_caches(self, rng):
+        """Serving replicas must not pin activation-sized caches between
+        requests — eval-mode forwards never run backward."""
+        net = build_hep_net(filters=8, n_units=3, rng=0).eval()
+        net.forward(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+
+        def holds_array(obj):
+            if isinstance(obj, np.ndarray):
+                return True
+            if isinstance(obj, (tuple, list)):
+                return any(holds_array(o) for o in obj)
+            return False
+
+        for layer in net:
+            for attr in ("_cache", "_mask", "_out", "_x"):
+                assert not holds_array(getattr(layer, attr, None)), (
+                    f"{layer.name}.{attr} held after eval forward")
+
+    def test_eval_propagates_into_residual_blocks(self, rng):
+        """Composite layers must forward the mode switch to their children,
+        or serving replicas of a ResNet keep training-mode caches alive."""
+        from repro.nn.residual import build_resnet
+
+        net = build_resnet(rng=0).eval()
+        block = next(l for l in net if l.kind == "residual")
+        assert not block.conv1.training and not block.relu_out.training
+        net.forward(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        assert block.conv1._cache is None and block.relu1._mask is None
+        net.train()
+        assert block.conv1.training and block.relu1.training
+
+
+class TestModelRegistry:
+    def test_publish_load_versioning(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.register("hep", lambda: build_hep_net(filters=8, n_units=3,
+                                                  rng=99), (3, 16, 16))
+        net = build_hep_net(filters=8, n_units=3, rng=0)
+        assert reg.publish("hep", net) == 1
+        net.params()[0].data[...] += 1.0
+        assert reg.publish("hep", net) == 2
+        assert reg.versions("hep") == [1, 2]
+        assert reg.load("hep").version == 2
+        assert reg.load("hep", version=1).version == 1
+
+    def test_loaded_replica_is_eval_and_frozen(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.register("hep", lambda: build_hep_net(filters=8, n_units=3,
+                                                  rng=99), (3, 16, 16))
+        reg.publish("hep", build_hep_net(filters=8, n_units=3, rng=0))
+        m = reg.load("hep")
+        assert m.net.training is False
+        with pytest.raises(ValueError):
+            m.net.params()[0].data[...] = 0.0
+        with pytest.raises(RuntimeError, match="frozen"):
+            m.train()
+
+    def test_input_signature_validated(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.register("hep", lambda: build_hep_net(filters=8, n_units=3,
+                                                  rng=99), (3, 16, 16))
+        reg.publish("hep", build_hep_net(filters=8, n_units=3, rng=0))
+        m = reg.load("hep")
+        with pytest.raises(ValueError, match="per-sample shape"):
+            m(np.zeros((1, 3, 8, 8), dtype=np.float32))
+
+    def test_unknown_and_duplicate_names(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        with pytest.raises(KeyError, match="unknown model"):
+            reg.load("nope")
+        reg.register("m", lambda: None, (1,))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("m", lambda: None, (1,))
+
+    def test_publish_rejects_mismatched_architecture(self, tmp_path):
+        """A net that the registered builder cannot reproduce must not
+        become the model's latest version — that would break every load."""
+        reg = ModelRegistry(tmp_path)
+        reg.register("hep", lambda: build_hep_net(filters=8, n_units=3,
+                                                  rng=99), (3, 16, 16))
+        wrong = build_hep_net(filters=16, n_units=3, rng=0)
+        with pytest.raises(ValueError, match="does not fit the builder"):
+            reg.publish("hep", wrong)
+        assert reg.versions("hep") == []     # nothing was written
+
+    def test_hand_placed_unpadded_checkpoint_loads(self, tmp_path):
+        """An operator-copied 'v1.npz' (no zero padding) must round-trip
+        through versions()/latest()/load() like a published one."""
+        reg = ModelRegistry(tmp_path)
+        reg.register("hep", lambda: build_hep_net(filters=8, n_units=3,
+                                                  rng=99), (3, 16, 16))
+        net = build_hep_net(filters=8, n_units=3, rng=0)
+        from repro.train.checkpoint import save_checkpoint
+        save_checkpoint(net, tmp_path / "hep" / "v1.npz")
+        assert reg.versions("hep") == [1]
+        assert reg.load("hep").version == 1
+        # A padded duplicate of the same version is ambiguous -> loud error.
+        save_checkpoint(net, tmp_path / "hep" / "v0001.npz")
+        with pytest.raises(ValueError, match="two checkpoints"):
+            reg.load("hep")
+
+    def test_path_traversal_names_rejected(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        for bad in ("..", ".", "a/b", "a\\b", "", "a b", "hep\n"):
+            with pytest.raises(ValueError, match="invalid model name"):
+                reg.register(bad, lambda: None, (1,))
+
+    def test_missing_checkpoints(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.register("hep", lambda: build_hep_net(filters=8, n_units=3,
+                                                  rng=99), (3, 16, 16))
+        with pytest.raises(FileNotFoundError, match="no published"):
+            reg.load("hep")
+        reg.publish("hep", build_hep_net(filters=8, n_units=3, rng=0))
+        with pytest.raises(FileNotFoundError, match="no version"):
+            reg.load("hep", version=9)
+
+
+class TestServiceTimeModel:
+    def test_batch_time_nondecreasing(self, tiny_wl):
+        svc = ServiceTimeModel(tiny_wl)
+        times = [svc.batch_time(b) for b in range(1, 33)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_batching_raises_throughput(self, tiny_wl):
+        svc = ServiceTimeModel(tiny_wl)
+        assert svc.peak_throughput(32) > 2.0 / svc.batch_time(1)
+
+    def test_transport_positive(self, tiny_wl):
+        assert ServiceTimeModel(tiny_wl).request_rtt() > 0
+
+    def test_invalid_batch(self, tiny_wl):
+        with pytest.raises(ValueError, match="batch"):
+            ServiceTimeModel(tiny_wl).batch_time(0)
+
+
+class TestRouter:
+    def _router(self, n_replicas=3, max_queue=None, strategy="least_loaded",
+                service=None):
+        return Router(None, n_replicas, BatchingPolicy(max_batch=4,
+                                                       max_wait=0.01),
+                      service or const_service(1.0), max_queue=max_queue,
+                      strategy=strategy)
+
+    def test_placement_on_machine_nodes(self):
+        r = self._router(n_replicas=4)
+        ids = r.node_ids()
+        assert len(set(ids)) == 4
+        assert all(0 <= i < r.machine.n_nodes for i in ids)
+
+    def test_least_loaded_spreads_simultaneous_arrivals(self):
+        r = self._router(n_replicas=3)
+        for i in range(3):
+            assert r.submit(0.0, i)
+        assert [rep.queue.queue_depth for rep in r.replicas] == [1, 1, 1]
+
+    def test_round_robin_cycles(self):
+        r = self._router(n_replicas=2, strategy="round_robin")
+        for i in range(4):
+            r.submit(0.0, i)
+        assert [rep.queue.queue_depth for rep in r.replicas] == [2, 2]
+
+    def test_admission_control_sheds(self):
+        r = self._router(n_replicas=1, max_queue=2)
+        assert r.submit(0.0, 0)
+        assert r.submit(0.0, 1)
+        assert not r.submit(0.0, 2)      # queue full -> shed
+        assert r.n_dropped == 1 and r.n_offered == 3
+
+    def test_admission_bounds_outstanding_work(self):
+        """max_queue bounds admitted-but-uncompleted requests — committed
+        full batches still count (they are work the replica owes), so a
+        burst cannot push per-request latency past max_queue/throughput,
+        and the outcome is identical however the burst is timestamped."""
+        r = Router(None, 1, BatchingPolicy(max_batch=32, max_wait=0.01),
+                   const_service(1.0), max_queue=64)
+        admitted = sum(r.submit(0.0, i) for i in range(100))
+        assert admitted == 64 and r.n_dropped == 36
+        r.drain()
+        sizes = [b.size for b in r.replicas[0].queue.batches]
+        assert sizes == [32, 32]
+        # Same offered burst, microsecond-spaced: same admission outcome.
+        r2 = Router(None, 1, BatchingPolicy(max_batch=32, max_wait=0.01),
+                    const_service(1.0), max_queue=64)
+        admitted2 = sum(r2.submit(i * 1e-6, i) for i in range(100))
+        assert admitted2 == 64
+
+    def test_admission_engages_under_sustained_overload(self):
+        """With max_queue > max_batch (both defaults), sustained overload
+        must still shed — outstanding work, not just the unlaunched queue,
+        hits the limit."""
+        r = Router(None, 1, BatchingPolicy(max_batch=32, max_wait=0.01),
+                   const_service(1.0), max_queue=64)
+        # Offered far above the 32 req/s capacity for a long stretch.
+        admitted = sum(r.submit(i * 0.005, i) for i in range(2000))
+        assert r.n_dropped > 0
+        # Everyone admitted waits at most ~max_queue worth of service.
+        r.drain()
+        completions = r.completions()
+        worst = max(completions[i] - i * 0.005 for i in completions)
+        assert worst <= (64 / 32 + 1.0) * 1.5
+
+    def test_round_robin_fails_over_before_shedding(self):
+        """A full round-robin pick must spill to a replica with queue space;
+        shedding only happens when every queue is at the limit."""
+        r = self._router(n_replicas=2, max_queue=1, strategy="round_robin")
+        assert r.submit(0.0, 0)          # -> replica 0 (now full)
+        assert r.submit(0.0, 1)          # -> replica 1 (now full)
+        assert r.submit(0.0, 2) is False  # everyone full -> shed
+        r2 = self._router(n_replicas=2, max_queue=2, strategy="round_robin")
+        r2.replicas[0].queue.push(0.0, 90)
+        r2.replicas[0].queue.push(0.0, 91)   # replica 0 at limit
+        assert r2.submit(0.0, 0)         # rr turn = replica 0 -> fails over
+        assert r2.replicas[1].queue.queue_depth == 1
+        assert r2.n_dropped == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_replicas"):
+            self._router(n_replicas=0)
+        with pytest.raises(ValueError, match="strategy"):
+            self._router(strategy="random")
+        with pytest.raises(ValueError, match="max_queue"):
+            self._router(max_queue=0)
+
+
+class TestLatencyStats:
+    def test_percentiles_and_throughput(self):
+        s = LatencyStats(latencies=np.linspace(0.1, 1.0, 10), n_offered=10,
+                         horizon=5.0)
+        assert s.p50 == pytest.approx(np.percentile(s.latencies, 50))
+        assert s.throughput == pytest.approx(2.0)
+
+    def test_attainment_counts_drops_as_violations(self):
+        s = LatencyStats(latencies=np.array([0.1, 0.2]), n_offered=4,
+                         n_dropped=2, horizon=1.0)
+        assert s.attainment(0.15) == pytest.approx(0.25)
+        assert s.drop_rate == pytest.approx(0.5)
+
+    def test_empty_run(self):
+        s = LatencyStats(latencies=np.array([]), n_offered=0)
+        assert np.isnan(s.p99) and s.throughput == 0.0
+        assert s.attainment(1.0) == 1.0
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            LatencyStats(latencies=np.array([0.1]), n_offered=0)
+
+
+class TestSweepReport:
+    def _stats(self, p99):
+        lat = np.full(100, p99)
+        return LatencyStats(latencies=lat, n_offered=100, horizon=1.0)
+
+    def test_monotone_checks(self):
+        rep = SweepReport(slo=0.5)
+        for rate, p99 in ((1.0, 0.1), (2.0, 0.2), (3.0, 0.9)):
+            rep.add(rate, self._stats(p99))
+        assert rep.p99_is_monotone()
+        assert rep.attainment_is_monotone()
+        assert rep.attainment_curve[-1] == 0.0
+
+    def test_non_monotone_detected(self):
+        rep = SweepReport(slo=0.5)
+        for rate, p99 in ((1.0, 0.4), (2.0, 0.1)):
+            rep.add(rate, self._stats(p99))
+        assert not rep.p99_is_monotone()
+
+    def test_table_renders(self):
+        rep = SweepReport(slo=0.5)
+        rep.add(1.0, self._stats(0.1))
+        assert "p99" in rep.table() and "attain" in rep.table()
+
+
+class TestServingSimulator:
+    def test_accounting(self, tiny_wl):
+        sim = ServingSimulator(tiny_wl, n_replicas=2)
+        stats = sim.run(rate=sim.saturation_rate(), n_requests=64)
+        assert stats.n_offered == 64
+        assert stats.n_completed + stats.n_dropped == 64
+        assert stats.horizon > 0 and stats.throughput > 0
+
+    def test_sweep_curves_monotone(self, tiny_wl):
+        sim = ServingSimulator(tiny_wl, n_replicas=2)
+        rep = sim.sweep(n_requests=200)
+        assert rep.p99_is_monotone()
+        assert rep.attainment_is_monotone()
+        assert np.all((rep.attainment_curve >= 0)
+                      & (rep.attainment_curve <= 1))
+        # Light load meets the default SLO outright.
+        assert rep.attainment_curve[0] == pytest.approx(1.0)
+
+    def test_overload_hurts_tail_latency(self, tiny_wl):
+        sim = ServingSimulator(tiny_wl, n_replicas=1)
+        sat = sim.saturation_rate()
+        calm = sim.run(0.25 * sat, n_requests=200)
+        slammed = sim.run(2.0 * sat, n_requests=200)
+        assert slammed.p99 > calm.p99
+
+    def test_admission_sheds_under_overload(self, tiny_wl):
+        sim = ServingSimulator(tiny_wl, n_replicas=1, max_queue=8)
+        stats = sim.run(4.0 * sim.saturation_rate(), n_requests=300)
+        assert stats.n_dropped > 0
+
+    def test_poisson_arrivals_reproducible(self, tiny_wl):
+        sim = ServingSimulator(tiny_wl, n_replicas=1)
+        a = sim.run(sim.saturation_rate(), n_requests=100,
+                    process="poisson", seed=3)
+        b = sim.run(sim.saturation_rate(), n_requests=100,
+                    process="poisson", seed=3)
+        np.testing.assert_array_equal(a.latencies, b.latencies)
+
+    def test_invalid_inputs(self, tiny_wl):
+        sim = ServingSimulator(tiny_wl)
+        with pytest.raises(ValueError, match="rate"):
+            sim.run(0.0)
+        with pytest.raises(ValueError, match="arrival process"):
+            sim.run(1.0, process="bursty")
+        with pytest.raises(ValueError, match="slo"):
+            sim.sweep(rates=[1.0], n_requests=4, slo=0.0)
