@@ -1,0 +1,169 @@
+"""Continuous batching and bursty-arrival SLO benchmarks.
+
+No paper column — the paper stops at training. These acceptance numbers
+extend the PR 1 serving benchmarks to the two regimes the windowed
+max-wait policy handles worst:
+
+- **low load**: a windowed scheduler charges a lone request the full
+  ``max_wait`` hold; continuous (vLLM-style) batching launches it the
+  moment the replica is free. Acceptance: strictly lower p50 at the
+  lowest swept rate on both workloads, and never meaningfully worse at
+  any sub-saturation rate (1% phase-alignment tolerance — at mid load
+  both modes converge to the same busy-replica batch cycle).
+- **bursty traffic**: MMPP arrivals at the same *mean* rate as a uniform
+  stream build transient queues that blow up the tail. Acceptance: the
+  MMPP sweep stays finite everywhere, and below saturation burstiness
+  only hurts (p99 up, attainment down) — which is exactly the signal the
+  ROADMAP's autoscaler needs to act on.
+"""
+
+import numpy as np
+import pytest
+
+from bench_report import report
+from repro.serve import (
+    MMPP,
+    BatchingPolicy,
+    ServingSimulator,
+    compare_batching_modes,
+)
+
+#: denser at the low end than the simulator default — the low-load win is
+#: the point; 0.05x sits below even the batch-1 saturation of both models
+LOAD_FRACTIONS = (0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5)
+
+
+def _compare(wl, max_wait, n_requests):
+    policy = BatchingPolicy(max_batch=32, max_wait=max_wait)
+    sat = ServingSimulator(wl, n_replicas=1,
+                           policy=policy).saturation_rate()
+    cmp = compare_batching_modes(
+        wl, n_replicas=1, policy=policy,
+        rates=[f * sat for f in LOAD_FRACTIONS], n_requests=n_requests)
+    return cmp, sat
+
+
+class TestContinuousLatencyWin:
+    @pytest.mark.parametrize("which", ["hep", "climate"])
+    def test_low_load_p50_win(self, which, hep_wl, climate_wl):
+        # max_wait scaled to each model's service time (as an operator
+        # would); n_requests kept smaller for the ~40x slower climate net.
+        wl, max_wait, n = ((hep_wl, 0.010, 384) if which == "hep"
+                           else (climate_wl, 0.2, 192))
+        cmp, sat = _compare(wl, max_wait, n)
+        print(f"\n--- {which}: windowed vs continuous, 1 replica, "
+              f"max_wait={max_wait * 1e3:.0f} ms ---")
+        print(cmp.table())
+
+        w, c = cmp.windowed.p50_curve, cmp.continuous.p50_curve
+        report(f"continuous batching: low-load latency win ({which})", [
+            ("windowed p50 @ 0.05x sat (ms)", "--", f"{w[0] * 1e3:.1f}"),
+            ("continuous p50 @ 0.05x sat (ms)", "--", f"{c[0] * 1e3:.1f}"),
+            ("p50 win (ms)", f"~{max_wait * 1e3:.0f}",
+             f"{(w[0] - c[0]) * 1e3:.1f}"),
+        ])
+        # The tentpole claim: strictly lower p50 at the lowest swept rate,
+        # and the win there is the whole hold window.
+        assert c[0] < w[0]
+        assert w[0] - c[0] == pytest.approx(max_wait, rel=0.5)
+        # Differential: never meaningfully worse below saturation.
+        below = cmp.rates < 0.999 * sat
+        assert np.all(c[below] <= w[below] * 1.01 + 1e-6), (
+            f"continuous p50 above windowed below saturation:\n"
+            f"{np.stack([cmp.rates[below], w[below], c[below]])}")
+        # Past saturation the busy replicas force full batches either way:
+        # same throughput machinery, no occupancy sacrificed.
+        wb = cmp.windowed.mean_batch_curve[-1]
+        cb = cmp.continuous.mean_batch_curve[-1]
+        assert cb == pytest.approx(wb, rel=0.05)
+
+    def test_p99_win_at_trickle_load(self, hep_wl):
+        """At trickle load every request pays max_wait in windowed mode —
+        the win shows up at the tail too, not just the median."""
+        cmp, _ = _compare(hep_wl, 0.010, 384)
+        assert cmp.p99_win_curve[0] == pytest.approx(0.010, rel=0.5)
+        assert cmp.attainment_gain_curve[0] >= 0.0
+
+
+class TestBurstySLO:
+    def test_mmpp_curves_finite_and_burst_hostile(self, hep_wl):
+        sim = ServingSimulator(hep_wl, n_replicas=1)
+        sat = sim.saturation_rate()
+        rates = [f * sat for f in (0.25, 0.5, 0.75, 1.0)]
+        uni = sim.sweep(rates=rates, n_requests=768, process="uniform")
+        # SLO between the smooth and bursty tails at mid load, so the
+        # attainment gap is visible, judged identically for both sweeps.
+        slo = 2.0 * uni.points[2].stats.p99
+        uni = sim.sweep(rates=rates, n_requests=768, process="uniform",
+                        slo=slo)
+        shape = MMPP(burst=8.0, burst_fraction=0.125, cycle_requests=64.0)
+        mmpp = sim.sweep(rates=rates, n_requests=768, process=shape,
+                         seed=0, slo=slo)
+        print(f"\n--- hep: MMPP(burst=8) sweep, 1 replica, "
+              f"slo={slo * 1e3:.0f} ms ---")
+        print(mmpp.table())
+
+        assert np.all(np.isfinite(mmpp.p99_curve))
+        assert np.all(np.isfinite(mmpp.p50_curve))
+        assert np.all((mmpp.attainment_curve >= 0)
+                      & (mmpp.attainment_curve <= 1))
+        assert mmpp.points[0].stats.n_completed == 768      # nothing lost
+        # Below/at saturation the queue is stable on average, so bursts
+        # can only stretch the tail relative to the uniform stream.
+        assert np.all(mmpp.p99_curve >= uni.p99_curve * 0.98), (
+            f"mmpp p99 {mmpp.p99_curve} vs uniform {uni.p99_curve}")
+        assert np.all(mmpp.attainment_curve
+                      <= uni.attainment_curve + 1e-9)
+        # The burst penalty is real, not a tie: at 0.75x sat the uniform
+        # stream meets the SLO in full while bursts break it.
+        report("bursty arrivals: SLO attainment @ 0.75x saturation (hep)", [
+            ("uniform attainment", "1.000",
+             f"{uni.attainment_curve[2]:.3f}"),
+            ("MMPP(burst=8) attainment", "< 1",
+             f"{mmpp.attainment_curve[2]:.3f}"),
+            ("p99 uniform -> mmpp (ms)", "--",
+             f"{uni.p99_curve[2] * 1e3:.0f} -> "
+             f"{mmpp.p99_curve[2] * 1e3:.0f}"),
+        ])
+        assert uni.attainment_curve[2] == pytest.approx(1.0)
+        assert mmpp.attainment_curve[2] < 1.0
+
+    def test_poisson_sits_between_uniform_and_mmpp(self, hep_wl):
+        """Tail ordering by arrival-process burstiness (CV 0 / 1 / >1) at
+        mid load, where the queue is stable for all three."""
+        sim = ServingSimulator(hep_wl, n_replicas=1)
+        rate = 0.5 * sim.saturation_rate()
+        uni = sim.run(rate, n_requests=768, process="uniform")
+        poi = sim.run(rate, n_requests=768, process="poisson", seed=0)
+        mmpp = sim.run(rate, n_requests=768, process="mmpp", seed=0)
+        report("tail latency vs arrival burstiness @ 0.5x sat (hep)", [
+            ("uniform p99 (ms)", "--", f"{uni.p99 * 1e3:.1f}"),
+            ("poisson p99 (ms)", "--", f"{poi.p99 * 1e3:.1f}"),
+            ("mmpp p99 (ms)", "--", f"{mmpp.p99 * 1e3:.1f}"),
+        ])
+        assert uni.p99 <= poi.p99 <= mmpp.p99
+
+    def test_continuous_mode_survives_bursts(self, hep_wl):
+        """Bursts don't erase the low-load win, and the occupancy that
+        continuous mode gives up costs only a bounded slice of attainment
+        near saturation. (It is a real trade, not a free lunch: windowed's
+        hold coalesces burst arrivals into bigger batches that clear
+        backlog faster, so its attainment can edge ahead under load — the
+        comparison quantifies the gap instead of pretending it away.)
+
+        At a trickle mean rate the burst peaks still fit within batch-1
+        capacity, so windowed keeps charging the hold window and the p50
+        win survives intact."""
+        sat = ServingSimulator(hep_wl, n_replicas=1).saturation_rate()
+        cmp = compare_batching_modes(
+            hep_wl, n_replicas=1,
+            rates=[f * sat for f in (0.02, 0.25, 0.5, 0.75)],
+            n_requests=512, process=MMPP(), seed=0)
+        print("\n--- hep: windowed vs continuous under MMPP bursts ---")
+        print(cmp.table())
+        assert np.all(np.isfinite(cmp.continuous.p99_curve))
+        assert np.all(np.isfinite(cmp.windowed.p99_curve))
+        # Low-load win under bursts: most of the 10 ms hold window.
+        assert cmp.p50_win_curve[0] > 0.005
+        # Bounded trade everywhere else (seeded, deterministic stream).
+        assert np.all(cmp.attainment_gain_curve >= -0.05)

@@ -6,8 +6,11 @@ accounting:
 
 - :mod:`repro.serve.registry` — versioned checkpoint store; loads snapshots
   into immutable eval-mode replicas (:class:`ServableModel`);
-- :mod:`repro.serve.batching` — dynamic micro-batching (max-batch/max-wait
-  policy) for both simulated queues and real coalesced forwards;
+- :mod:`repro.serve.batching` — dynamic micro-batching (windowed
+  max-batch/max-wait and vLLM-style continuous modes) for both simulated
+  queues and real coalesced forwards;
+- :mod:`repro.serve.arrivals` — open-loop arrival processes: uniform,
+  Poisson, and bursty :class:`MMPP` streams with analytic moments;
 - :mod:`repro.serve.router` — replica placement on
   :class:`repro.cluster.machine.CoriMachine` nodes, least-loaded routing,
   admission control;
@@ -33,9 +36,22 @@ Quickstart::
     sim = ServingSimulator(hep_workload(), n_replicas=4,
                            policy=BatchingPolicy(max_batch=32))
     print(sim.sweep().table())                # p50/p99/SLO vs offered rate
+
+    # windowed vs continuous batching, bursty (MMPP) arrivals
+    cmp = compare_batching_modes(hep_workload(), n_replicas=4,
+                                 process=MMPP(burst=8.0))
+    print(cmp.table())                        # per-rate p50/p99 win
 """
 
+from repro.serve.arrivals import (  # noqa: F401
+    ARRIVAL_PROCESSES,
+    MMPP,
+    make_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
 from repro.serve.batching import (  # noqa: F401
+    BATCHING_MODES,
     Batch,
     BatchExecutor,
     BatchingPolicy,
@@ -45,19 +61,27 @@ from repro.serve.batching import (  # noqa: F401
 from repro.serve.latency import ServiceTimeModel  # noqa: F401
 from repro.serve.metrics import (  # noqa: F401
     LatencyStats,
+    PolicyComparison,
     RatePoint,
     SweepReport,
 )
 from repro.serve.registry import ModelRegistry, ServableModel  # noqa: F401
 from repro.serve.router import ReplicaHandle, Router  # noqa: F401
-from repro.serve.slo_sim import ServingSimulator  # noqa: F401
+from repro.serve.slo_sim import (  # noqa: F401
+    ServingSimulator,
+    compare_batching_modes,
+)
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
+    "BATCHING_MODES",
     "Batch",
     "BatchExecutor",
     "BatchingPolicy",
     "LatencyStats",
+    "MMPP",
     "ModelRegistry",
+    "PolicyComparison",
     "RatePoint",
     "ReplicaBatchQueue",
     "ReplicaHandle",
@@ -66,5 +90,9 @@ __all__ = [
     "ServiceTimeModel",
     "ServingSimulator",
     "SweepReport",
+    "compare_batching_modes",
+    "make_arrivals",
     "plan_batches",
+    "poisson_arrivals",
+    "uniform_arrivals",
 ]

@@ -1,0 +1,194 @@
+"""Arrival-process generators for the serving simulator.
+
+The SLO story of a serving system depends as much on *when* requests show
+up as on how fast replicas clear them. Three open-loop processes, in
+increasing tail-hostility:
+
+- ``uniform`` — deterministic, evenly spaced: the reproducible baseline
+  whose sweep curves are (conditionally) monotone;
+- ``poisson`` — memoryless arrivals (inter-arrival CV = 1): the classic
+  open-loop model, already bursty enough to blur the saturation knee;
+- ``mmpp`` — a 2-state Markov-modulated Poisson process
+  (:class:`MMPP`): a quiet state and a burst state whose rate is
+  ``burst``x higher, with exponential dwell times. Bursts at moderate
+  *mean* load are what actually break tail SLOs, which is exactly the
+  regime an autoscaler has to see before it can react.
+
+Every sampler is seeded through :mod:`repro.utils.rng`, so sweeps are
+reproducible request-for-request, and :meth:`MMPP.interarrival_moments`
+gives the analytic mean/CV the statistical tests pin the samplers to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+#: string-selectable processes for ``ServingSimulator.run(process=...)``
+ARRIVAL_PROCESSES = ("uniform", "poisson", "mmpp")
+
+
+def uniform_arrivals(rate: float, n_requests: int) -> np.ndarray:
+    """Evenly spaced deterministic arrivals at ``rate`` req/s."""
+    return np.arange(n_requests) / rate
+
+
+def poisson_arrivals(rate: float, n_requests: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Poisson arrivals at ``rate`` req/s, first arrival pinned at t=0."""
+    gaps = rng.exponential(1.0 / rate, size=n_requests)
+    return np.concatenate([[0.0], np.cumsum(gaps)[:-1]])
+
+
+@dataclass(frozen=True)
+class MMPP:
+    """Burst *shape* of a 2-state Markov-modulated Poisson process.
+
+    The process alternates between a quiet state and a burst state whose
+    Poisson rate is ``burst``x the quiet rate; dwell times in each state
+    are exponential. The shape is rate-free — :meth:`sample` scales it to
+    any mean offered rate, so one instance parameterizes a whole sweep —
+    and fully determined by three knobs:
+
+    - ``burst``: rate multiplier of the burst state over the quiet state;
+    - ``burst_fraction``: stationary fraction of *time* spent bursting;
+    - ``cycle_requests``: expected offered requests per quiet+burst cycle
+      at the mean rate — sets how long bursts last relative to the
+      arrival scale (long cycles build real queues, short ones average
+      out toward Poisson).
+
+    The quiet rate is chosen so the long-run mean rate is exactly the
+    requested one: ``r_quiet = rate / (1 - f + f * burst)``.
+    """
+
+    burst: float = 8.0
+    burst_fraction: float = 0.125
+    cycle_requests: float = 64.0
+
+    def __post_init__(self) -> None:
+        if not self.burst >= 1.0:
+            raise ValueError(
+                f"burst must be >= 1 (burst state at least as hot as "
+                f"quiet), got {self.burst}")
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ValueError(
+                f"burst_fraction must be in (0, 1), "
+                f"got {self.burst_fraction}")
+        if not self.cycle_requests > 0:
+            raise ValueError(
+                f"cycle_requests must be positive, got {self.cycle_requests}")
+
+    # -- derived parameters ---------------------------------------------------
+    def state_rates(self, rate: float) -> Tuple[float, float]:
+        """(quiet, burst) Poisson rates for mean offered ``rate`` req/s."""
+        f = self.burst_fraction
+        quiet = rate / (1.0 - f + f * self.burst)
+        return quiet, self.burst * quiet
+
+    def switch_rates(self, rate: float) -> Tuple[float, float]:
+        """(leave-quiet, leave-burst) CTMC transition rates (1/s)."""
+        cycle = self.cycle_requests / rate
+        f = self.burst_fraction
+        return 1.0 / ((1.0 - f) * cycle), 1.0 / (f * cycle)
+
+    def _arrival_phase_law(self, rate: float) -> np.ndarray:
+        """Stationary state distribution *at arrival epochs*.
+
+        Arrivals happen at rate ``lam_i`` in state ``i``, so the phase an
+        arrival finds the chain in is the time-stationary law reweighted by
+        the per-state rates.
+        """
+        lam = np.array(self.state_rates(rate))
+        pi = np.array([1.0 - self.burst_fraction, self.burst_fraction])
+        alpha = pi * lam
+        return alpha / alpha.sum()
+
+    def interarrival_moments(self, rate: float = 1.0) -> Tuple[float, float]:
+        """Analytic (mean, CV) of the stationary inter-arrival time.
+
+        Between arrivals the chain evolves with generator ``Q - diag(lam)``
+        (absorption = next arrival), so the stationary inter-arrival time
+        is phase-type with initial law :meth:`_arrival_phase_law`; its
+        moments are the standard ``k! * alpha @ (-S)^-k @ 1``. The CV is
+        scale-free (independent of ``rate``); the mean is exactly
+        ``1/rate`` by construction, kept as a cross-check.
+        """
+        lam = np.array(self.state_rates(rate))
+        q_quiet, q_burst = self.switch_rates(rate)
+        Q = np.array([[-q_quiet, q_quiet], [q_burst, -q_burst]])
+        S = Q - np.diag(lam)
+        alpha = self._arrival_phase_law(rate)
+        inv = np.linalg.inv(-S)
+        ones = np.ones(2)
+        m1 = float(alpha @ inv @ ones)
+        m2 = float(2.0 * alpha @ inv @ inv @ ones)
+        return m1, math.sqrt(m2 / m1 ** 2 - 1.0)
+
+    # -- sampling -------------------------------------------------------------
+    def interarrival_times(self, rate: float, n_requests: int,
+                           rng: np.random.Generator) -> np.ndarray:
+        """``n_requests`` consecutive inter-arrival gaps (seconds).
+
+        Exact competing-exponentials simulation: in state ``i`` the next
+        event is Exp(lam_i + q_i) away and is an arrival with probability
+        ``lam_i / (lam_i + q_i)``, else a state switch. The initial state
+        is drawn from the at-arrival stationary law so the gap sequence is
+        stationary from the first sample — what the statistical tests
+        compare against :meth:`interarrival_moments`.
+        """
+        lam = self.state_rates(rate)
+        switch = self.switch_rates(rate)
+        state = int(rng.random() >= self._arrival_phase_law(rate)[0])
+        gaps = np.empty(n_requests)
+        for i in range(n_requests):
+            t = 0.0
+            while True:
+                total = lam[state] + switch[state]
+                t += rng.exponential(1.0 / total)
+                if rng.random() < lam[state] / total:
+                    break
+                state = 1 - state
+            gaps[i] = t
+        return gaps
+
+    def sample(self, rate: float, n_requests: int,
+               rng: np.random.Generator) -> np.ndarray:
+        """Arrival times at mean ``rate`` req/s, first arrival at t=0."""
+        gaps = self.interarrival_times(rate, n_requests, rng)
+        return np.concatenate([[0.0], np.cumsum(gaps)[:-1]])
+
+
+#: what ``make_arrivals`` accepts as a process spec
+ProcessLike = Union[str, MMPP]
+
+
+def make_arrivals(process: ProcessLike, rate: float, n_requests: int,
+                  seed: SeedLike = None) -> np.ndarray:
+    """Arrival-time array for any process spec.
+
+    ``process`` is one of :data:`ARRIVAL_PROCESSES` or an :class:`MMPP`
+    instance (custom burst shape). Stochastic processes default to seed 0
+    so unseeded runs stay reproducible.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if n_requests <= 0:
+        raise ValueError(f"n_requests must be positive, got {n_requests}")
+    if isinstance(process, MMPP):
+        return process.sample(rate, n_requests,
+                              as_rng(seed if seed is not None else 0))
+    if process == "uniform":
+        return uniform_arrivals(rate, n_requests)
+    if process == "poisson":
+        return poisson_arrivals(rate, n_requests,
+                                as_rng(seed if seed is not None else 0))
+    if process == "mmpp":
+        return MMPP().sample(rate, n_requests,
+                             as_rng(seed if seed is not None else 0))
+    raise ValueError(f"unknown arrival process {process!r}; "
+                     f"use one of {ARRIVAL_PROCESSES} or an MMPP instance")

@@ -4,10 +4,23 @@ The efficiency model behind the whole subsystem is the paper's own (SII-A,
 DeepBench): KNL kernel efficiency collapses at minibatch 1-4 and saturates
 around 32, so a server that forwards each request alone throws away an order
 of magnitude of throughput. The scheduler here implements the standard
-max-batch/max-wait policy: launch a batch when either ``max_batch`` requests
-are queued or the oldest request has waited ``max_wait`` seconds — and when
-the replica is busy, whatever queued in the meantime launches together as
-soon as it frees up.
+max-batch/max-wait policy in two flavors, selected by
+``BatchingPolicy.mode``:
+
+- ``"windowed"`` — launch a batch when either ``max_batch`` requests are
+  queued or the oldest request has waited ``max_wait`` seconds;
+- ``"continuous"`` — vLLM-style: the moment the replica is free and any
+  request is queued, launch the partial batch immediately instead of
+  holding it for ``max_wait``.  Coalescing still happens, but only behind
+  a *busy* replica — whatever queued during a batch's service launches
+  together the instant it completes, so the replica never idles while
+  work waits.
+
+In both modes, when the replica is busy, whatever queued in the meantime
+launches together as soon as it frees up.  Continuous mode trades batch
+occupancy for latency: at low load it serves mostly singletons (no
+``max_wait`` floor under p50), while at high load the busy replica makes
+the two modes converge to the same full-batch schedule.
 
 Two consumers share the policy:
 
@@ -21,26 +34,47 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Deque, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+BATCHING_MODES = ("windowed", "continuous")
+
 
 @dataclass(frozen=True)
 class BatchingPolicy:
-    """Launch a batch at ``max_batch`` queued requests or ``max_wait`` s."""
+    """Launch a batch at ``max_batch`` queued requests or ``max_wait`` s.
+
+    ``mode="windowed"`` (default) holds a partial batch until the oldest
+    request has waited ``max_wait``; ``mode="continuous"`` launches a
+    partial batch the moment the replica is free (``max_wait`` is kept for
+    bookkeeping but never delays a launch).
+    """
 
     max_batch: int = 32
     max_wait: float = 0.010
+    mode: str = "windowed"
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
             raise ValueError(
                 f"max_batch must be positive, got {self.max_batch}")
-        if self.max_wait < 0:
+        if math.isnan(self.max_wait) or self.max_wait < 0:
             raise ValueError(
                 f"max_wait must be non-negative, got {self.max_wait}")
+        if self.mode not in BATCHING_MODES:
+            raise ValueError(f"unknown batching mode {self.mode!r}; "
+                             f"have {BATCHING_MODES}")
+
+    @property
+    def launch_wait(self) -> float:
+        """Effective partial-batch hold time: continuous mode never holds."""
+        return 0.0 if self.mode == "continuous" else self.max_wait
+
+    def with_mode(self, mode: str) -> "BatchingPolicy":
+        """Same batching knobs under a different launch mode."""
+        return replace(self, mode=mode)
 
 
 @dataclass(frozen=True)
@@ -117,7 +151,7 @@ class ReplicaBatchQueue:
         Launches at or after ``until`` are deferred: the next arrival (which
         is what ``until`` represents) may still join them.
         """
-        B, W = self.policy.max_batch, self.policy.max_wait
+        B, W = self.policy.max_batch, self.policy.launch_wait
         while self.queue:
             head_arrival = self.queue[0][0]
             if len(self.queue) >= B:
@@ -127,26 +161,41 @@ class ReplicaBatchQueue:
                 # queue_depth for admission control immediately.
                 launch = max(self.free_at, self.queue[B - 1][0])
             else:
-                # Partial batch: the head's max_wait deadline fires it, but
+                # Partial batch: the head's hold deadline fires it (for the
+                # continuous mode that deadline is the arrival itself), but
                 # the next arrival (``until``) may still join — defer.
                 launch = max(self.free_at, head_arrival + W)
                 if launch >= until:
                     return
-            take = min(B, len(self.queue))
-            members = self.queue[:take]
-            del self.queue[:take]
-            completion = launch + self.service_time(take)
-            self.free_at = completion
-            self._in_flight.append((completion, take))
-            self.batches.append(
-                Batch(start=launch, completion=completion,
-                      request_ids=tuple(rid for _, rid in members)))
-            for _, rid in members:
-                self.completions[rid] = completion
+            self._launch(min(B, len(self.queue)), launch)
+
+    def _launch(self, take: int, launch: float) -> None:
+        """Commit the first ``take`` queued requests as one batch."""
+        members = self.queue[:take]
+        del self.queue[:take]
+        completion = launch + self.service_time(take)
+        self.free_at = completion
+        self._in_flight.append((completion, take))
+        self.batches.append(
+            Batch(start=launch, completion=completion,
+                  request_ids=tuple(rid for _, rid in members)))
+        for _, rid in members:
+            self.completions[rid] = completion
 
     def drain(self) -> None:
-        """Flush all remaining requests (no further arrivals)."""
+        """Flush all remaining requests (no further arrivals).
+
+        A windowed policy with a non-finite ``max_wait`` ("launch full
+        batches only") gives the final partial batch a deadline that never
+        fires; :meth:`advance` would hold it forever and its requests would
+        silently vanish from :attr:`completions`. Once the stream has ended
+        no future arrival can top the batch up, so fire the remainder as
+        soon as the replica frees.
+        """
         self.advance(math.inf)
+        while self.queue:
+            take = min(self.policy.max_batch, len(self.queue))
+            self._launch(take, max(self.free_at, self.queue[take - 1][0]))
 
 
 def plan_batches(arrivals: Sequence[float], policy: BatchingPolicy,

@@ -3,13 +3,15 @@
 A serving run produces one :class:`LatencyStats` (per-request latencies plus
 drop counts); a request-rate sweep stacks them into a :class:`SweepReport`
 whose p50/p99 and SLO-attainment curves are the serving analogue of the
-paper's scaling figures.
+paper's scaling figures. :class:`PolicyComparison` pairs two sweeps of the
+same setup under different batching modes (windowed vs continuous) and
+exposes the per-rate latency win.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -22,6 +24,8 @@ class LatencyStats:
     n_offered: int                 # requests that arrived at the front door
     n_dropped: int = 0             # rejected by admission control
     horizon: float = 0.0           # first arrival -> last completion (s)
+    #: size of each launched micro-batch, launch order (None: not recorded)
+    batch_sizes: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         self.latencies = np.asarray(self.latencies, dtype=np.float64)
@@ -31,6 +35,12 @@ class LatencyStats:
             raise ValueError(
                 f"completed ({self.n_completed}) + dropped ({self.n_dropped})"
                 f" exceed offered ({self.n_offered})")
+        if self.batch_sizes is not None:
+            self.batch_sizes = np.asarray(self.batch_sizes, dtype=np.int64)
+            if int(self.batch_sizes.sum()) != self.n_completed:
+                raise ValueError(
+                    f"batch sizes sum to {int(self.batch_sizes.sum())} but "
+                    f"{self.n_completed} requests completed")
 
     @property
     def n_completed(self) -> int:
@@ -67,6 +77,18 @@ class LatencyStats:
         if self.horizon <= 0:
             return 0.0
         return self.n_completed / self.horizon
+
+    @property
+    def n_batches(self) -> int:
+        return 0 if self.batch_sizes is None else int(self.batch_sizes.size)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean launched batch occupancy — the throughput/latency dial the
+        batching mode turns (continuous mode trades it for low-load p50)."""
+        if self.batch_sizes is None or self.batch_sizes.size == 0:
+            return float("nan")
+        return float(self.batch_sizes.mean())
 
     def attainment(self, slo: float) -> float:
         """Fraction of *offered* requests answered within ``slo`` seconds.
@@ -117,6 +139,10 @@ class SweepReport:
         return np.array([p.stats.throughput for p in self.points])
 
     @property
+    def mean_batch_curve(self) -> np.ndarray:
+        return np.array([p.stats.mean_batch_size for p in self.points])
+
+    @property
     def attainment_curve(self) -> np.ndarray:
         return np.array([p.stats.attainment(self.slo) for p in self.points])
 
@@ -146,4 +172,68 @@ class SweepReport:
                 f"{p.rate:>12.2f} {s.throughput:>9.2f} {s.p50 * 1e3:>9.1f} "
                 f"{s.p99 * 1e3:>9.1f} {s.attainment(self.slo):>7.3f} "
                 f"{s.n_dropped:>6d}")
+        return "\n".join(rows)
+
+
+@dataclass
+class PolicyComparison:
+    """Windowed vs continuous batching, swept over identical offered rates.
+
+    Both sweeps must share the rate grid and the SLO — the comparison is
+    meaningless otherwise, so that's enforced. The ``*_win_curve`` arrays
+    are windowed-minus-continuous latency (positive = continuous is
+    faster); ``attainment_gain_curve`` is continuous-minus-windowed (a
+    hold-free launch can only add attainment under a shared SLO at low
+    load, while under saturation both modes degenerate to full batches).
+    """
+
+    windowed: "SweepReport"
+    continuous: "SweepReport"
+
+    def __post_init__(self) -> None:
+        w, c = self.windowed.rates, self.continuous.rates
+        # Shape check first: np.allclose broadcasts, so mismatched lengths
+        # would crash (or, for length-1 grids, silently pass).
+        if w.shape != c.shape or not np.allclose(w, c):
+            raise ValueError("sweeps cover different rate grids; "
+                             "compare at identical offered rates")
+        if not np.isclose(self.windowed.slo, self.continuous.slo):
+            raise ValueError(
+                f"sweeps judge different SLOs ({self.windowed.slo} vs "
+                f"{self.continuous.slo}); use one target for both")
+
+    @property
+    def rates(self) -> np.ndarray:
+        return self.windowed.rates
+
+    @property
+    def slo(self) -> float:
+        return self.windowed.slo
+
+    @property
+    def p50_win_curve(self) -> np.ndarray:
+        return self.windowed.p50_curve - self.continuous.p50_curve
+
+    @property
+    def p99_win_curve(self) -> np.ndarray:
+        return self.windowed.p99_curve - self.continuous.p99_curve
+
+    @property
+    def attainment_gain_curve(self) -> np.ndarray:
+        return (self.continuous.attainment_curve
+                - self.windowed.attainment_curve)
+
+    def table(self) -> str:
+        rows = [f"{'rate (req/s)':>12s} {'p50 win':>12s} {'p99 win':>12s} "
+                f"{'batch w/c':>11s} {'attain w':>8s} {'attain c':>8s}"]
+        for i, rate in enumerate(self.rates):
+            w = self.windowed.points[i].stats
+            c = self.continuous.points[i].stats
+            rows.append(
+                f"{rate:>12.2f} "
+                f"{self.p50_win_curve[i] * 1e3:>9.1f} ms "
+                f"{self.p99_win_curve[i] * 1e3:>9.1f} ms "
+                f"{w.mean_batch_size:>5.1f}/{c.mean_batch_size:<5.1f} "
+                f"{w.attainment(self.slo):>8.3f} "
+                f"{c.attainment(self.slo):>8.3f}")
         return "\n".join(rows)

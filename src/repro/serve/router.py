@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.cluster.machine import CoriMachine, cori
-from repro.serve.batching import BatchingPolicy, ReplicaBatchQueue
+from repro.serve.batching import Batch, BatchingPolicy, ReplicaBatchQueue
 
 ROUTING_STRATEGIES = ("least_loaded", "round_robin")
 
@@ -125,4 +125,15 @@ class Router:
         out: dict = {}
         for r in self.replicas:
             out.update(r.queue.completions)
+        return out
+
+    def batches(self) -> List[Batch]:
+        """Every launched micro-batch across replicas, in launch order.
+
+        The size distribution is the batching mode's fingerprint: windowed
+        batches cluster near ``max_batch`` (the hold window fills them),
+        continuous ones shrink toward singletons as load drops.
+        """
+        out = [b for r in self.replicas for b in r.queue.batches]
+        out.sort(key=lambda b: (b.start, b.completion))
         return out

@@ -1,19 +1,24 @@
 """repro.serve: batching policy, registry, router, SLO simulator."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.models import build_hep_net
 from repro.models.climate import build_climate_net
 from repro.serve import (
+    MMPP,
     BatchExecutor,
     BatchingPolicy,
     ModelRegistry,
+    PolicyComparison,
     ReplicaBatchQueue,
     Router,
     ServiceTimeModel,
     ServingSimulator,
     SweepReport,
+    compare_batching_modes,
     plan_batches,
 )
 from repro.serve.metrics import LatencyStats
@@ -36,10 +41,25 @@ class TestBatchingPolicy:
             BatchingPolicy(max_batch=0)
         with pytest.raises(ValueError, match="max_wait"):
             BatchingPolicy(max_wait=-1.0)
+        with pytest.raises(ValueError, match="max_wait"):
+            BatchingPolicy(max_wait=math.nan)
+        with pytest.raises(ValueError, match="batching mode"):
+            BatchingPolicy(mode="eager")
 
     def test_defaults(self):
         p = BatchingPolicy()
         assert p.max_batch == 32 and p.max_wait > 0
+        assert p.mode == "windowed"
+
+    def test_launch_wait_by_mode(self):
+        """Continuous mode never holds a partial batch: its effective hold
+        time is zero no matter what max_wait says."""
+        p = BatchingPolicy(max_wait=0.25)
+        assert p.launch_wait == 0.25
+        c = p.with_mode("continuous")
+        assert c.launch_wait == 0.0 and c.max_wait == 0.25
+        assert c.max_batch == p.max_batch
+        assert c.with_mode("windowed") == p
 
 
 class TestPlanBatches:
@@ -89,6 +109,26 @@ class TestPlanBatches:
         assert [b.size for b in batches] == [2]
         assert batches[0].start == pytest.approx(0.5)
 
+    def test_continuous_skips_the_hold_window(self):
+        """Continuous mode launches a lone request immediately on an idle
+        replica where windowed mode would hold it for max_wait."""
+        policy = BatchingPolicy(max_batch=8, max_wait=0.02,
+                                mode="continuous")
+        batches = plan_batches([0.0, 0.05], policy, const_service(0.01))
+        assert [b.size for b in batches] == [1, 1]
+        assert batches[0].start == 0.0
+        assert batches[1].start == pytest.approx(0.05)
+
+    def test_continuous_coalesces_behind_busy_replica(self):
+        """Continuous mode still batches: everything queued during a
+        service window launches together when the replica frees."""
+        policy = BatchingPolicy(max_batch=8, max_wait=0.02,
+                                mode="continuous")
+        batches = plan_batches([0.0, 0.01, 0.02, 0.03], policy,
+                               const_service(0.1))
+        assert [b.size for b in batches] == [1, 3]
+        assert batches[1].start == pytest.approx(0.1)
+
 
 class TestReplicaBatchQueue:
     def test_push_must_be_nondecreasing(self):
@@ -116,6 +156,35 @@ class TestReplicaBatchQueue:
         q.advance(0.5)          # launched at t=0, busy until t=1.0
         assert q.backlog(0.5) == 1       # in service counts as outstanding
         assert q.backlog(2.0) == 0       # completed -> gone
+
+    def test_drain_flushes_partial_batch_with_infinite_wait(self):
+        """Regression: a 'full batches only' policy (max_wait=inf) used to
+        leave the final partial batch queued forever — drain() returned
+        with its requests missing from completions, silently dropped."""
+        q = ReplicaBatchQueue(BatchingPolicy(max_batch=4, max_wait=math.inf),
+                              const_service(0.1))
+        for i in range(6):
+            q.push(0.01 * i, i)
+        q.advance(1.0)
+        assert len(q.batches) == 1       # the full batch committed...
+        assert q.queue_depth == 2        # ...the remainder held for more
+        q.drain()
+        assert sorted(q.completions) == list(range(6))
+        leftover = q.batches[-1]
+        assert leftover.size == 2
+        # Fires once the replica frees (no arrivals left to wait for).
+        assert leftover.start == pytest.approx(q.batches[0].completion)
+
+    def test_drain_mid_window_keeps_the_deadline(self):
+        """Arrivals ending mid-window must not change a finite-deadline
+        launch: the final partial batch still fires at head + max_wait."""
+        q = ReplicaBatchQueue(BatchingPolicy(max_batch=4, max_wait=0.5),
+                              const_service(0.1))
+        q.push(0.0, 0)
+        q.push(0.2, 1)          # stream ends inside [0, 0.5) hold window
+        q.drain()
+        assert [b.size for b in q.batches] == [2]
+        assert q.batches[0].start == pytest.approx(0.5)
 
 
 class TestBatchExecutor:
@@ -389,6 +458,17 @@ class TestLatencyStats:
         with pytest.raises(ValueError, match="exceed"):
             LatencyStats(latencies=np.array([0.1]), n_offered=0)
 
+    def test_batch_size_accounting(self):
+        s = LatencyStats(latencies=np.full(6, 0.1), n_offered=6,
+                         horizon=1.0, batch_sizes=np.array([4, 2]))
+        assert s.n_batches == 2
+        assert s.mean_batch_size == pytest.approx(3.0)
+        assert np.isnan(LatencyStats(latencies=np.array([]),
+                                     n_offered=0).mean_batch_size)
+        with pytest.raises(ValueError, match="batch sizes"):
+            LatencyStats(latencies=np.full(6, 0.1), n_offered=6,
+                         batch_sizes=np.array([4, 4]))
+
 
 class TestSweepReport:
     def _stats(self, p99):
@@ -453,6 +533,40 @@ class TestServingSimulator:
                     process="poisson", seed=3)
         np.testing.assert_array_equal(a.latencies, b.latencies)
 
+    def test_mmpp_arrivals_run_and_reproduce(self, tiny_wl):
+        sim = ServingSimulator(tiny_wl, n_replicas=1)
+        rate = 0.5 * sim.saturation_rate()
+        a = sim.run(rate, n_requests=100, process="mmpp", seed=3)
+        b = sim.run(rate, n_requests=100, process=MMPP(), seed=3)
+        # The string spec is shorthand for the default MMPP shape.
+        np.testing.assert_array_equal(a.latencies, b.latencies)
+        assert a.n_completed + a.n_dropped == 100
+        custom = sim.run(rate, n_requests=100, process=MMPP(burst=16.0),
+                         seed=3)
+        assert not np.array_equal(a.latencies, custom.latencies)
+
+    def test_run_records_batch_sizes(self, tiny_wl):
+        sim = ServingSimulator(tiny_wl, n_replicas=1)
+        stats = sim.run(0.5 * sim.saturation_rate(), n_requests=64)
+        assert stats.batch_sizes is not None
+        assert int(stats.batch_sizes.sum()) == stats.n_completed
+        assert 1.0 <= stats.mean_batch_size <= sim.policy.max_batch
+
+    def test_continuous_mode_end_to_end(self, tiny_wl):
+        """The mode switch reaches the simulator's queues: at trickle load
+        a continuous replica answers faster than a windowed one."""
+        policy = BatchingPolicy(max_batch=32, max_wait=0.05)
+        windowed = ServingSimulator(tiny_wl, n_replicas=1, policy=policy)
+        continuous = ServingSimulator(tiny_wl, n_replicas=1,
+                                      policy=policy.with_mode("continuous"))
+        # Trickle: inter-arrival 4x the hold window, so every request rides
+        # alone and the windowed scheduler charges it the full max_wait.
+        rate = 1.0 / (4 * policy.max_wait)
+        w = windowed.run(rate, n_requests=32)
+        c = continuous.run(rate, n_requests=32)
+        assert c.p50 < w.p50
+        assert w.p50 - c.p50 == pytest.approx(policy.max_wait, rel=0.05)
+
     def test_invalid_inputs(self, tiny_wl):
         sim = ServingSimulator(tiny_wl)
         with pytest.raises(ValueError, match="rate"):
@@ -461,3 +575,30 @@ class TestServingSimulator:
             sim.run(1.0, process="bursty")
         with pytest.raises(ValueError, match="slo"):
             sim.sweep(rates=[1.0], n_requests=4, slo=0.0)
+
+
+class TestCompareBatchingModes:
+    def test_shared_grid_and_slo(self, tiny_wl):
+        cmp = compare_batching_modes(tiny_wl, n_replicas=1, n_requests=48)
+        np.testing.assert_allclose(cmp.windowed.rates, cmp.continuous.rates)
+        assert cmp.slo == cmp.windowed.slo == cmp.continuous.slo
+        assert cmp.p50_win_curve.shape == cmp.rates.shape
+        assert "p50 win" in cmp.table()
+
+    def test_mismatched_sweeps_rejected(self):
+        def swept(rates, slo):
+            rep = SweepReport(slo=slo)
+            for r in rates:
+                rep.add(r, LatencyStats(latencies=np.array([0.1]),
+                                        n_offered=1, horizon=1.0))
+            return rep
+
+        with pytest.raises(ValueError, match="rate grids"):
+            PolicyComparison(windowed=swept([1.0, 2.0], 0.5),
+                             continuous=swept([1.0, 3.0], 0.5))
+        with pytest.raises(ValueError, match="rate grids"):
+            PolicyComparison(windowed=swept([1.0], 0.5),
+                             continuous=swept([1.0, 1.0], 0.5))
+        with pytest.raises(ValueError, match="SLO"):
+            PolicyComparison(windowed=swept([1.0], 0.5),
+                             continuous=swept([1.0], 0.6))
