@@ -9,7 +9,9 @@ The pipeline every future serving PR builds on:
 3. sweep offered request rates on the simulated Cori machine to get
    throughput, p50/p99 latency, and SLO-attainment curves;
 4. compare windowed vs continuous batching and stress the tail with
-   bursty (MMPP) arrivals.
+   bursty (MMPP) arrivals;
+5. switch on the burst-aware autoscaler and watch it scale the fleet out
+   under an MMPP burst and back in when the burst passes.
 
 Run:  python examples/serve_quickstart.py
 """
@@ -23,6 +25,8 @@ from repro.models import build_hep_net
 from repro.optim import Adam
 from repro.serve import (
     MMPP,
+    AutoscalePolicy,
+    AutoscalingSimulator,
     BatchExecutor,
     BatchingPolicy,
     ModelRegistry,
@@ -36,7 +40,7 @@ from repro.train import fit_classifier
 def main() -> None:
     print("=== repro quickstart: serving the HEP classifier ===\n")
 
-    print("[1/6] training a snapshot (scaled-down net, 32px events)...")
+    print("[1/7] training a snapshot (scaled-down net, 32px events)...")
     ds = make_hep_dataset(n_events=1200, image_size=32,
                           signal_fraction=0.5, seed=0)
     net = build_hep_net(filters=16, rng=0)
@@ -44,7 +48,7 @@ def main() -> None:
                    batch=32, n_iterations=60, seed=0)
 
     with tempfile.TemporaryDirectory() as root:
-        print("[2/6] publishing to the model registry and loading a "
+        print("[2/7] publishing to the model registry and loading a "
               "frozen replica...")
         registry = ModelRegistry(root)
         registry.register("hep", lambda: build_hep_net(filters=16, rng=0),
@@ -54,7 +58,7 @@ def main() -> None:
         print(f"      published v{version}; loaded {replica!r} "
               f"(eval-mode, weights read-only)")
 
-        print("[3/6] serving real requests through the micro-batching "
+        print("[3/7] serving real requests through the micro-batching "
               "executor...")
         requests = [ds.images[i] for i in range(64)]
         policy = BatchingPolicy(max_batch=32, max_wait=0.01)
@@ -67,7 +71,7 @@ def main() -> None:
               f"<= {policy.max_batch}; max deviation from unbatched "
               f"forward: {worst:.2e}")
 
-    print("[4/6] SLO simulation: request-rate sweep on the Cori model "
+    print("[4/7] SLO simulation: request-rate sweep on the Cori model "
           "(4 replicas)...")
     workload = custom_workload("hep_32px", net, ds.images.shape[1:])
     # The 32px model serves a full batch in well under a millisecond, so the
@@ -80,7 +84,7 @@ def main() -> None:
           f"SLO = {sweep.slo * 1e3:.1f} ms\n")
     print(sweep.table())
 
-    print("\n[5/6] continuous batching: launch the instant a replica "
+    print("\n[5/7] continuous batching: launch the instant a replica "
           "frees instead of\n      holding partial batches for max_wait "
           "(the low-load p50 win)...")
     sat = sim.saturation_rate()
@@ -97,17 +101,47 @@ def main() -> None:
           f"{cmp.continuous.mean_batch_curve[0]:.1f}: latency bought with "
           f"idle capacity")
 
-    print("\n[6/6] bursty traffic: MMPP arrivals (8x bursts, 12.5% of the "
+    print("\n[6/7] bursty traffic: MMPP arrivals (8x bursts, 12.5% of the "
           "time) at the\n      same mean rates — the tail the autoscaler "
           "has to plan for...")
     bursty = sim.sweep(n_requests=2048, process=MMPP(burst=8.0),
                        seed=0, slo=sweep.slo)
     print(bursty.table())
-    print("\nDone. benchmarks/test_serve_throughput.py and "
-          "benchmarks/test_serve_continuous.py hold the acceptance "
+
+    print("\n[7/7] autoscaling: scale out when burst attainment breaks, "
+          "back in on idle\n      occupancy — never keying on the "
+          "saturation rate...")
+    sat1 = ServingSimulator(workload, n_replicas=1,
+                            policy=policy).saturation_rate()
+    shape = MMPP(burst=8.0, burst_fraction=0.125, cycle_requests=2048.0)
+    # The control epoch must fit a few batch service times (so every epoch
+    # sees completions) while staying shorter than a burst dwell.
+    cfg = AutoscalePolicy(min_replicas=1, max_replicas=4,
+                          target_attainment=0.95, epoch=0.5 * sweep.slo,
+                          cooldown_epochs=1, step_out=2, idle_epochs=4,
+                          scale_in_occupancy=0.3)
+    auto = AutoscalingSimulator(workload, autoscale=cfg, policy=policy)
+    scaled = auto.run(0.75 * sat1, n_requests=4096, process=shape, seed=0,
+                      slo=sweep.slo)
+    static1 = ServingSimulator(workload, n_replicas=1, policy=policy).run(
+        0.75 * sat1, n_requests=4096, process=shape, seed=0)
+    print(f"      static 1-replica attainment under bursts: "
+          f"{static1.attainment(sweep.slo):.3f}; autoscaled: "
+          f"{scaled.attainment(sweep.slo):.3f} at a mean fleet of "
+          f"{scaled.mean_replicas:.2f} replicas")
+    for ev in scaled.scale_events[:8]:
+        print(f"      t={ev.time:7.3f}s  {ev.action:10s} {ev.delta:+d} "
+              f"-> {ev.n_replicas} replicas  ({ev.reason})")
+
+    print("\nDone. benchmarks/test_serve_throughput.py, "
+          "benchmarks/test_serve_continuous.py, and "
+          "benchmarks/test_serve_autoscale.py hold the acceptance "
           "numbers (>=5x micro-batching speedup, monotone SLO curves, "
-          "continuous-batching latency win, bursty-tail behavior); "
-          "tests/test_serve_properties.py pins the scheduler invariants.")
+          "continuous-batching latency win, bursty-tail behavior, "
+          "autoscaled SLO recovery at a sub-worst-case mean fleet); "
+          "tests/test_serve_properties.py and "
+          "tests/test_autoscale_properties.py pin the scheduler and "
+          "controller invariants.")
 
 
 if __name__ == "__main__":

@@ -19,7 +19,11 @@ accounting:
 - :mod:`repro.serve.metrics` — latency percentiles, throughput, SLO
   attainment;
 - :mod:`repro.serve.slo_sim` — request-rate sweeps producing p50/p99 and
-  SLO-attainment curves for capacity planning.
+  SLO-attainment curves for capacity planning;
+- :mod:`repro.serve.autoscale` — burst-aware replica autoscaling: a
+  discrete-time controller that scales out on broken SLO attainment and in
+  on sustained idle occupancy, contending with node failures from
+  :class:`repro.cluster.failures.FailureModel`.
 
 Quickstart::
 
@@ -43,6 +47,12 @@ Quickstart::
     print(cmp.table())                        # per-rate p50/p99 win
 """
 
+from repro.serve.autoscale import (  # noqa: F401
+    Autoscaler,
+    AutoscalePolicy,
+    AutoscalingSimulator,
+    ScaleDecision,
+)
 from repro.serve.arrivals import (  # noqa: F401
     ARRIVAL_PROCESSES,
     MMPP,
@@ -60,9 +70,11 @@ from repro.serve.batching import (  # noqa: F401
 )
 from repro.serve.latency import ServiceTimeModel  # noqa: F401
 from repro.serve.metrics import (  # noqa: F401
+    EpochRecord,
     LatencyStats,
     PolicyComparison,
     RatePoint,
+    ScaleEvent,
     SweepReport,
 )
 from repro.serve.registry import ModelRegistry, ServableModel  # noqa: F401
@@ -75,9 +87,13 @@ from repro.serve.slo_sim import (  # noqa: F401
 __all__ = [
     "ARRIVAL_PROCESSES",
     "BATCHING_MODES",
+    "Autoscaler",
+    "AutoscalePolicy",
+    "AutoscalingSimulator",
     "Batch",
     "BatchExecutor",
     "BatchingPolicy",
+    "EpochRecord",
     "LatencyStats",
     "MMPP",
     "ModelRegistry",
@@ -86,6 +102,8 @@ __all__ = [
     "ReplicaBatchQueue",
     "ReplicaHandle",
     "Router",
+    "ScaleDecision",
+    "ScaleEvent",
     "ServableModel",
     "ServiceTimeModel",
     "ServingSimulator",

@@ -1,0 +1,443 @@
+"""Burst-aware autoscaling: drive ``n_replicas`` from SLO attainment.
+
+The paper's production context (sustained work on ~9600 Cori KNL nodes)
+holds up because capacity adapts to failures and load shifts; a serving
+fleet sized once and left alone either wastes nodes or breaks its SLO the
+first time an MMPP burst arrives. The PR 2 sweeps showed exactly why the
+obvious control signal is wrong: under bursty arrivals, attainment breaks
+*below* the uniform-arrival saturation rate, so a controller keyed on
+"offered rate vs saturation" would sit still while the tail burns. The
+controller here never looks at the saturation rate. It keys on the two
+signals the sweeps produced:
+
+- **scale out** when observed SLO attainment in a control epoch drops below
+  ``target_attainment`` — the bursty-attainment signal;
+- **scale in** when mean batch occupancy (``mean_batch_size / max_batch``)
+  stays below ``scale_in_occupancy`` for ``idle_epochs`` consecutive epochs
+  while the SLO is met — sustained idle capacity, not a momentary lull.
+
+Voluntary decisions respect a cooldown (``cooldown_epochs`` epochs of
+silence after each one) so the loop cannot flap on its own transients.
+Node failures are different: a dead replica is an *involuntary* scale-in,
+and replacing it is repair, not a control decision — repairs bypass the
+cooldown, because waiting out a timer while capacity is gone is how real
+outages compound.
+
+:class:`AutoscalingSimulator` extends :class:`ServingSimulator` rather
+than forking it: with the controller pinned (``min_replicas ==
+max_replicas``) and no failures, it produces bit-identical
+:class:`LatencyStats` to the static simulator — enforced by the
+differential test in ``tests/test_autoscale_properties.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.failures import FailureEvent, FailureModel
+from repro.cluster.machine import CoriMachine
+from repro.serve.batching import BatchingPolicy
+from repro.serve.latency import ServiceTimeModel
+from repro.serve.metrics import EpochRecord, LatencyStats, ScaleEvent
+from repro.serve.router import Router
+from repro.serve.slo_sim import ServingSimulator
+from repro.serve.arrivals import ProcessLike
+from repro.sim.workload import Workload
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Knobs of the discrete-time replica controller.
+
+    ``epoch`` is the control period in (virtual) seconds; ``None`` derives
+    it from the run's SLO (two SLO windows — long enough for completions to
+    accumulate, short enough to catch a burst while it is still bursting).
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    target_attainment: float = 0.99
+    scale_in_occupancy: float = 0.25
+    epoch: Optional[float] = None
+    cooldown_epochs: int = 1
+    idle_epochs: int = 3
+    step_out: int = 1
+    step_in: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError(
+                f"min_replicas must be >= 1, got {self.min_replicas}")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError(
+                f"max_replicas ({self.max_replicas}) < min_replicas "
+                f"({self.min_replicas})")
+        if not 0.0 < self.target_attainment <= 1.0:
+            raise ValueError(
+                f"target_attainment must be in (0, 1], "
+                f"got {self.target_attainment}")
+        if not 0.0 <= self.scale_in_occupancy < 1.0:
+            raise ValueError(
+                f"scale_in_occupancy must be in [0, 1), "
+                f"got {self.scale_in_occupancy}")
+        if self.epoch is not None and not self.epoch > 0:
+            raise ValueError(f"epoch must be positive, got {self.epoch}")
+        if self.cooldown_epochs < 0:
+            raise ValueError("cooldown_epochs must be non-negative")
+        if self.idle_epochs < 1:
+            raise ValueError("idle_epochs must be >= 1")
+        if self.step_out < 1 or self.step_in < 1:
+            raise ValueError("scale steps must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One controller verdict: signed fleet delta plus its justification."""
+
+    delta: int
+    action: str    # "scale_out" | "scale_in" | "repair" | "hold"
+    reason: str = ""
+
+
+class Autoscaler:
+    """Pure decision logic over :class:`EpochRecord` observations.
+
+    Stateless with respect to the simulator — it sees only what an epoch
+    record carries, which is only what was causally observable at the epoch
+    boundary. It tracks its own *desired* fleet size so that a replica the
+    fleet is missing (a node death) is detected as ``actual < desired`` and
+    repaired immediately, cooldown or not.
+    """
+
+    def __init__(self, policy: AutoscalePolicy,
+                 initial: Optional[int] = None) -> None:
+        self.policy = policy
+        n0 = policy.min_replicas if initial is None else initial
+        if not policy.min_replicas <= n0 <= policy.max_replicas:
+            raise ValueError(
+                f"initial fleet {n0} outside "
+                f"[{policy.min_replicas}, {policy.max_replicas}]")
+        self.desired = n0
+        self._next_voluntary = 0     # first epoch index allowed to act
+        self._idle_streak = 0
+
+    def decide(self, rec: EpochRecord) -> ScaleDecision:
+        p = self.policy
+        n = rec.n_replicas
+        if n < self.desired:
+            # Involuntary scale-in (node death): replace, don't deliberate.
+            delta = self.desired - n
+            return ScaleDecision(delta, "repair",
+                                 f"replacing {delta} failed replica(s)")
+        # Idle bookkeeping runs every epoch, even inside cooldown, so the
+        # streak reflects sustained idleness rather than post-cooldown luck.
+        # An epoch with no batches at all is idle only if nothing arrived
+        # and nothing is queued — a stalled epoch is the opposite of idle.
+        # A scale-in that turns out premature is not fatal: the doomed-
+        # request attainment signal re-triggers scale-out within an epoch
+        # or two, which is what keeps this loop simple instead of guarded.
+        idle = ((not math.isnan(rec.occupancy)
+                 and rec.occupancy < p.scale_in_occupancy)
+                or (math.isnan(rec.occupancy) and rec.queue_depth == 0
+                    and rec.n_arrived == 0))
+        self._idle_streak = self._idle_streak + 1 if idle else 0
+        if rec.index < self._next_voluntary:
+            return ScaleDecision(0, "hold", "cooldown")
+        att = rec.attainment
+        if not math.isnan(att) and att < p.target_attainment \
+                and n < p.max_replicas:
+            delta = min(p.step_out, p.max_replicas - n)
+            self.desired = n + delta
+            self._next_voluntary = rec.index + 1 + p.cooldown_epochs
+            self._idle_streak = 0
+            return ScaleDecision(
+                delta, "scale_out",
+                f"attainment {att:.3f} < {p.target_attainment:.3f}")
+        if (self._idle_streak >= p.idle_epochs and n > p.min_replicas
+                and (math.isnan(att) or att >= p.target_attainment)):
+            delta = min(p.step_in, n - p.min_replicas)
+            self.desired = n - delta
+            self._next_voluntary = rec.index + 1 + p.cooldown_epochs
+            self._idle_streak = 0
+            return ScaleDecision(
+                -delta, "scale_in",
+                f"occupancy < {p.scale_in_occupancy:.2f} for "
+                f"{p.idle_epochs} epochs")
+        return ScaleDecision(0, "hold", "")
+
+
+class AutoscalingSimulator(ServingSimulator):
+    """:class:`ServingSimulator` with the control loop switched on.
+
+    Same arrival streams, same router, same latency accounting — plus, at
+    every ``epoch`` boundary, one controller observation and (maybe) one
+    fleet change, and, at failure times, node deaths that kill the mapped
+    replica mid-service. Failures come either from ``failure_events`` (an
+    explicit list, for targeted injection) or a ``failures``
+    :class:`FailureModel` sampled over ``max_replicas`` slots for the span
+    of the arrival stream; an event's ``node_id`` maps onto the current
+    fleet as ``node_id % n_replicas``, so the failure process stays
+    meaningful while the fleet resizes. ``degrade`` events are ignored — a
+    degraded node still answers; modeling its slowdown is future work.
+
+    The returned :class:`LatencyStats` carries ``epochs``,
+    ``scale_events``, and ``mean_replicas`` (time-averaged fleet over the
+    arrival span — the controlled window), so every latency is attributable
+    to the fleet that produced it.
+    """
+
+    def __init__(self, workload: Workload,
+                 autoscale: Optional[AutoscalePolicy] = None,
+                 machine: Optional[CoriMachine] = None,
+                 n_replicas: Optional[int] = None,
+                 policy: Optional[BatchingPolicy] = None,
+                 max_queue: Optional[int] = 256,
+                 strategy: str = "least_loaded",
+                 service_model: Optional[ServiceTimeModel] = None,
+                 failures: Optional[FailureModel] = None,
+                 failure_events: Optional[Sequence[FailureEvent]] = None
+                 ) -> None:
+        self.autoscale = autoscale or AutoscalePolicy()
+        initial = (self.autoscale.min_replicas if n_replicas is None
+                   else n_replicas)
+        if not (self.autoscale.min_replicas <= initial
+                <= self.autoscale.max_replicas):
+            raise ValueError(
+                f"initial fleet {initial} outside "
+                f"[{self.autoscale.min_replicas}, "
+                f"{self.autoscale.max_replicas}]")
+        super().__init__(workload, machine=machine, n_replicas=initial,
+                         policy=policy, max_queue=max_queue,
+                         strategy=strategy, service_model=service_model)
+        if failures is not None and failure_events is not None:
+            raise ValueError(
+                "pass either a FailureModel or explicit failure_events, "
+                "not both")
+        self.failures = failures
+        self.failure_events = (None if failure_events is None
+                               else sorted(failure_events,
+                                           key=lambda e: e.time))
+
+    # -- runs -----------------------------------------------------------------
+    def run(self, rate: float, n_requests: int = 512,
+            process: ProcessLike = "uniform", seed: SeedLike = None,
+            slo: Optional[float] = None) -> LatencyStats:
+        """One autoscaled run; ``slo`` is the controller's attainment
+        yardstick (default: :meth:`default_slo` of the *initial* fleet's
+        batching policy, same as the static simulator)."""
+        if slo is None:
+            slo = self.default_slo()
+        elif slo <= 0:
+            raise ValueError(f"slo must be positive, got {slo}")
+        self._run_slo = float(slo)
+        try:
+            return super().run(rate, n_requests=n_requests, process=process,
+                               seed=seed)
+        finally:
+            del self._run_slo
+
+    def _run_point(self, rate: float, n_requests: int, process: ProcessLike,
+                   seed: SeedLike, slo: float) -> LatencyStats:
+        return self.run(rate, n_requests=n_requests, process=process,
+                        seed=seed, slo=slo)
+
+    # -- the control loop -----------------------------------------------------
+    def _failure_schedule(self, t0: float,
+                          t_end: float) -> List[FailureEvent]:
+        """Fail-stop events inside the controlled window, time-ordered.
+
+        Only the arrival span is exposed to failures: once the stream ends
+        there is no controller awake to repair, so a post-stream death
+        would just punch an unattributable hole in the drain.
+        """
+        if self.failure_events is not None:
+            events = [e for e in self.failure_events
+                      if t0 < e.time <= t_end]
+        elif self.failures is not None:
+            events = [FailureEvent(e.time + t0, e.node_id, e.kind,
+                                   e.slow_factor)
+                      for e in self.failures.sample_events(
+                          self.autoscale.max_replicas, t_end - t0)]
+        else:
+            return []
+        return [e for e in events if e.kind == "fail"]
+
+    def _observe(self, router: Router, admitted: dict, t_start: float,
+                 t_end: float, index: int, slo: float, rtt: float,
+                 n_shed: int) -> EpochRecord:
+        """One causal epoch observation.
+
+        Completions whose (virtual) completion time falls inside the window
+        are judged against the SLO directly. On top of those, two kinds of
+        already-knowable violations count now:
+
+        - *doomed* requests — admitted but not yet answered, whose latency
+          is already lower-bounded past the SLO (a queued request's age
+          plus the best possible remaining service, or a launched batch's
+          known completion). Without them attainment is a lagging
+          indicator: under a burst the queue builds for several epochs
+          while every completion still (barely) meets the SLO, and the
+          controller would learn about the breakage only afterwards;
+        - *shed* requests — rejected by admission control this epoch
+          (``n_shed``). Without them a saturated ``max_queue`` masks
+          overload completely: every admitted request sails through, the
+          drop counter does the suffering, and attainment reads 1.0 while
+          half the offered traffic bounces.
+
+        Everything here is knowable at ``t_end``; nothing peeks at future
+        arrivals.
+
+        Windows are half-open ``(t_start, t_end]`` so consecutive epochs
+        partition the timeline — except epoch 0, whose start is the first
+        arrival itself and therefore closed, so that arrival (and a batch
+        launched at that exact instant) is not invisible to the controller.
+
+        Each observation scans the run's accumulated state (admitted map,
+        per-replica batch lists) rather than tracking per-epoch deltas;
+        that is quadratic in principle, but at simulator scale (thousands
+        of requests, hundreds of epochs, runs measured in fractions of a
+        second) the delta bookkeeping — which the failure path would have
+        to invalidate — is not worth its complexity yet.
+        """
+        on_start = t_start if index == 0 else math.inf
+        completions = router.completions()
+        n_completed = n_ok = n_doomed = 0
+        floor = self.service.batch_time(1) + rtt
+        for rid, a in admitted.items():
+            c = completions.get(rid)
+            if c is None:
+                # Queued. Requests lost to a failure are excluded: they
+                # took their attainment hit while queued (doomed) or not at
+                # all, and must not depress the signal forever after.
+                if rid not in router.failed_ids and a <= t_end \
+                        and t_end - a + floor > slo:
+                    n_doomed += 1
+            elif t_start < c <= t_end:
+                n_completed += 1
+                if c - a + rtt <= slo:
+                    n_ok += 1
+            elif c > t_end >= a and c - a + rtt > slo:
+                n_doomed += 1       # launched; completion known and late
+        n_arrived = sum(1 for a in admitted.values()
+                        if t_start < a <= t_end or a == on_start)
+        queue_depth = sum(r.queue.outstanding(t_end)
+                          for r in router.replicas)
+        # Launch order doesn't matter for the occupancy mean, so iterate
+        # the per-replica lists directly — no need for router.batches()'s
+        # merge-and-sort here.
+        sizes = [b.size for r in router.replicas + router.retired
+                 for b in r.queue.batches
+                 if t_start < b.start <= t_end or b.start == on_start]
+        mean_batch = float(np.mean(sizes)) if sizes else float("nan")
+        occupancy = (mean_batch / self.policy.max_batch if sizes
+                     else float("nan"))
+        if n_completed or n_doomed or n_shed:
+            attainment = n_ok / (n_completed + n_doomed + n_shed)
+        elif queue_depth > 0:
+            attainment = 0.0        # stalled: backlog, nothing finishing
+        else:
+            attainment = float("nan")
+        return EpochRecord(index=index, t_start=t_start, t_end=t_end,
+                           n_replicas=router.n_replicas,
+                           n_arrived=n_arrived, n_completed=n_completed,
+                           n_ok=n_ok, n_doomed=n_doomed, n_shed=n_shed,
+                           attainment=attainment,
+                           mean_batch_size=mean_batch, occupancy=occupancy,
+                           queue_depth=queue_depth)
+
+    def _drive(self, arrivals: np.ndarray, router: Router,
+               admitted: dict) -> None:
+        slo = getattr(self, "_run_slo", None) or self.default_slo()
+        cfg = self.autoscale
+        epoch_s = cfg.epoch if cfg.epoch is not None else 2.0 * slo
+        controller = Autoscaler(cfg, initial=router.n_replicas)
+        rtt = self.service.request_rtt()
+        t0, t_end = float(arrivals[0]), float(arrivals[-1])
+        failures = self._failure_schedule(t0, t_end)
+        epochs: List[EpochRecord] = []
+        events: List[ScaleEvent] = []
+        # Time-integral of the fleet size, for mean_replicas.
+        area, mark = 0.0, t0
+
+        def advance_area(t: float) -> None:
+            nonlocal area, mark
+            area += router.n_replicas * (t - mark)
+            mark = t
+
+        epoch_idx, fi = 0, 0
+        next_epoch = t0 + epoch_s
+        prev_epoch_t = t0
+        dropped_mark = router.n_dropped
+
+        def close_epoch(t: float) -> None:
+            nonlocal epoch_idx, prev_epoch_t, dropped_mark
+            advance_area(t)
+            for r in router.replicas:
+                r.queue.advance(t)
+            n_shed = router.n_dropped - dropped_mark
+            dropped_mark = router.n_dropped
+            rec = self._observe(router, admitted, prev_epoch_t, t,
+                                epoch_idx, slo, rtt, n_shed)
+            decision = controller.decide(rec)
+            if decision.delta > 0:
+                for _ in range(decision.delta):
+                    router.add_replica(t)
+            elif decision.delta < 0:
+                for _ in range(-decision.delta):
+                    router.remove_replica(t)
+            if decision.delta:
+                events.append(ScaleEvent(
+                    time=t, epoch=epoch_idx, action=decision.action,
+                    delta=decision.delta, n_replicas=router.n_replicas,
+                    reason=decision.reason))
+            epochs.append(rec)
+            prev_epoch_t = t
+            epoch_idx += 1
+
+        def apply_failure(ev: FailureEvent) -> None:
+            if router.n_replicas == 0:
+                return
+            advance_area(ev.time)
+            dead, lost = router.fail_replica(
+                ev.time, ev.node_id % router.n_replicas)
+            events.append(ScaleEvent(
+                time=ev.time, epoch=epoch_idx, action="failure", delta=-1,
+                n_replicas=router.n_replicas,
+                reason=f"node {dead.node_id} died, {lost} requests lost"))
+
+        for i, t in enumerate(arrivals):
+            t = float(t)
+            # Everything scheduled before this arrival happens first, in
+            # time order; a failure tied with an epoch boundary lands
+            # first so the controller sees it immediately.
+            while True:
+                t_fail = failures[fi].time if fi < len(failures) else math.inf
+                if min(t_fail, next_epoch) > t:
+                    break
+                if t_fail <= next_epoch:
+                    apply_failure(failures[fi])
+                    fi += 1
+                else:
+                    close_epoch(next_epoch)
+                    next_epoch += epoch_s
+            if router.submit(t, i):
+                admitted[i] = t
+        advance_area(t_end)
+        span = t_end - t0
+        self._trace = (epochs, events,
+                       area / span if span > 0 else float(router.n_replicas))
+
+    def _collect(self, arrivals: np.ndarray, router: Router,
+                 admitted: dict) -> LatencyStats:
+        stats = super()._collect(arrivals, router, admitted)
+        epochs, events, mean_replicas = self._trace
+        del self._trace
+        stats.epochs = epochs
+        stats.scale_events = events
+        stats.mean_replicas = mean_replicas
+        return stats

@@ -182,6 +182,48 @@ class ReplicaBatchQueue:
         for _, rid in members:
             self.completions[rid] = completion
 
+    # -- live-scaling support -------------------------------------------------
+    def evict_queued(self, t: float) -> List[Tuple[float, int]]:
+        """Hand back every still-unlaunched request at time ``t``.
+
+        Graceful-drain primitive for live replica removal: first advance to
+        ``t`` so any batch whose launch instant has already passed departs
+        normally (it was committed before the removal decision), then strip
+        the remaining ``(arrival, request_id)`` pairs in FIFO order for the
+        caller to re-route. In-flight batches are untouched — they complete
+        on this replica; only unlaunched work moves.
+        """
+        self.advance(t)
+        evicted = list(self.queue)
+        self.queue.clear()
+        return evicted
+
+    def abort_after(self, t: float) -> List[int]:
+        """Fail-stop the replica at time ``t``; returns the lost request ids.
+
+        Models a node death: every batch still in service at ``t`` (or
+        committed to launch after it) is aborted and its requests are
+        struck from :attr:`completions`, along with everything queued but
+        unlaunched. Batches that completed at or before ``t`` stand — those
+        responses already left the node. The queue is unusable afterwards
+        (``free_at`` pinned to infinity).
+        """
+        self.advance(t)
+        lost = [rid for _, rid in self.queue]
+        self.queue.clear()
+        survived = []
+        for b in self.batches:
+            if b.completion > t:
+                lost.extend(b.request_ids)
+                for rid in b.request_ids:
+                    del self.completions[rid]
+            else:
+                survived.append(b)
+        self.batches = survived
+        self._in_flight.clear()
+        self.free_at = math.inf
+        return lost
+
     def drain(self) -> None:
         """Flush all remaining requests (no further arrivals).
 

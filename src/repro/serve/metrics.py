@@ -6,14 +6,84 @@ whose p50/p99 and SLO-attainment curves are the serving analogue of the
 paper's scaling figures. :class:`PolicyComparison` pairs two sweeps of the
 same setup under different batching modes (windowed vs continuous) and
 exposes the per-rate latency win.
+
+Autoscaled runs (:mod:`repro.serve.autoscale`) attribute the same stats per
+control epoch: each :class:`EpochRecord` is one controller observation
+window, each :class:`ScaleEvent` one fleet change (voluntary scale-out /
+scale-in, node failure, repair), and :attr:`LatencyStats.mean_replicas` is
+the time-averaged fleet size the run actually paid for — the number that
+makes "met the SLO with fewer replicas than worst-case provisioning" a
+checkable claim.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
+
+#: every way the serving fleet can change size mid-run
+SCALE_ACTIONS = ("scale_out", "scale_in", "failure", "repair")
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One fleet-size change during an autoscaled run."""
+
+    time: float          # virtual time of the change (s)
+    epoch: int           # control epoch it happened in
+    action: str          # one of SCALE_ACTIONS
+    delta: int           # signed replica-count change
+    n_replicas: int      # fleet size after the change
+    reason: str = ""     # controller's stated trigger (free text)
+
+    def __post_init__(self) -> None:
+        if self.action not in SCALE_ACTIONS:
+            raise ValueError(f"unknown scale action {self.action!r}; "
+                             f"have {SCALE_ACTIONS}")
+        if self.delta == 0:
+            raise ValueError("a scale event must change the fleet size")
+        if self.n_replicas < 0:
+            raise ValueError("n_replicas cannot go negative")
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """What the controller could causally observe in one control epoch.
+
+    Attainment here is judged over requests whose *completion* fell inside
+    the epoch, plus two kinds of already-knowable violations: the *doomed*
+    (still pending but with latency already lower-bounded past the SLO —
+    what makes the signal lead a building backlog instead of lagging it)
+    and the *shed* (bounced by admission control this epoch — what keeps a
+    saturated ``max_queue`` from masking overload entirely). It is ``0.0``
+    when the epoch is stalled (backlog but nothing completed) and ``NaN``
+    when there was genuinely nothing to judge. ``occupancy`` is
+    ``mean_batch_size / max_batch`` — the idle-capacity signal scale-in
+    keys on.
+    """
+
+    index: int
+    t_start: float
+    t_end: float
+    n_replicas: int        # fleet size at observation (before the decision)
+    n_arrived: int         # admitted arrivals inside the epoch
+    n_completed: int       # completions recorded inside the epoch
+    n_ok: int              # of those, completions within the SLO
+    n_doomed: int          # pending with a known-late latency lower bound
+    n_shed: int            # dropped by admission control inside the epoch
+    attainment: float
+    mean_batch_size: float  # mean size of the epoch's launches (NaN if none)
+    occupancy: float        # mean_batch_size / max_batch (NaN if none)
+    queue_depth: int        # outstanding requests at t_end
+
+    def __post_init__(self) -> None:
+        if self.t_end <= self.t_start:
+            raise ValueError("epoch must have positive duration")
+        if self.n_ok > self.n_completed:
+            raise ValueError("n_ok cannot exceed n_completed")
 
 
 @dataclass
@@ -26,15 +96,24 @@ class LatencyStats:
     horizon: float = 0.0           # first arrival -> last completion (s)
     #: size of each launched micro-batch, launch order (None: not recorded)
     batch_sizes: Optional[np.ndarray] = None
+    #: admitted but lost to a replica failure (never answered)
+    n_failed: int = 0
+    #: time-averaged replica count over the run (None: fixed fleet)
+    mean_replicas: Optional[float] = None
+    #: per-control-epoch observations (None: not an autoscaled run)
+    epochs: Optional[List[EpochRecord]] = None
+    #: fleet changes in time order (None: not an autoscaled run)
+    scale_events: Optional[List[ScaleEvent]] = None
 
     def __post_init__(self) -> None:
         self.latencies = np.asarray(self.latencies, dtype=np.float64)
-        if self.n_offered < 0 or self.n_dropped < 0:
+        if self.n_offered < 0 or self.n_dropped < 0 or self.n_failed < 0:
             raise ValueError("counts must be non-negative")
-        if self.n_completed + self.n_dropped > self.n_offered:
+        if self.n_completed + self.n_dropped + self.n_failed > self.n_offered:
             raise ValueError(
                 f"completed ({self.n_completed}) + dropped ({self.n_dropped})"
-                f" exceed offered ({self.n_offered})")
+                f" + failed ({self.n_failed}) exceed offered "
+                f"({self.n_offered})")
         if self.batch_sizes is not None:
             self.batch_sizes = np.asarray(self.batch_sizes, dtype=np.int64)
             if int(self.batch_sizes.sum()) != self.n_completed:
@@ -93,8 +172,9 @@ class LatencyStats:
     def attainment(self, slo: float) -> float:
         """Fraction of *offered* requests answered within ``slo`` seconds.
 
-        Drops count as violations — an operator cares about the requests
-        users sent, not the ones the system deigned to serve.
+        Drops and failure-lost requests count as violations — an operator
+        cares about the requests users sent, not the ones the system
+        deigned (or survived) to serve.
         """
         if slo <= 0:
             raise ValueError(f"slo must be positive, got {slo}")
@@ -102,6 +182,42 @@ class LatencyStats:
             return 1.0
         ok = int((self.latencies <= slo).sum())
         return ok / self.n_offered
+
+    def scale_timeline(self) -> str:
+        """Human-readable ledger of the run's fleet changes and epochs."""
+        if self.epochs is None and self.scale_events is None:
+            return "(fixed fleet: no scale events recorded)"
+        rows = [f"{'epoch':>5s} {'window (s)':>17s} {'repl':>4s} "
+                f"{'arriv':>5s} {'compl':>5s} {'attain':>6s} "
+                f"{'occ':>5s} {'queue':>5s}  events"]
+        by_epoch: dict = {}
+        for ev in self.scale_events or []:
+            by_epoch.setdefault(ev.epoch, []).append(ev)
+        seen = set()
+        for rec in self.epochs or []:
+            seen.add(rec.index)
+            evs = "; ".join(
+                f"{ev.action} {ev.delta:+d} -> {ev.n_replicas} ({ev.reason})"
+                for ev in by_epoch.get(rec.index, []))
+            att = ("  --  " if math.isnan(rec.attainment)
+                   else f"{rec.attainment:6.3f}")
+            occ = ("  -- " if math.isnan(rec.occupancy)
+                   else f"{rec.occupancy:5.2f}")
+            rows.append(
+                f"{rec.index:>5d} {rec.t_start:>8.3f}-{rec.t_end:<8.3f} "
+                f"{rec.n_replicas:>4d} {rec.n_arrived:>5d} "
+                f"{rec.n_completed:>5d} {att} {occ} "
+                f"{rec.queue_depth:>5d}  {evs}")
+        # Events past the last closed epoch (e.g. a failure between the
+        # final boundary and the end of the stream) still belong in the
+        # ledger — a timeline that contradicts n_failed is worse than none.
+        for epoch in sorted(set(by_epoch) - seen):
+            for ev in by_epoch[epoch]:
+                rows.append(
+                    f"{epoch:>5d} {'(after last closed epoch)':>17s}"
+                    f"{'':>31s}  {ev.action} {ev.delta:+d} -> "
+                    f"{ev.n_replicas} ({ev.reason})")
+        return "\n".join(rows)
 
 
 @dataclass(frozen=True)
@@ -141,6 +257,16 @@ class SweepReport:
     @property
     def mean_batch_curve(self) -> np.ndarray:
         return np.array([p.stats.mean_batch_size for p in self.points])
+
+    @property
+    def mean_replica_curve(self) -> np.ndarray:
+        """Time-averaged fleet size per rate (NaN for fixed-fleet sweeps).
+
+        This is the autoscaler's cost axis: attainment restored at a lower
+        mean fleet than static worst-case provisioning is the whole win.
+        """
+        return np.array([np.nan if p.stats.mean_replicas is None
+                         else p.stats.mean_replicas for p in self.points])
 
     @property
     def attainment_curve(self) -> np.ndarray:

@@ -7,12 +7,21 @@ replica with the fewest outstanding requests; when every replica is at the
 admission limit (``max_queue`` outstanding each), the request is rejected
 up front — a shed request costs the client a retry, a queued-forever
 request costs every client behind it.
+
+The replica fleet is *live*: :meth:`Router.add_replica` places a new
+replica on the next free machine node mid-stream, :meth:`remove_replica`
+gracefully drains one (unlaunched requests re-route to the survivors,
+in-flight batches finish where they started, nothing is dropped), and
+:meth:`fail_replica` models a node death (in-flight and queued requests
+are lost and counted in :attr:`Router.n_failed`). The autoscaler in
+:mod:`repro.serve.autoscale` drives all three; a fixed-fleet simulation
+simply never calls them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.cluster.machine import CoriMachine, cori
 from repro.serve.batching import Batch, BatchingPolicy, ReplicaBatchQueue
@@ -52,6 +61,7 @@ class Router:
                 f"{n_replicas} replicas > machine size "
                 f"{self.machine.n_nodes}")
         self.policy = policy
+        self.service_time = service_time
         self.max_queue = max_queue
         self.strategy = strategy
         # One contiguous allocation, one node per replica (Fig 3 ideal).
@@ -60,8 +70,18 @@ class Router:
             ReplicaHandle(i, node_id,
                           ReplicaBatchQueue(policy, service_time))
             for i, node_id in enumerate(placement.group_nodes[0])]
+        #: replicas taken out of rotation (drained or dead); their completed
+        #: work still counts in :meth:`completions` / :meth:`batches`
+        self.retired: List[ReplicaHandle] = []
+        #: total replica slots ever placed — nodes are never reused, so a
+        #: dead node stays dead and a new replica always gets a fresh one
+        self._placed = n_replicas
         self.n_offered = 0
         self.n_dropped = 0
+        #: requests lost to replica failures (admitted, never answered)
+        self.n_failed = 0
+        #: their ids — so observers can tell dead from still-pending
+        self.failed_ids: set = set()
         self._rr_next = 0
 
     @property
@@ -104,6 +124,10 @@ class Router:
         with headroom rather than being dropped amid idle capacity.
         """
         self.n_offered += 1
+        if not self.replicas:
+            # Every replica has failed and no repair has landed yet: shed.
+            self.n_dropped += 1
+            return False
         replica = self.pick(t)
         if self._full(replica, t):
             open_replicas = [r for r in self.replicas
@@ -115,15 +139,81 @@ class Router:
         replica.queue.push(t, request_id)
         return True
 
+    # -- live fleet changes ---------------------------------------------------
+    def _next_node(self) -> int:
+        """Next never-used machine node, extending the contiguous block."""
+        if self._placed >= self.machine.n_nodes:
+            raise ValueError(
+                f"machine exhausted: all {self.machine.n_nodes} nodes placed")
+        placement = self.machine.topology.place(self._placed + 1, 1)
+        return int(placement.group_nodes[0][-1])
+
+    def add_replica(self, t: float) -> ReplicaHandle:
+        """Scale out: place one new replica at time ``t``.
+
+        The replica lands on the next free node of the contiguous dragonfly
+        allocation and starts empty but *busy until* ``t`` — it cannot serve
+        work from before it existed.
+        """
+        queue = ReplicaBatchQueue(self.policy, self.service_time, free_at=t)
+        handle = ReplicaHandle(self._placed, self._next_node(), queue)
+        self._placed += 1
+        self.replicas.append(handle)
+        return handle
+
+    def remove_replica(self, t: float,
+                       pos: Optional[int] = None) -> ReplicaHandle:
+        """Scale in: gracefully drain one replica out of rotation at ``t``.
+
+        By default the emptiest replica goes (fewest outstanding requests,
+        ties to the newest placement, so long-lived replicas persist).
+        Batches already launched or due before ``t`` finish on the leaving
+        replica; its still-unlaunched requests re-route one at a time to the
+        least-loaded survivor. Re-routed requests bypass ``max_queue`` —
+        they were admitted once and a voluntary scale-in must not turn into
+        a drop — and keep their original ids, so end-to-end latency still
+        counts the time spent waiting on the drained replica.
+        """
+        if len(self.replicas) <= 1:
+            raise ValueError("cannot remove the last replica")
+        for r in self.replicas:
+            r.queue.advance(t)
+        if pos is None:
+            pos = min(range(len(self.replicas)),
+                      key=lambda p: (self.replicas[p].queue.outstanding(t),
+                                     -self.replicas[p].index))
+        replica = self.replicas.pop(pos)
+        for _, rid in replica.queue.evict_queued(t):
+            self._least_loaded(self.replicas, t).queue.push(t, rid)
+        self.retired.append(replica)
+        return replica
+
+    def fail_replica(self, t: float, pos: int) -> Tuple[ReplicaHandle, int]:
+        """Node death at ``t``: the replica at ``pos`` dies mid-service.
+
+        Unlike :meth:`remove_replica` nothing is saved: queued requests and
+        every batch still in flight at ``t`` are lost (counted in
+        :attr:`n_failed`); work that completed before ``t`` stands. Returns
+        the dead handle and the number of requests lost with it.
+        """
+        if not self.replicas:
+            raise ValueError("no replicas left to fail")
+        replica = self.replicas.pop(pos % len(self.replicas))
+        lost = replica.queue.abort_after(t)
+        self.n_failed += len(lost)
+        self.failed_ids.update(lost)
+        self.retired.append(replica)
+        return replica, len(lost)
+
     def drain(self) -> None:
         """Flush all replica queues (end of the arrival stream)."""
         for r in self.replicas:
             r.queue.drain()
 
     def completions(self) -> dict:
-        """request_id -> completion time, merged across replicas."""
+        """request_id -> completion time, merged across live and retired."""
         out: dict = {}
-        for r in self.replicas:
+        for r in self.replicas + self.retired:
             out.update(r.queue.completions)
         return out
 
@@ -132,8 +222,10 @@ class Router:
 
         The size distribution is the batching mode's fingerprint: windowed
         batches cluster near ``max_batch`` (the hold window fills them),
-        continuous ones shrink toward singletons as load drops.
+        continuous ones shrink toward singletons as load drops. Batches
+        completed on since-retired replicas are included.
         """
-        out = [b for r in self.replicas for b in r.queue.batches]
+        out = [b for r in self.replicas + self.retired
+               for b in r.queue.batches]
         out.sort(key=lambda b: (b.start, b.completion))
         return out

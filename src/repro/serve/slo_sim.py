@@ -86,22 +86,49 @@ class ServingSimulator:
         router = Router(self.machine, self.n_replicas, self.policy,
                         self.service.batch_time, max_queue=self.max_queue,
                         strategy=self.strategy)
-        admitted = {}
+        admitted: dict = {}
+        self._drive(arrivals, router, admitted)
+        router.drain()
+        return self._collect(arrivals, router, admitted)
+
+    def _drive(self, arrivals: np.ndarray, router: Router,
+               admitted: dict) -> None:
+        """Feed the arrival stream through the router (overridable).
+
+        :class:`~repro.serve.autoscale.AutoscalingSimulator` overrides this
+        to interleave control epochs and failure events with the same
+        submissions — the control path is a superset of this one, not a
+        fork, which is what makes the pinned-fleet differential test
+        meaningful.
+        """
         for i, t in enumerate(arrivals):
             if router.submit(float(t), i):
                 admitted[i] = float(t)
-        router.drain()
+
+    def _collect(self, arrivals: np.ndarray, router: Router,
+                 admitted: dict) -> LatencyStats:
+        """Turn a finished router run into :class:`LatencyStats`.
+
+        Requests admitted but lost to a replica failure have no completion
+        and are excluded from the latency sample (they are tallied in
+        ``n_failed`` and count against attainment via ``n_offered``). Only
+        those: any *other* admitted request missing a completion is a
+        scheduler bug and raises KeyError here rather than silently
+        shrinking the sample.
+        """
         completions = router.completions()
         rtt = self.service.request_rtt()
         latencies = np.array(
-            [completions[i] - admitted[i] + rtt for i in sorted(admitted)])
+            [completions[i] - admitted[i] + rtt for i in sorted(admitted)
+             if i not in router.failed_ids])
         horizon = 0.0
         if completions:
             horizon = max(completions.values()) + rtt - float(arrivals[0])
         batch_sizes = np.array([b.size for b in router.batches()], dtype=int)
         return LatencyStats(latencies=latencies, n_offered=router.n_offered,
                             n_dropped=router.n_dropped, horizon=horizon,
-                            batch_sizes=batch_sizes)
+                            batch_sizes=batch_sizes,
+                            n_failed=router.n_failed)
 
     # -- sweeps --------------------------------------------------------------
     def sweep(self, rates: Optional[Sequence[float]] = None,
@@ -132,9 +159,18 @@ class ServingSimulator:
             raise ValueError(f"slo must be positive, got {slo}")
         report = SweepReport(slo=float(slo))
         for rate in rates:
-            report.add(rate, self.run(rate, n_requests=n_requests,
-                                      process=process, seed=seed))
+            report.add(rate, self._run_point(rate, n_requests, process, seed,
+                                             float(slo)))
         return report
+
+    def _run_point(self, rate: float, n_requests: int, process: ProcessLike,
+                   seed: SeedLike, slo: float) -> LatencyStats:
+        """One sweep point. The base simulator has no use for the sweep's
+        SLO at run time; the autoscaler judges per-epoch attainment against
+        it, so :class:`AutoscalingSimulator` overrides this to pass it
+        through."""
+        return self.run(rate, n_requests=n_requests, process=process,
+                        seed=seed)
 
 
 def compare_batching_modes(workload: Workload,

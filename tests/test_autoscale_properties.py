@@ -1,0 +1,475 @@
+"""Property-based invariants for the replica-autoscaling control loop.
+
+Random arrival traces (Poisson and MMPP with randomized burst shapes),
+random controller configurations, and random service-time models drive
+:class:`AutoscalingSimulator` across ≥3 seeds and check invariants that
+must hold for *every* input:
+
+1. the fleet never leaves ``[min_replicas, max_replicas]`` (no-failure
+   runs) — at every scale event and every epoch observation;
+2. no voluntary scale decision lands inside the cooldown window;
+3. conservation under live scaling: every admitted request completes or is
+   shed up front — a drained replica's queue re-routes, it never drops;
+4. a zero-failure deterministic trace reproduces bitwise across runs.
+
+The differential half pins the control path to the static simulator: an
+autoscaler pinned at ``min_replicas == max_replicas == k`` must produce
+*identical* :class:`LatencyStats` to ``ServingSimulator(n_replicas=k)`` —
+the control loop is a strict superset of the static path, not a fork.
+Regression and failure-injection cases cover the remove/fail primitives
+directly (PR 2's drain() fix under replica removal, node-death recovery).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.failures import FailureEvent
+from repro.serve import (
+    MMPP,
+    AutoscalePolicy,
+    Autoscaler,
+    AutoscalingSimulator,
+    BatchingPolicy,
+    EpochRecord,
+    Router,
+    ScaleEvent,
+    ServingSimulator,
+)
+from repro.utils.rng import as_rng
+
+#: every property must hold under each of these seeds (exercised in CI)
+SEEDS = [7, 1234, 20260729]
+N_CASES = 8
+
+VOLUNTARY = ("scale_out", "scale_in")
+
+
+class FakeService:
+    """Duck-typed stand-in for ServiceTimeModel: affine batch time.
+
+    Keeps the property runs fast (no Fig 5 perf-model evaluation) while
+    exercising the identical scheduler/router/controller code paths.
+    """
+
+    def __init__(self, base=0.004, per=0.001, rtt=1e-4):
+        self.base, self.per, self.rtt = base, per, rtt
+
+    def batch_time(self, b):
+        return self.base + self.per * b
+
+    def request_rtt(self):
+        return self.rtt
+
+    def peak_throughput(self, max_batch):
+        return max_batch / self.batch_time(max_batch)
+
+
+def random_case(rng):
+    """One random autoscaled serving scenario."""
+    policy = BatchingPolicy(
+        max_batch=int(rng.integers(2, 17)),
+        max_wait=float(rng.choice([0.0, 2e-3, 1e-2])),
+        mode=str(rng.choice(["windowed", "continuous"])))
+    svc = FakeService(base=float(rng.uniform(1e-3, 8e-3)),
+                      per=float(rng.uniform(2e-4, 2e-3)))
+    lo = int(rng.integers(1, 4))
+    cfg = AutoscalePolicy(
+        min_replicas=lo,
+        max_replicas=lo + int(rng.integers(0, 5)),
+        target_attainment=float(rng.uniform(0.8, 0.99)),
+        scale_in_occupancy=float(rng.uniform(0.1, 0.6)),
+        epoch=float(rng.uniform(0.5, 3.0)) * svc.batch_time(policy.max_batch),
+        cooldown_epochs=int(rng.integers(0, 3)),
+        idle_epochs=int(rng.integers(1, 5)),
+        step_out=int(rng.integers(1, 4)),
+        step_in=int(rng.integers(1, 3)))
+    if rng.random() < 0.5:
+        process = "poisson"
+    else:
+        process = MMPP(burst=float(rng.uniform(2.0, 12.0)),
+                       burst_fraction=float(rng.uniform(0.05, 0.4)),
+                       cycle_requests=float(rng.uniform(32.0, 256.0)))
+    sat1 = svc.peak_throughput(policy.max_batch)
+    rate = float(rng.uniform(0.2, 1.5)) * sat1
+    n_requests = int(rng.integers(100, 500))
+    seed = int(rng.integers(0, 2**31))
+    return cfg, policy, svc, process, rate, n_requests, seed
+
+
+def run_case(case):
+    cfg, policy, svc, process, rate, n_requests, seed = case
+    sim = AutoscalingSimulator(None, autoscale=cfg, policy=policy,
+                               service_model=svc)
+    return sim.run(rate, n_requests=n_requests, process=process, seed=seed)
+
+
+def cases(seed, n_cases=N_CASES):
+    rng = as_rng(seed)
+    for _ in range(n_cases):
+        yield random_case(rng)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestControllerInvariants:
+    def test_fleet_stays_within_bounds(self, seed):
+        """Without failures the fleet never leaves [min, max] — checked at
+        every scale event and every epoch observation."""
+        for case in cases(seed):
+            cfg = case[0]
+            stats = run_case(case)
+            for ev in stats.scale_events:
+                assert cfg.min_replicas <= ev.n_replicas <= cfg.max_replicas
+            for rec in stats.epochs:
+                assert cfg.min_replicas <= rec.n_replicas <= cfg.max_replicas
+
+    def test_no_voluntary_decision_during_cooldown(self, seed):
+        """After any voluntary decision, the next one is at least
+        cooldown_epochs + 1 epochs later; repairs are exempt by design but
+        cannot occur here (no failures injected)."""
+        for case in cases(seed):
+            cfg = case[0]
+            stats = run_case(case)
+            assert all(ev.action in VOLUNTARY for ev in stats.scale_events)
+            voluntary = [ev.epoch for ev in stats.scale_events]
+            for a, b in zip(voluntary, voluntary[1:]):
+                assert b - a > cfg.cooldown_epochs, (
+                    f"decisions at epochs {a} and {b} violate "
+                    f"cooldown={cfg.cooldown_epochs}")
+
+    def test_no_request_lost_across_scaling(self, seed):
+        """Conservation under live add/remove: every offered request either
+        completes or was shed by admission control at the front door. A
+        drained replica's queue must re-route, never drop."""
+        for case in cases(seed):
+            stats = run_case(case)
+            assert stats.n_failed == 0
+            assert stats.n_completed + stats.n_dropped == stats.n_offered
+            if stats.batch_sizes is not None:
+                assert int(stats.batch_sizes.sum()) == stats.n_completed
+
+    def test_zero_failure_trace_is_bitwise_reproducible(self, seed):
+        """The whole control loop is deterministic given the seed: same
+        latencies (bitwise), same epochs, same scale events."""
+        def eq(x, y):
+            both_nan = (isinstance(x, float) and isinstance(y, float)
+                        and math.isnan(x) and math.isnan(y))
+            return x == y or both_nan
+
+        for case in cases(seed, n_cases=3):
+            a, b = run_case(case), run_case(case)
+            assert np.array_equal(a.latencies, b.latencies)
+            assert np.array_equal(a.batch_sizes, b.batch_sizes)
+            assert a.scale_events == b.scale_events
+            assert a.mean_replicas == b.mean_replicas
+            assert len(a.epochs) == len(b.epochs)
+            for ra, rb in zip(a.epochs, b.epochs):
+                assert all(eq(getattr(ra, f), getattr(rb, f))
+                           for f in ra.__dataclass_fields__)
+
+
+class TestPinnedDifferential:
+    """min == max == k must be byte-for-byte the static simulator."""
+
+    @pytest.mark.parametrize("k", [1, 3])
+    @pytest.mark.parametrize("process,seed", [
+        ("uniform", None), ("poisson", 11), ("mmpp", 0)])
+    def test_pinned_equals_static(self, k, process, seed):
+        policy = BatchingPolicy(max_batch=8, max_wait=0.004)
+        svc = FakeService()
+        rate = 0.8 * k * svc.peak_throughput(policy.max_batch)
+        static = ServingSimulator(None, n_replicas=k, policy=policy,
+                                  service_model=svc)
+        pinned = AutoscalingSimulator(
+            None, autoscale=AutoscalePolicy(min_replicas=k, max_replicas=k),
+            policy=policy, service_model=svc)
+        s = static.run(rate, n_requests=400, process=process, seed=seed)
+        a = pinned.run(rate, n_requests=400, process=process, seed=seed)
+        assert a.scale_events == []       # nothing to decide, ever
+        assert np.array_equal(a.latencies, s.latencies)
+        assert np.array_equal(a.batch_sizes, s.batch_sizes)
+        assert (a.n_offered, a.n_dropped, a.n_failed) == \
+            (s.n_offered, s.n_dropped, s.n_failed)
+        assert a.horizon == s.horizon
+
+    def test_pinned_sweep_equals_static_sweep(self):
+        policy = BatchingPolicy(max_batch=8, max_wait=0.004)
+        svc = FakeService()
+        static = ServingSimulator(None, n_replicas=2, policy=policy,
+                                  service_model=svc)
+        pinned = AutoscalingSimulator(
+            None, autoscale=AutoscalePolicy(min_replicas=2, max_replicas=2),
+            policy=policy, service_model=svc)
+        rates = [f * static.saturation_rate() for f in (0.25, 0.75, 1.25)]
+        s = static.sweep(rates=rates, n_requests=300, process="mmpp", seed=2)
+        a = pinned.sweep(rates=rates, n_requests=300, process="mmpp", seed=2)
+        assert np.array_equal(s.p99_curve, a.p99_curve)
+        assert np.array_equal(s.attainment_curve, a.attainment_curve)
+        # The autoscaled sweep additionally attributes per-epoch stats.
+        assert all(p.stats.mean_replicas == 2.0 for p in a.points)
+
+
+def _router(policy=None, n_replicas=2, max_queue=None):
+    policy = policy or BatchingPolicy(max_batch=4, max_wait=math.inf)
+    return Router(None, n_replicas, policy, FakeService().batch_time,
+                  max_queue=max_queue)
+
+
+class TestLiveFleetPrimitives:
+    def test_removal_flushes_queued_partial_batch(self):
+        """Regression pinning PR 2's drain() fix under replica removal:
+        with a non-finite hold window, a removed replica's queued partial
+        batch must flush through the surviving replica's plan, not drop.
+
+        Before the re-route, request 9's deadline never fires (max_wait is
+        inf) and a naive removal would silently lose it — exactly the bug
+        drain() had."""
+        router = _router()          # windowed, max_wait=inf, 2 replicas
+        for i in range(9):          # 8 fill both replicas; 9th is a partial
+            router.submit(0.001 * i, i)
+        victim = max(range(2),
+                     key=lambda p: router.replicas[p].queue.queue_depth)
+        assert router.replicas[victim].queue.queue_depth > 0
+        router.remove_replica(0.01, pos=victim)
+        router.drain()
+        assert set(router.completions()) == set(range(9))
+        assert router.n_failed == 0
+        sizes = sorted(b.size for b in router.batches())
+        assert sum(sizes) == 9
+
+    def test_removal_picks_emptiest_and_reroutes_fifo(self):
+        router = _router(BatchingPolicy(max_batch=4, max_wait=0.5))
+        for i in range(6):
+            router.submit(0.0, i)
+        # least-loaded routing alternates: replica0={0,2,4}, replica1={1,3,5}
+        removed = router.remove_replica(1e-3)
+        assert removed.index in (0, 1)
+        router.drain()
+        assert set(router.completions()) == set(range(6))
+
+    def test_remove_last_replica_refused(self):
+        router = _router(n_replicas=1)
+        with pytest.raises(ValueError, match="last replica"):
+            router.remove_replica(0.0)
+
+    def test_rerouted_requests_bypass_admission(self):
+        """A voluntary scale-in must not turn admitted requests into drops
+        even when the survivors are at their admission limit."""
+        router = _router(BatchingPolicy(max_batch=2, max_wait=math.inf),
+                         n_replicas=2, max_queue=2)
+        for i in range(4):
+            router.submit(0.0, i)   # both replicas at max_queue
+        router.submit(0.0, 4)
+        assert router.n_dropped == 1    # front door genuinely full
+        router.remove_replica(1e-3)
+        router.drain()
+        assert set(router.completions()) == set(range(4))
+
+    def test_failed_replica_loses_in_flight_and_queued(self):
+        svc = FakeService(base=0.1, per=0.0)       # 100 ms per batch
+        policy = BatchingPolicy(max_batch=2, max_wait=0.0)
+        router = Router(None, 1, policy, svc.batch_time)
+        router.submit(0.0, 0)       # launches at t=0, completes at 0.1
+        router.submit(0.01, 1)      # queued behind the busy replica
+        dead, lost = router.fail_replica(0.05, 0)
+        assert lost == 2 and router.n_failed == 2
+        assert router.completions() == {}
+        assert router.n_replicas == 0
+        # With no fleet left, new arrivals shed at the front door.
+        assert not router.submit(0.06, 2)
+        assert router.n_dropped == 1
+
+    def test_failure_preserves_completed_work(self):
+        svc = FakeService(base=0.1, per=0.0)
+        policy = BatchingPolicy(max_batch=2, max_wait=0.0)
+        router = Router(None, 1, policy, svc.batch_time)
+        router.submit(0.0, 0)                      # completes at 0.1
+        dead, lost = router.fail_replica(0.2, 0)   # dies after finishing
+        assert lost == 0 and router.completions() == {0: pytest.approx(0.1)}
+
+    def test_added_replica_cannot_serve_the_past(self):
+        router = _router(BatchingPolicy(max_batch=4, max_wait=0.0),
+                         n_replicas=1)
+        handle = router.add_replica(5.0)
+        assert handle.queue.free_at == 5.0
+        assert router.n_replicas == 2
+        assert handle.node_id not in (router.replicas[0].node_id,)
+        router.submit(5.0, 0)
+        router.drain()
+        assert all(b.start >= 5.0 for b in router.batches())
+
+
+class TestFailureRecovery:
+    """A node death mid-stream is an involuntary scale-in: the controller
+    must detect the missing replica and replace it, and attainment must
+    recover to the no-failure level once the repair lands."""
+
+    def _run(self, failure_events):
+        policy = BatchingPolicy(max_batch=8, max_wait=0.004)
+        svc = FakeService()
+        cfg = AutoscalePolicy(min_replicas=2, max_replicas=2, epoch=0.05)
+        sim = AutoscalingSimulator(None, autoscale=cfg, policy=policy,
+                                   service_model=svc,
+                                   failure_events=failure_events)
+        rate = 1.2 * svc.peak_throughput(policy.max_batch)  # needs both
+        return sim.run(rate, n_requests=2048, process="uniform", seed=None)
+
+    def test_failure_detected_and_repaired(self):
+        stats = self._run([FailureEvent(0.5, 0, "fail")])
+        actions = [ev.action for ev in stats.scale_events]
+        assert actions == ["failure", "repair"]
+        fail_ev, repair_ev = stats.scale_events
+        assert fail_ev.n_replicas == 1 and repair_ev.n_replicas == 2
+        # Repair lands at the first epoch boundary after the death.
+        assert repair_ev.time - fail_ev.time <= 0.05 + 1e-9
+        assert stats.n_failed > 0
+
+    def test_attainment_recovers_after_repair(self):
+        slo_probe = AutoscalingSimulator(
+            None, autoscale=AutoscalePolicy(min_replicas=2, max_replicas=2),
+            policy=BatchingPolicy(max_batch=8, max_wait=0.004),
+            service_model=FakeService())
+        slo = slo_probe.default_slo()
+        healthy = self._run([])
+        wounded = self._run([FailureEvent(0.5, 0, "fail")])
+        assert healthy.n_failed == 0 and wounded.n_failed > 0
+        # Same trace, same epochs: late epochs (well past repair + backlog
+        # clearing) must match the healthy run's attainment closely.
+        h = {r.index: r for r in healthy.epochs}
+        tail = [r for r in wounded.epochs if r.t_start >= 1.0]
+        assert tail, "trace too short to observe recovery"
+        for rec in tail:
+            assert rec.attainment >= h[rec.index].attainment - 0.05
+        # Overall: the failure costs a bounded slice, not the SLO story.
+        assert wounded.attainment(slo) >= healthy.attainment(slo) - 0.05
+
+    def test_degrade_events_are_ignored(self):
+        stats = self._run([FailureEvent(0.5, 0, "degrade", 2.5)])
+        assert stats.scale_events == []
+        assert stats.n_failed == 0
+
+
+class TestValidation:
+    def test_autoscale_policy_validation(self):
+        with pytest.raises(ValueError, match="min_replicas"):
+            AutoscalePolicy(min_replicas=0)
+        with pytest.raises(ValueError, match="max_replicas"):
+            AutoscalePolicy(min_replicas=4, max_replicas=2)
+        with pytest.raises(ValueError, match="target_attainment"):
+            AutoscalePolicy(target_attainment=0.0)
+        with pytest.raises(ValueError, match="scale_in_occupancy"):
+            AutoscalePolicy(scale_in_occupancy=1.0)
+        with pytest.raises(ValueError, match="epoch"):
+            AutoscalePolicy(epoch=0.0)
+        with pytest.raises(ValueError, match="cooldown"):
+            AutoscalePolicy(cooldown_epochs=-1)
+        with pytest.raises(ValueError, match="idle_epochs"):
+            AutoscalePolicy(idle_epochs=0)
+        with pytest.raises(ValueError, match="steps"):
+            AutoscalePolicy(step_out=0)
+
+    def test_autoscaler_initial_out_of_bounds(self):
+        with pytest.raises(ValueError, match="initial fleet"):
+            Autoscaler(AutoscalePolicy(min_replicas=2, max_replicas=4),
+                       initial=5)
+
+    def test_simulator_rejects_conflicting_failure_sources(self):
+        from repro.cluster.failures import FailureModel
+        with pytest.raises(ValueError, match="not both"):
+            AutoscalingSimulator(
+                None, policy=BatchingPolicy(), service_model=FakeService(),
+                failures=FailureModel(),
+                failure_events=[FailureEvent(1.0, 0, "fail")])
+
+    def test_simulator_rejects_bad_slo(self):
+        sim = AutoscalingSimulator(None, policy=BatchingPolicy(),
+                                   service_model=FakeService())
+        with pytest.raises(ValueError, match="slo"):
+            sim.run(10.0, n_requests=10, slo=-1.0)
+
+    def test_scale_event_validation(self):
+        with pytest.raises(ValueError, match="scale action"):
+            ScaleEvent(0.0, 0, "resize", 1, 2)
+        with pytest.raises(ValueError, match="change the fleet"):
+            ScaleEvent(0.0, 0, "scale_out", 0, 2)
+
+    def test_epoch_record_validation(self):
+        with pytest.raises(ValueError, match="duration"):
+            EpochRecord(index=0, t_start=1.0, t_end=1.0, n_replicas=1,
+                        n_arrived=0, n_completed=0, n_ok=0, n_doomed=0,
+                        n_shed=0, attainment=float("nan"),
+                        mean_batch_size=float("nan"),
+                        occupancy=float("nan"), queue_depth=0)
+
+
+class TestControlDirection:
+    """Deterministic sanity cases for the two control signals."""
+
+    def test_scales_in_to_min_on_trickle_load(self):
+        policy = BatchingPolicy(max_batch=8, max_wait=0.004)
+        svc = FakeService()
+        cfg = AutoscalePolicy(min_replicas=1, max_replicas=4, epoch=0.05,
+                              idle_epochs=2, cooldown_epochs=0)
+        sim = AutoscalingSimulator(None, autoscale=cfg, policy=policy,
+                                   service_model=svc, n_replicas=4)
+        rate = 0.05 * svc.peak_throughput(policy.max_batch)
+        stats = sim.run(rate, n_requests=600, process="uniform")
+        assert all(ev.action == "scale_in" for ev in stats.scale_events)
+        assert stats.epochs[-1].n_replicas == 1
+        assert stats.mean_replicas < 2.0
+
+    def test_scales_out_when_overloaded(self):
+        policy = BatchingPolicy(max_batch=8, max_wait=0.004)
+        svc = FakeService()
+        cfg = AutoscalePolicy(min_replicas=1, max_replicas=4, epoch=0.05,
+                              cooldown_epochs=0)
+        sim = AutoscalingSimulator(None, autoscale=cfg, policy=policy,
+                                   service_model=svc)
+        rate = 2.5 * svc.peak_throughput(policy.max_batch)  # 1 can't keep up
+        stats = sim.run(rate, n_requests=1500, process="uniform")
+        assert any(ev.action == "scale_out" for ev in stats.scale_events)
+        assert stats.epochs[-1].n_replicas > 1
+        # More capacity arrived while the queue was visibly backed up.
+        out_epochs = [ev.epoch for ev in stats.scale_events
+                      if ev.action == "scale_out"]
+        assert out_epochs[0] <= 3
+
+    def test_first_arrival_is_visible_to_epoch_zero(self):
+        """Epoch windows are half-open (t_start, t_end] — but epoch 0
+        starts exactly at the first arrival, so a closed start keeps that
+        request (and a batch launched at that same instant, as continuous
+        mode does at low load) from being invisible to the controller and
+        misclassifying the opening epoch as idle."""
+        policy = BatchingPolicy(max_batch=8, max_wait=0.004,
+                                mode="continuous")
+        svc = FakeService()
+        cfg = AutoscalePolicy(min_replicas=1, max_replicas=2, epoch=1.0)
+        sim = AutoscalingSimulator(None, autoscale=cfg, policy=policy,
+                                   service_model=svc)
+        stats = sim.run(2.0, n_requests=10, process="uniform")
+        first = stats.epochs[0]
+        assert first.n_arrived >= 1
+        assert not math.isnan(first.occupancy)
+
+    def test_scales_out_when_admission_control_masks_overload(self):
+        """Regression for a controller blind spot: with a small max_queue,
+        sustained overload is absorbed by admission drops — every admitted
+        request meets the SLO, so a completions-only attainment signal
+        reads 1.0 forever while half the offered traffic bounces. Shed
+        requests must count as epoch violations."""
+        policy = BatchingPolicy(max_batch=8, max_wait=0.004)
+        svc = FakeService()
+        cfg = AutoscalePolicy(min_replicas=1, max_replicas=3, epoch=0.05,
+                              cooldown_epochs=0)
+        sim = AutoscalingSimulator(None, autoscale=cfg, policy=policy,
+                                   service_model=svc, max_queue=16)
+        rate = 2.5 * svc.peak_throughput(policy.max_batch)
+        stats = sim.run(rate, n_requests=2000, process="uniform")
+        shed_epochs = [r for r in stats.epochs if r.n_shed > 0]
+        assert shed_epochs, "scenario must actually shed requests"
+        assert any(ev.action == "scale_out" for ev in stats.scale_events)
+        # 2.5x single-replica saturation needs the full 3-replica fleet;
+        # once it is there, shedding stops.
+        assert stats.epochs[-1].n_replicas == 3
+        assert stats.epochs[-1].n_shed == 0
