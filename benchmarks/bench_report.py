@@ -3,7 +3,23 @@
 Lives in its own module (not ``conftest.py``) so the import name cannot
 collide with the tests' conftest when both directories are collected in one
 pytest run.
+
+Besides the human-readable console tables (:func:`report`), serving
+benchmarks record their headline numbers machine-readably via
+:func:`bench_json`: each call merges one section into ``BENCH_serve.json``
+(path overridable through ``$BENCH_SERVE_JSON``). CI uploads the file as a
+per-run artifact, so the perf trajectory — throughput, p99, simulator
+wall-clock, cache hit rate — accumulates across PRs instead of living only
+in scrollback.
 """
+
+import json
+import os
+
+#: env var that redirects where bench_json writes
+BENCH_JSON_ENV = "BENCH_SERVE_JSON"
+#: default output file (repo root when pytest runs from the checkout)
+BENCH_JSON_DEFAULT = "BENCH_serve.json"
 
 
 def report(title, rows):
@@ -14,3 +30,26 @@ def report(title, rows):
     for label, paper, measured in rows:
         print(f"{label:42s} {paper:>14s} {measured:>14s}")
     print(bar)
+
+
+def bench_json(section, data, path=None):
+    """Merge ``{section: data}`` into the machine-readable benchmark file.
+
+    ``data`` must be JSON-serializable (plain numbers/strings/lists). The
+    file is read-modify-write so benchmarks in one run (or re-runs of one
+    benchmark) compose instead of clobbering each other; a corrupt or
+    missing file starts fresh rather than failing the benchmark.
+    """
+    path = path or os.environ.get(BENCH_JSON_ENV, BENCH_JSON_DEFAULT)
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+        if not isinstance(payload, dict):
+            payload = {}
+    except (OSError, ValueError):
+        payload = {}
+    payload[section] = data
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -6,12 +6,16 @@ The pipeline every future serving PR builds on:
 1. train a snapshot and publish it to the model registry;
 2. load it back as a frozen eval-mode replica and answer real requests
    through the micro-batching executor;
-3. sweep offered request rates on the simulated Cori machine to get
+3. put a request-level result cache in front of it, so repeated (hot)
+   requests return their memoized prediction without a forward at all;
+4. sweep offered request rates on the simulated Cori machine to get
    throughput, p50/p99 latency, and SLO-attainment curves;
-4. compare windowed vs continuous batching and stress the tail with
+5. compare windowed vs continuous batching and stress the tail with
    bursty (MMPP) arrivals;
-5. switch on the burst-aware autoscaler and watch it scale the fleet out
-   under an MMPP burst and back in when the burst passes.
+6. switch on the burst-aware autoscaler and watch it scale the fleet out
+   under an MMPP burst and back in when the burst passes — then add the
+   cache under Zipf hot-key traffic and watch the mean fleet shrink (the
+   controller provisions for misses, not offered rate).
 
 Run:  python examples/serve_quickstart.py
 """
@@ -30,7 +34,9 @@ from repro.serve import (
     BatchExecutor,
     BatchingPolicy,
     ModelRegistry,
+    ResultCache,
     ServingSimulator,
+    ZipfPopularity,
     compare_batching_modes,
 )
 from repro.sim.workload import custom_workload
@@ -40,7 +46,7 @@ from repro.train import fit_classifier
 def main() -> None:
     print("=== repro quickstart: serving the HEP classifier ===\n")
 
-    print("[1/7] training a snapshot (scaled-down net, 32px events)...")
+    print("[1/8] training a snapshot (scaled-down net, 32px events)...")
     ds = make_hep_dataset(n_events=1200, image_size=32,
                           signal_fraction=0.5, seed=0)
     net = build_hep_net(filters=16, rng=0)
@@ -48,7 +54,7 @@ def main() -> None:
                    batch=32, n_iterations=60, seed=0)
 
     with tempfile.TemporaryDirectory() as root:
-        print("[2/7] publishing to the model registry and loading a "
+        print("[2/8] publishing to the model registry and loading a "
               "frozen replica...")
         registry = ModelRegistry(root)
         registry.register("hep", lambda: build_hep_net(filters=16, rng=0),
@@ -58,7 +64,7 @@ def main() -> None:
         print(f"      published v{version}; loaded {replica!r} "
               f"(eval-mode, weights read-only)")
 
-        print("[3/7] serving real requests through the micro-batching "
+        print("[3/8] serving real requests through the micro-batching "
               "executor...")
         requests = [ds.images[i] for i in range(64)]
         policy = BatchingPolicy(max_batch=32, max_wait=0.01)
@@ -71,7 +77,22 @@ def main() -> None:
               f"<= {policy.max_batch}; max deviation from unbatched "
               f"forward: {worst:.2e}")
 
-    print("[4/7] SLO simulation: request-rate sweep on the Cori model "
+        print("[4/8] result cache: repeated requests skip the forward "
+              "entirely...")
+        # A hot request list: 64 requests over only 8 distinct events.
+        hot = [ds.images[i % 8] for i in range(64)]
+        cached_ex = BatchExecutor(replica, cache=ResultCache(64))
+        first_pass = cached_ex.run(hot, policy)
+        misses1, hits1 = cached_ex.cache.misses, cached_ex.cache.hits
+        second_pass = cached_ex.run(hot, policy)
+        hits2 = cached_ex.cache.hits - hits1
+        identical = all(np.array_equal(a, b)
+                        for a, b in zip(first_pass, second_pass))
+        print(f"      pass 1: {misses1} misses forwarded, {hits1} hits; "
+              f"pass 2: {hits2}/{len(hot)} hits, zero forwards — "
+              f"bitwise identical: {identical}")
+
+    print("[5/8] SLO simulation: request-rate sweep on the Cori model "
           "(4 replicas)...")
     workload = custom_workload("hep_32px", net, ds.images.shape[1:])
     # The 32px model serves a full batch in well under a millisecond, so the
@@ -84,7 +105,7 @@ def main() -> None:
           f"SLO = {sweep.slo * 1e3:.1f} ms\n")
     print(sweep.table())
 
-    print("\n[5/7] continuous batching: launch the instant a replica "
+    print("\n[6/8] continuous batching: launch the instant a replica "
           "frees instead of\n      holding partial batches for max_wait "
           "(the low-load p50 win)...")
     sat = sim.saturation_rate()
@@ -101,14 +122,14 @@ def main() -> None:
           f"{cmp.continuous.mean_batch_curve[0]:.1f}: latency bought with "
           f"idle capacity")
 
-    print("\n[6/7] bursty traffic: MMPP arrivals (8x bursts, 12.5% of the "
+    print("\n[7/8] bursty traffic: MMPP arrivals (8x bursts, 12.5% of the "
           "time) at the\n      same mean rates — the tail the autoscaler "
           "has to plan for...")
     bursty = sim.sweep(n_requests=2048, process=MMPP(burst=8.0),
                        seed=0, slo=sweep.slo)
     print(bursty.table())
 
-    print("\n[7/7] autoscaling: scale out when burst attainment breaks, "
+    print("\n[8/8] autoscaling: scale out when burst attainment breaks, "
           "back in on idle\n      occupancy — never keying on the "
           "saturation rate...")
     sat1 = ServingSimulator(workload, n_replicas=1,
@@ -133,15 +154,37 @@ def main() -> None:
         print(f"      t={ev.time:7.3f}s  {ev.action:10s} {ev.delta:+d} "
               f"-> {ev.n_replicas} replicas  ({ev.reason})")
 
+    print("      ...and with a result cache under Zipf hot-key traffic, "
+          "the fleet the\n      autoscaler provisions shrinks to the "
+          "miss load:")
+    zipf = ZipfPopularity(alpha=1.1, n_keys=256)
+    cached_auto = AutoscalingSimulator(workload, autoscale=cfg,
+                                       policy=policy, cache_size=64)
+    cached = cached_auto.run(1.5 * sat1, n_requests=4096, process=shape,
+                             seed=0, slo=sweep.slo, popularity=zipf)
+    uncached = AutoscalingSimulator(workload, autoscale=cfg,
+                                    policy=policy).run(
+        1.5 * sat1, n_requests=4096, process=shape, seed=0,
+        slo=sweep.slo, popularity=zipf)
+    print(f"      1.5x single-replica saturation, 64-entry cache: "
+          f"hit rate {cached.hit_rate:.2f},\n      mean fleet "
+          f"{uncached.mean_replicas:.2f} -> {cached.mean_replicas:.2f} "
+          f"replicas at attainment "
+          f"{uncached.attainment(sweep.slo):.3f} -> "
+          f"{cached.attainment(sweep.slo):.3f}")
+
     print("\nDone. benchmarks/test_serve_throughput.py, "
-          "benchmarks/test_serve_continuous.py, and "
-          "benchmarks/test_serve_autoscale.py hold the acceptance "
+          "benchmarks/test_serve_continuous.py, "
+          "benchmarks/test_serve_autoscale.py, and "
+          "benchmarks/test_serve_cache.py hold the acceptance "
           "numbers (>=5x micro-batching speedup, monotone SLO curves, "
           "continuous-batching latency win, bursty-tail behavior, "
-          "autoscaled SLO recovery at a sub-worst-case mean fleet); "
-          "tests/test_serve_properties.py and "
-          "tests/test_autoscale_properties.py pin the scheduler and "
-          "controller invariants.")
+          "autoscaled SLO recovery at a sub-worst-case mean fleet, "
+          "cache-restored SLO above saturation, >=5x serving hot-path "
+          "speedup); tests/test_serve_properties.py, "
+          "tests/test_autoscale_properties.py, and "
+          "tests/test_serve_cache_properties.py pin the scheduler, "
+          "controller, and cache invariants.")
 
 
 if __name__ == "__main__":

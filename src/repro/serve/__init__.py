@@ -10,7 +10,12 @@ accounting:
   max-batch/max-wait and vLLM-style continuous modes) for both simulated
   queues and real coalesced forwards;
 - :mod:`repro.serve.arrivals` — open-loop arrival processes: uniform,
-  Poisson, and bursty :class:`MMPP` streams with analytic moments;
+  Poisson, and bursty :class:`MMPP` streams with analytic moments; plus
+  request-content popularity samplers (uniform / Zipf / bursty hot-key)
+  that make cache hit rates meaningful;
+- :mod:`repro.serve.cache` — request-level result cache (LRU/LFU, content
+  hashed): hot requests skip the replica fleet entirely, in simulation and
+  in real batched inference;
 - :mod:`repro.serve.router` — replica placement on
   :class:`repro.cluster.machine.CoriMachine` nodes, least-loaded routing,
   admission control;
@@ -56,9 +61,19 @@ from repro.serve.autoscale import (  # noqa: F401
 from repro.serve.arrivals import (  # noqa: F401
     ARRIVAL_PROCESSES,
     MMPP,
+    POPULARITY_KINDS,
+    HotKeyPopularity,
+    UniformPopularity,
+    ZipfPopularity,
     make_arrivals,
+    make_contents,
     poisson_arrivals,
     uniform_arrivals,
+)
+from repro.serve.cache import (  # noqa: F401
+    CACHE_POLICIES,
+    ResultCache,
+    content_key,
 )
 from repro.serve.batching import (  # noqa: F401
     BATCHING_MODES,
@@ -70,6 +85,7 @@ from repro.serve.batching import (  # noqa: F401
 )
 from repro.serve.latency import ServiceTimeModel  # noqa: F401
 from repro.serve.metrics import (  # noqa: F401
+    CacheSizeSweep,
     EpochRecord,
     LatencyStats,
     PolicyComparison,
@@ -82,18 +98,23 @@ from repro.serve.router import ReplicaHandle, Router  # noqa: F401
 from repro.serve.slo_sim import (  # noqa: F401
     ServingSimulator,
     compare_batching_modes,
+    sweep_cache_sizes,
 )
 
 __all__ = [
     "ARRIVAL_PROCESSES",
     "BATCHING_MODES",
+    "CACHE_POLICIES",
+    "POPULARITY_KINDS",
     "Autoscaler",
     "AutoscalePolicy",
     "AutoscalingSimulator",
     "Batch",
     "BatchExecutor",
     "BatchingPolicy",
+    "CacheSizeSweep",
     "EpochRecord",
+    "HotKeyPopularity",
     "LatencyStats",
     "MMPP",
     "ModelRegistry",
@@ -101,6 +122,7 @@ __all__ = [
     "RatePoint",
     "ReplicaBatchQueue",
     "ReplicaHandle",
+    "ResultCache",
     "Router",
     "ScaleDecision",
     "ScaleEvent",
@@ -108,9 +130,14 @@ __all__ = [
     "ServiceTimeModel",
     "ServingSimulator",
     "SweepReport",
+    "UniformPopularity",
+    "ZipfPopularity",
     "compare_batching_modes",
+    "content_key",
     "make_arrivals",
+    "make_contents",
     "plan_batches",
     "poisson_arrivals",
+    "sweep_cache_sizes",
     "uniform_arrivals",
 ]

@@ -17,6 +17,21 @@ increasing tail-hostility:
 Every sampler is seeded through :mod:`repro.utils.rng`, so sweeps are
 reproducible request-for-request, and :meth:`MMPP.interarrival_moments`
 gives the analytic mean/CV the statistical tests pin the samplers to.
+
+Arrival *times* say when requests show up; the popularity samplers at the
+bottom of this module say *what* they ask for — the content-id streams
+that make result-cache hit rates meaningful (:mod:`repro.serve.cache`):
+
+- ``"unique"`` — every request distinct: the cache-hostile baseline
+  (hit rate exactly zero);
+- ``"uniform"`` — ids uniform over ``n_keys``: hits come only from the
+  catalog being smaller than the trace;
+- ``"zipf"`` — rank-``alpha`` power law (:class:`ZipfPopularity`): the
+  standard heavy-tailed web-traffic model, where a bounded cache absorbs
+  most of the load;
+- ``"hot"`` — bursty hot-keys (:class:`HotKeyPopularity`): a tiny hot set
+  takes most of the traffic in correlated *streaks*, the adversarial case
+  for small caches and the natural companion of MMPP arrival bursts.
 """
 
 from __future__ import annotations
@@ -192,3 +207,147 @@ def make_arrivals(process: ProcessLike, rate: float, n_requests: int,
                              as_rng(seed if seed is not None else 0))
     raise ValueError(f"unknown arrival process {process!r}; "
                      f"use one of {ARRIVAL_PROCESSES} or an MMPP instance")
+
+
+# -- request content (popularity) ---------------------------------------------
+
+#: string-selectable popularity models for ``make_contents``
+POPULARITY_KINDS = ("unique", "uniform", "zipf", "hot")
+
+
+@dataclass(frozen=True)
+class UniformPopularity:
+    """Content ids uniform over a catalog of ``n_keys`` distinct requests."""
+
+    n_keys: int = 256
+
+    def __post_init__(self) -> None:
+        if self.n_keys < 1:
+            raise ValueError(f"n_keys must be >= 1, got {self.n_keys}")
+
+    def sample(self, n_requests: int,
+               rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, self.n_keys, size=n_requests)
+
+
+@dataclass(frozen=True)
+class ZipfPopularity:
+    """Rank-power-law popularity: key ``k`` drawn with weight
+    ``(k+1)^-alpha`` over a catalog of ``n_keys``.
+
+    ``alpha`` around 0.8-1.2 matches measured web/content traffic; at
+    ``alpha=0`` this degenerates to :class:`UniformPopularity`. The head
+    mass — the fraction of traffic a perfect cache of ``c`` entries could
+    absorb — is :meth:`head_mass`, the analytic yardstick for the hit-rate
+    sweeps.
+    """
+
+    alpha: float = 1.1
+    n_keys: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {self.alpha}")
+        if self.n_keys < 1:
+            raise ValueError(f"n_keys must be >= 1, got {self.n_keys}")
+
+    def _weights(self) -> np.ndarray:
+        w = np.arange(1, self.n_keys + 1, dtype=np.float64) ** -self.alpha
+        return w / w.sum()
+
+    def head_mass(self, top: int) -> float:
+        """Stationary traffic fraction of the ``top`` most popular keys —
+        the hit-rate ceiling of a ``top``-entry cache under this law."""
+        if top <= 0:
+            return 0.0
+        return float(self._weights()[:min(top, self.n_keys)].sum())
+
+    def sample(self, n_requests: int,
+               rng: np.random.Generator) -> np.ndarray:
+        return rng.choice(self.n_keys, size=n_requests, p=self._weights())
+
+
+@dataclass(frozen=True)
+class HotKeyPopularity:
+    """Bursty hot-key traffic: a hot set served in correlated streaks.
+
+    A two-state (hot/cold) request-indexed Markov chain: in the hot state
+    requests draw uniformly from the first ``hot_keys`` ids, in the cold
+    state from the remaining catalog. ``hot_fraction`` is the stationary
+    fraction of requests that are hot; ``mean_streak`` the expected length
+    of a hot run — long streaks are what hammer one key while it is (or is
+    not yet) cached, the temporal analogue of an MMPP burst.
+    """
+
+    n_keys: int = 256
+    hot_keys: int = 4
+    hot_fraction: float = 0.9
+    mean_streak: float = 32.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.hot_keys < self.n_keys:
+            raise ValueError(
+                f"hot_keys must be in (0, n_keys={self.n_keys}), "
+                f"got {self.hot_keys}")
+        if not 0.0 < self.hot_fraction < 1.0:
+            raise ValueError(
+                f"hot_fraction must be in (0, 1), got {self.hot_fraction}")
+        if self.mean_streak < 1.0:
+            raise ValueError(
+                f"mean_streak must be >= 1, got {self.mean_streak}")
+        # Stationarity pins the cold->hot switch rate at
+        # f/(1-f) * (1/mean_streak); it must stay a probability.
+        f, leave_hot = self.hot_fraction, 1.0 / self.mean_streak
+        if f / (1.0 - f) * leave_hot > 1.0:
+            raise ValueError(
+                f"hot_fraction {f} unreachable with mean_streak "
+                f"{self.mean_streak}: cold state would need to switch "
+                f"with probability > 1")
+
+    def sample(self, n_requests: int,
+               rng: np.random.Generator) -> np.ndarray:
+        f = self.hot_fraction
+        leave_hot = 1.0 / self.mean_streak
+        leave_cold = f / (1.0 - f) * leave_hot
+        switch = rng.random(n_requests)
+        hot_draw = rng.integers(0, self.hot_keys, size=n_requests)
+        cold_draw = rng.integers(self.hot_keys, self.n_keys,
+                                 size=n_requests)
+        out = np.empty(n_requests, dtype=np.int64)
+        hot = rng.random() < f          # start from the stationary law
+        for i in range(n_requests):
+            out[i] = hot_draw[i] if hot else cold_draw[i]
+            if switch[i] < (leave_hot if hot else leave_cold):
+                hot = not hot
+        return out
+
+
+#: what ``make_contents`` accepts as a popularity spec
+PopularityLike = Union[None, str, UniformPopularity, ZipfPopularity,
+                       HotKeyPopularity]
+
+
+def make_contents(popularity: PopularityLike, n_requests: int,
+                  seed: SeedLike = None) -> np.ndarray:
+    """Content-id array for any popularity spec.
+
+    ``popularity`` is ``None``/``"unique"`` (every request distinct — the
+    deterministic zero-hit baseline), one of :data:`POPULARITY_KINDS`, or
+    a popularity instance. Stochastic samplers default to seed 0, matching
+    :func:`make_arrivals`.
+    """
+    if n_requests <= 0:
+        raise ValueError(f"n_requests must be positive, got {n_requests}")
+    if popularity is None or popularity == "unique":
+        return np.arange(n_requests, dtype=np.int64)
+    if popularity == "uniform":
+        popularity = UniformPopularity()
+    elif popularity == "zipf":
+        popularity = ZipfPopularity()
+    elif popularity == "hot":
+        popularity = HotKeyPopularity()
+    elif isinstance(popularity, str):
+        raise ValueError(f"unknown popularity {popularity!r}; "
+                         f"use one of {POPULARITY_KINDS} or an instance")
+    rng = as_rng(seed if seed is not None else 0)
+    return np.asarray(popularity.sample(n_requests, rng), dtype=np.int64)

@@ -45,7 +45,7 @@ from repro.serve.latency import ServiceTimeModel
 from repro.serve.metrics import EpochRecord, LatencyStats, ScaleEvent
 from repro.serve.router import Router
 from repro.serve.slo_sim import ServingSimulator
-from repro.serve.arrivals import ProcessLike
+from repro.serve.arrivals import PopularityLike, ProcessLike
 from repro.sim.workload import Workload
 from repro.utils.rng import SeedLike
 
@@ -200,8 +200,9 @@ class AutoscalingSimulator(ServingSimulator):
                  strategy: str = "least_loaded",
                  service_model: Optional[ServiceTimeModel] = None,
                  failures: Optional[FailureModel] = None,
-                 failure_events: Optional[Sequence[FailureEvent]] = None
-                 ) -> None:
+                 failure_events: Optional[Sequence[FailureEvent]] = None,
+                 cache_size: int = 0,
+                 cache_policy: str = "lru") -> None:
         self.autoscale = autoscale or AutoscalePolicy()
         initial = (self.autoscale.min_replicas if n_replicas is None
                    else n_replicas)
@@ -213,7 +214,8 @@ class AutoscalingSimulator(ServingSimulator):
                 f"{self.autoscale.max_replicas}]")
         super().__init__(workload, machine=machine, n_replicas=initial,
                          policy=policy, max_queue=max_queue,
-                         strategy=strategy, service_model=service_model)
+                         strategy=strategy, service_model=service_model,
+                         cache_size=cache_size, cache_policy=cache_policy)
         if failures is not None and failure_events is not None:
             raise ValueError(
                 "pass either a FailureModel or explicit failure_events, "
@@ -226,10 +228,15 @@ class AutoscalingSimulator(ServingSimulator):
     # -- runs -----------------------------------------------------------------
     def run(self, rate: float, n_requests: int = 512,
             process: ProcessLike = "uniform", seed: SeedLike = None,
-            slo: Optional[float] = None) -> LatencyStats:
+            slo: Optional[float] = None,
+            popularity: PopularityLike = None) -> LatencyStats:
         """One autoscaled run; ``slo`` is the controller's attainment
         yardstick (default: :meth:`default_slo` of the *initial* fleet's
-        batching policy, same as the static simulator)."""
+        batching policy, same as the static simulator). With a result
+        cache (``cache_size > 0``) the controller sees only post-cache
+        traffic: hits never reach the router, never appear in an epoch
+        record, and never hold a replica — the fleet is provisioned for
+        misses."""
         if slo is None:
             slo = self.default_slo()
         elif slo <= 0:
@@ -237,14 +244,15 @@ class AutoscalingSimulator(ServingSimulator):
         self._run_slo = float(slo)
         try:
             return super().run(rate, n_requests=n_requests, process=process,
-                               seed=seed)
+                               seed=seed, popularity=popularity)
         finally:
             del self._run_slo
 
     def _run_point(self, rate: float, n_requests: int, process: ProcessLike,
-                   seed: SeedLike, slo: float) -> LatencyStats:
+                   seed: SeedLike, slo: float,
+                   popularity: PopularityLike = None) -> LatencyStats:
         return self.run(rate, n_requests=n_requests, process=process,
-                        seed=seed, slo=slo)
+                        seed=seed, slo=slo, popularity=popularity)
 
     # -- the control loop -----------------------------------------------------
     def _failure_schedule(self, t0: float,
@@ -410,8 +418,7 @@ class AutoscalingSimulator(ServingSimulator):
                 n_replicas=router.n_replicas,
                 reason=f"node {dead.node_id} died, {lost} requests lost"))
 
-        for i, t in enumerate(arrivals):
-            t = float(t)
+        for i, t in enumerate(arrivals.astype(np.float64).tolist()):
             # Everything scheduled before this arrival happens first, in
             # time order; a failure tied with an epoch boundary lands
             # first so the controller sees it immediately.
@@ -425,8 +432,7 @@ class AutoscalingSimulator(ServingSimulator):
                 else:
                     close_epoch(next_epoch)
                     next_epoch += epoch_s
-            if router.submit(t, i):
-                admitted[i] = t
+            self._offer(router, admitted, t, i)
         advance_area(t_end)
         span = t_end - t0
         self._trace = (epochs, events,

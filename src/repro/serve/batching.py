@@ -35,9 +35,11 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Callable, Deque, Dict, List, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.serve.cache import ResultCache, content_key
 
 BATCHING_MODES = ("windowed", "continuous")
 
@@ -101,10 +103,14 @@ class ReplicaBatchQueue:
 
     def __init__(self, policy: BatchingPolicy,
                  service_time: Callable[[int], float],
-                 free_at: float = 0.0) -> None:
+                 free_at: float = 0.0,
+                 on_commit: Optional[Callable[[Batch], None]] = None) -> None:
         self.policy = policy
         self.service_time = service_time
         self.free_at = free_at
+        #: called with each :class:`Batch` the instant it is committed —
+        #: the router's event feed (backlog decrements, cache fills)
+        self.on_commit = on_commit
         self.queue: List[Tuple[float, int]] = []   # (arrival, request_id)
         self.batches: List[Batch] = []
         self.completions: Dict[int, float] = {}    # request_id -> completion
@@ -134,6 +140,26 @@ class ReplicaBatchQueue:
         requests — so replicas with early-committed batches don't look
         idle)."""
         return self.outstanding(t)
+
+    def next_launch(self) -> float:
+        """Launch instant of the next uncommitted batch (+inf if none).
+
+        State-determined, so the router can schedule launch events instead
+        of polling every queue at every arrival: a full batch launches at
+        ``max(free_at, B-th arrival)``, a partial one at its head's hold
+        deadline. A scheduled event can go stale in either direction — a
+        commit pushes the next launch later, while a push that fills a
+        partial batch can pull it *earlier* — so the router re-derives
+        this after every state change it makes (each push, each fired
+        event); a stale early event is then a harmless no-op and a stale
+        late one is shadowed by the fresher entry.
+        """
+        if not self.queue:
+            return math.inf
+        B = self.policy.max_batch
+        if len(self.queue) >= B:
+            return max(self.free_at, self.queue[B - 1][0])
+        return max(self.free_at, self.queue[0][0] + self.policy.launch_wait)
 
     # -- event loop -----------------------------------------------------------
     def push(self, t: float, request_id: int) -> None:
@@ -176,11 +202,13 @@ class ReplicaBatchQueue:
         completion = launch + self.service_time(take)
         self.free_at = completion
         self._in_flight.append((completion, take))
-        self.batches.append(
-            Batch(start=launch, completion=completion,
-                  request_ids=tuple(rid for _, rid in members)))
+        batch = Batch(start=launch, completion=completion,
+                      request_ids=tuple(rid for _, rid in members))
+        self.batches.append(batch)
         for _, rid in members:
             self.completions[rid] = completion
+        if self.on_commit is not None:
+            self.on_commit(batch)
 
     # -- live-scaling support -------------------------------------------------
     def evict_queued(self, t: float) -> List[Tuple[float, int]]:
@@ -263,10 +291,33 @@ class BatchExecutor:
     (BLAS may block the GEMM differently per batch shape, so agreement is
     ~1e-6 rather than bitwise) — batching is a throughput decision, not an
     accuracy trade.
+
+    With a :class:`~repro.serve.cache.ResultCache`, repeated inputs skip
+    the forward entirely: a hit returns the memoized prediction
+    *bitwise-identically* (stored read-only, so a caller cannot corrupt
+    what later hits will see). Cache keys are prefixed with the replica's
+    identity (:attr:`~repro.serve.registry.ServableModel.cache_scope`)
+    when it has one, so one cache shared across models or versions cannot
+    serve v1's prediction for a v2 request.
     """
 
-    def __init__(self, net) -> None:
+    def __init__(self, net, cache: Optional[ResultCache] = None) -> None:
         self.net = net
+        self.cache = cache
+        self._scope = getattr(net, "cache_scope", ())
+
+    def _key(self, sample: np.ndarray):
+        return (self._scope,
+                content_key(np.asarray(sample, dtype=np.float32)))
+
+    @staticmethod
+    def _frozen(result):
+        """Copy a per-sample result out of its batch and mark it read-only."""
+        if isinstance(result, dict):
+            return {k: BatchExecutor._frozen(v) for k, v in result.items()}
+        arr = np.array(result)
+        arr.flags.writeable = False
+        return arr
 
     def run_batch(self, samples: Sequence[np.ndarray]) -> List:
         """Forward a list of single-sample arrays (no batch dim) together.
@@ -285,8 +336,42 @@ class BatchExecutor:
 
     def run(self, samples: Sequence[np.ndarray],
             policy: BatchingPolicy) -> List:
-        """Serve a request list in policy-sized chunks (arrival order)."""
-        results: List = []
-        for lo in range(0, len(samples), policy.max_batch):
-            results.extend(self.run_batch(samples[lo:lo + policy.max_batch]))
+        """Serve a request list in policy-sized chunks (arrival order).
+
+        With a cache attached, only misses are forwarded — they coalesce
+        into policy-sized batches across the hit gaps (cache-deflected
+        load is capacity the batcher gets back). Results are returned in
+        arrival order regardless; a repeated input later in the stream
+        returns the first occurrence's stored prediction.
+        """
+        if self.cache is None:
+            results = []
+            for lo in range(0, len(samples), policy.max_batch):
+                results.extend(
+                    self.run_batch(samples[lo:lo + policy.max_batch]))
+            return results
+        results: List = [None] * len(samples)
+        # Misses awaiting a forward, with the content key already hashed
+        # by the lookup (hashing the tensor is the per-miss overhead).
+        pending: List[Tuple[int, object]] = []
+
+        def flush() -> None:
+            batch_out = self.run_batch([samples[i] for i, _ in pending])
+            for (i, key), out in zip(pending, batch_out):
+                frozen = self._frozen(out)
+                self.cache.put(key, frozen)
+                results[i] = frozen
+            pending.clear()
+
+        for i, sample in enumerate(samples):
+            key = self._key(sample)
+            hit, value = self.cache.get(key)
+            if hit:
+                results[i] = value
+            else:
+                pending.append((i, key))
+                if len(pending) == policy.max_batch:
+                    flush()
+        if pending:
+            flush()
         return results

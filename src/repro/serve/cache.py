@@ -1,0 +1,177 @@
+"""Request-level result cache: the cheapest forward is the one never run.
+
+The paper's serving case (SII-A, DeepBench) is that per-request forwards
+waste an order of magnitude of KNL throughput; micro-batching recovers most
+of it, but repeated/hot requests need not touch a replica at all. A
+:class:`ResultCache` sits in front of the router, keyed on a content hash
+of the request input:
+
+- the *virtual* path (:class:`repro.serve.slo_sim.ServingSimulator`) keys
+  on integer content ids from :mod:`repro.serve.arrivals` popularity
+  samplers — hits complete at ``request_rtt()`` without consuming replica
+  capacity, so the autoscaler provisions for *misses*, not offered rate;
+- the *real* path (:class:`repro.serve.batching.BatchExecutor` over a
+  :class:`repro.serve.registry.ServableModel`) keys on
+  :func:`content_key` of the input array — hits return the memoized
+  prediction bitwise-identically.
+
+Two eviction policies, both O(1) per operation:
+
+- ``"lru"`` — evict the least recently used entry: right when popularity
+  drifts over time (yesterday's hot key should age out);
+- ``"lfu"`` — evict the least frequently used entry (ties to least
+  recent): right when popularity is stable and heavy-tailed (one burst of
+  one-off keys must not flush the perennials).
+
+A ``capacity=0`` cache is inert: every lookup misses, nothing is stored,
+and the serving paths behave bit-identically to having no cache at all —
+the differential tests in ``tests/test_serve_cache_properties.py`` pin
+exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Tuple
+
+import numpy as np
+
+#: string-selectable eviction policies for :class:`ResultCache`
+CACHE_POLICIES = ("lru", "lfu")
+
+
+def content_key(x) -> str:
+    """Content hash of one request input: dtype, shape, and raw bytes.
+
+    Two arrays get the same key iff they are bitwise-identical tensors of
+    the same dtype and shape — the only equivalence under which returning a
+    memoized prediction is exactly correct. (A float tolerance here would
+    silently serve one request's answer for a *different* request.)
+    """
+    arr = np.ascontiguousarray(x)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(arr.dtype).encode())
+    h.update(b"|")
+    h.update(str(arr.shape).encode())
+    h.update(b"|")
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Bounded LRU/LFU map from request-content keys to memoized results.
+
+    ``get`` returns ``(hit, value)`` and counts the lookup; ``put`` inserts
+    or refreshes an entry, evicting per policy once ``capacity`` distinct
+    keys are held. Keys are anything hashable (integer content ids in the
+    simulator, :func:`content_key` digests on the real path).
+    """
+
+    def __init__(self, capacity: int, policy: str = "lru") -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if policy not in CACHE_POLICIES:
+            raise ValueError(f"unknown cache policy {policy!r}; "
+                             f"have {CACHE_POLICIES}")
+        self.capacity = int(capacity)
+        self.policy = policy
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insertions = 0
+        # LRU: one OrderedDict, least recent first.
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        # LFU: key -> use count, plus per-count recency buckets and the
+        # current minimum count — the standard O(1) LFU structure.
+        self._freq: Dict[Hashable, int] = {}
+        self._buckets: Dict[int, "OrderedDict[Hashable, None]"] = {}
+        self._min_freq = 0
+
+    # -- internals ------------------------------------------------------------
+    def _touch_lfu(self, key: Hashable) -> None:
+        """Move ``key`` up one frequency class, preserving recency order."""
+        f = self._freq[key]
+        bucket = self._buckets[f]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[f]
+            if self._min_freq == f:
+                self._min_freq = f + 1
+        self._freq[key] = f + 1
+        self._buckets.setdefault(f + 1, OrderedDict())[key] = None
+
+    def _evict_one(self) -> None:
+        if self.policy == "lru":
+            self._data.popitem(last=False)
+        else:
+            bucket = self._buckets[self._min_freq]
+            victim, _ = bucket.popitem(last=False)
+            if not bucket:
+                del self._buckets[self._min_freq]
+            del self._freq[victim]
+            del self._data[victim]
+        self.evictions += 1
+
+    # -- the cache API --------------------------------------------------------
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """Look ``key`` up; returns ``(hit, value)`` and counts the lookup."""
+        if key not in self._data:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        if self.policy == "lru":
+            self._data.move_to_end(key)
+        else:
+            self._touch_lfu(key)
+        return True, self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``; a refresh counts as a use."""
+        if self.capacity == 0:
+            return
+        if key in self._data:
+            self._data[key] = value
+            if self.policy == "lru":
+                self._data.move_to_end(key)
+            else:
+                self._touch_lfu(key)
+            return
+        if len(self._data) >= self.capacity:
+            self._evict_one()
+        self._data[key] = value
+        self.insertions += 1
+        if self.policy == "lfu":
+            self._freq[key] = 1
+            self._buckets.setdefault(1, OrderedDict())[key] = None
+            self._min_freq = 1
+
+    def clear(self) -> None:
+        """Drop every entry; lookup counters are kept (they describe the
+        workload, not the contents)."""
+        self._data.clear()
+        self._freq.clear()
+        self._buckets.clear()
+        self._min_freq = 0
+
+    # -- introspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test with no stats or recency side effects."""
+        return key in self._data
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction over every lookup so far (0.0 before any)."""
+        n = self.lookups
+        return self.hits / n if n else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultCache({self.policy}, {len(self)}/{self.capacity} "
+                f"entries, hit_rate={self.hit_rate:.3f})")

@@ -47,6 +47,8 @@ class ServiceTimeModel:
         self.response_bytes = response_bytes
         self._cache: Dict[int, float] = {}      # raw compute per batch size
         self._clamped: Dict[int, float] = {}    # monotone batch_time memo
+        self._max_size = 0                      # largest size folded in
+        self._running_max = 0.0                 # max raw compute <= _max_size
 
     def _raw_compute(self, batch: int) -> float:
         if batch not in self._cache:
@@ -68,11 +70,20 @@ class ServiceTimeModel:
         """
         if batch <= 0:
             raise ValueError(f"batch must be positive, got {batch}")
-        if batch not in self._clamped:
-            # Memoized: this sits on the router's per-arrival hot path.
-            t = max(self._raw_compute(b) for b in range(1, batch + 1))
-            self._clamped[batch] = self.dispatch_overhead + t
-        return self._clamped[batch]
+        t = self._clamped.get(batch)
+        if t is None:
+            # Memoized: this sits on the router's per-arrival hot path. The
+            # running max is maintained incrementally — each new batch size
+            # folds exactly one raw compute time into the clamp instead of
+            # rescanning every smaller size.
+            while self._max_size < batch:
+                self._max_size += 1
+                self._running_max = max(self._running_max,
+                                        self._raw_compute(self._max_size))
+                self._clamped[self._max_size] = (self.dispatch_overhead
+                                                 + self._running_max)
+            t = self._clamped[batch]
+        return t
 
     def request_rtt(self) -> float:
         """Per-request transport: input to the node, prediction back."""

@@ -98,6 +98,8 @@ class LatencyStats:
     batch_sizes: Optional[np.ndarray] = None
     #: admitted but lost to a replica failure (never answered)
     n_failed: int = 0
+    #: requests answered by the result cache (never reached a replica)
+    n_cache_hits: int = 0
     #: time-averaged replica count over the run (None: fixed fleet)
     mean_replicas: Optional[float] = None
     #: per-control-epoch observations (None: not an autoscaled run)
@@ -107,8 +109,13 @@ class LatencyStats:
 
     def __post_init__(self) -> None:
         self.latencies = np.asarray(self.latencies, dtype=np.float64)
-        if self.n_offered < 0 or self.n_dropped < 0 or self.n_failed < 0:
+        if self.n_offered < 0 or self.n_dropped < 0 or self.n_failed < 0 \
+                or self.n_cache_hits < 0:
             raise ValueError("counts must be non-negative")
+        if self.n_cache_hits > self.n_completed:
+            raise ValueError(
+                f"cache hits ({self.n_cache_hits}) exceed completed "
+                f"({self.n_completed}) — every hit is a completion")
         if self.n_completed + self.n_dropped + self.n_failed > self.n_offered:
             raise ValueError(
                 f"completed ({self.n_completed}) + dropped ({self.n_dropped})"
@@ -116,10 +123,12 @@ class LatencyStats:
                 f"({self.n_offered})")
         if self.batch_sizes is not None:
             self.batch_sizes = np.asarray(self.batch_sizes, dtype=np.int64)
-            if int(self.batch_sizes.sum()) != self.n_completed:
+            if int(self.batch_sizes.sum()) != (self.n_completed
+                                               - self.n_cache_hits):
                 raise ValueError(
                     f"batch sizes sum to {int(self.batch_sizes.sum())} but "
-                    f"{self.n_completed} requests completed")
+                    f"{self.n_completed - self.n_cache_hits} requests "
+                    f"completed on replicas (cache hits launch no batch)")
 
     @property
     def n_completed(self) -> int:
@@ -156,6 +165,19 @@ class LatencyStats:
         if self.horizon <= 0:
             return 0.0
         return self.n_completed / self.horizon
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of *offered* requests the result cache answered."""
+        return self.n_cache_hits / self.n_offered if self.n_offered else 0.0
+
+    @property
+    def deflected_load(self) -> float:
+        """Requests/second the cache kept off the replicas — capacity the
+        fleet did not have to provision (the autoscaler never sees it)."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.n_cache_hits / self.horizon
 
     @property
     def n_batches(self) -> int:
@@ -269,6 +291,11 @@ class SweepReport:
                          else p.stats.mean_replicas for p in self.points])
 
     @property
+    def hit_rate_curve(self) -> np.ndarray:
+        """Result-cache hit rate per offered rate (zero when uncached)."""
+        return np.array([p.stats.hit_rate for p in self.points])
+
+    @property
     def attainment_curve(self) -> np.ndarray:
         return np.array([p.stats.attainment(self.slo) for p in self.points])
 
@@ -296,6 +323,54 @@ class SweepReport:
             s = p.stats
             rows.append(
                 f"{p.rate:>12.2f} {s.throughput:>9.2f} {s.p50 * 1e3:>9.1f} "
+                f"{s.p99 * 1e3:>9.1f} {s.attainment(self.slo):>7.3f} "
+                f"{s.n_dropped:>6d}")
+        return "\n".join(rows)
+
+
+@dataclass
+class CacheSizeSweep:
+    """Hit-rate vs tail-latency/attainment trade across cache capacities.
+
+    One identical trace (same arrivals, same content ids, same fleet) run
+    once per cache size at a fixed offered ``rate`` — size 0 is the
+    uncached baseline. The curves answer the capacity-planning question
+    the ROADMAP poses: how many cache entries buy back the SLO that the
+    offered rate alone would break.
+    """
+
+    slo: float                     # latency target (s)
+    rate: float                    # fixed offered rate (req/s)
+    sizes: List[int] = field(default_factory=list)
+    points: List[LatencyStats] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.points):
+            raise ValueError(
+                f"{len(self.sizes)} sizes but {len(self.points)} runs")
+
+    @property
+    def hit_rate_curve(self) -> np.ndarray:
+        return np.array([s.hit_rate for s in self.points])
+
+    @property
+    def p99_curve(self) -> np.ndarray:
+        return np.array([s.p99 for s in self.points])
+
+    @property
+    def attainment_curve(self) -> np.ndarray:
+        return np.array([s.attainment(self.slo) for s in self.points])
+
+    @property
+    def deflected_curve(self) -> np.ndarray:
+        return np.array([s.deflected_load for s in self.points])
+
+    def table(self) -> str:
+        rows = [f"{'cache size':>10s} {'hit rate':>9s} {'deflect/s':>10s} "
+                f"{'p99 (ms)':>9s} {'attain':>7s} {'drops':>6s}"]
+        for size, s in zip(self.sizes, self.points):
+            rows.append(
+                f"{size:>10d} {s.hit_rate:>9.3f} {s.deflected_load:>10.1f} "
                 f"{s.p99 * 1e3:>9.1f} {s.attainment(self.slo):>7.3f} "
                 f"{s.n_dropped:>6d}")
         return "\n".join(rows)

@@ -76,6 +76,18 @@ class ServableModel:
             f"{self.name}:v{self.version} is a frozen serving replica; "
             "train on a fresh builder() net and publish a new version")
 
+    @property
+    def cache_scope(self) -> Tuple[str, int]:
+        """Identity prefix for request-level result caching.
+
+        :class:`~repro.serve.batching.BatchExecutor` prefixes cache keys
+        with this, so one :class:`~repro.serve.cache.ResultCache` shared
+        across models (or across versions during a rollout) can never
+        return a prediction computed by a *different* frozen net for the
+        same input bytes.
+        """
+        return (self.name, self.version)
+
     def param_bytes(self) -> int:
         return self.net.param_bytes()
 

@@ -8,6 +8,25 @@ admission limit (``max_queue`` outstanding each), the request is rejected
 up front — a shed request costs the client a retry, a queued-forever
 request costs every client behind it.
 
+Routing is O(log R) per arrival, not O(R): per-replica backlogs are
+maintained *incrementally* from the batch commit stream instead of being
+rescanned. Three lazy heaps carry the whole discrete-event state —
+
+- a **load heap** of ``(backlog, replica index)`` entries, one pushed per
+  backlog change, validated against the live counter on pop (stale entries
+  and retired replicas are discarded lazily);
+- a **completion heap**: every committed batch schedules one backlog
+  decrement at its completion time;
+- a **launch heap**: every queue with a pending batch has an event at its
+  state-determined launch instant (queue evolution can only *delay* a
+  launch, so firing an event early is a no-op that reschedules itself).
+
+``pick``/``submit`` first sync the heaps to the arrival time, then read the
+heap top — the same decision the pre-PR linear scan made (the differential
+tests pin bit-identical completions against
+:class:`repro.serve.reference.LinearRouter`, the O(R) original kept as the
+behavioral oracle).
+
 The replica fleet is *live*: :meth:`Router.add_replica` places a new
 replica on the next free machine node mid-stream, :meth:`remove_replica`
 gracefully drains one (unlaunched requests re-route to the survivors,
@@ -20,8 +39,10 @@ simply never calls them.
 
 from __future__ import annotations
 
+import heapq
+import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.machine import CoriMachine, cori
 from repro.serve.batching import Batch, BatchingPolicy, ReplicaBatchQueue
@@ -39,13 +60,20 @@ class ReplicaHandle:
 
 
 class Router:
-    """Places ``n_replicas`` on machine nodes and routes a request stream."""
+    """Places ``n_replicas`` on machine nodes and routes a request stream.
+
+    ``on_commit(replica_index, batch)``, when given, is called the instant
+    any replica commits a batch — the serving simulator uses it to schedule
+    result-cache fills at batch completion times.
+    """
 
     def __init__(self, machine: Optional[CoriMachine], n_replicas: int,
                  policy: BatchingPolicy,
                  service_time: Callable[[int], float],
                  max_queue: Optional[int] = 64,
-                 strategy: str = "least_loaded") -> None:
+                 strategy: str = "least_loaded",
+                 on_commit: Optional[Callable[[int, Batch], None]] = None
+                 ) -> None:
         if n_replicas <= 0:
             raise ValueError(
                 f"n_replicas must be positive, got {n_replicas}")
@@ -64,11 +92,17 @@ class Router:
         self.service_time = service_time
         self.max_queue = max_queue
         self.strategy = strategy
+        self.on_commit = on_commit
+        # Incremental event state (see module docstring).
+        self._backlog: Dict[int, int] = {}
+        self._live: Dict[int, ReplicaHandle] = {}
+        self._load_heap: List[Tuple[int, int]] = []
+        self._completion_events: List[Tuple[float, int, int]] = []
+        self._launch_events: List[Tuple[float, int]] = []
         # One contiguous allocation, one node per replica (Fig 3 ideal).
         placement = self.machine.topology.place(n_replicas, 1)
         self.replicas: List[ReplicaHandle] = [
-            ReplicaHandle(i, node_id,
-                          ReplicaBatchQueue(policy, service_time))
+            self._new_handle(i, int(node_id), free_at=0.0)
             for i, node_id in enumerate(placement.group_nodes[0])]
         #: replicas taken out of rotation (drained or dead); their completed
         #: work still counts in :meth:`completions` / :meth:`batches`
@@ -91,26 +125,90 @@ class Router:
     def node_ids(self) -> List[int]:
         return [r.node_id for r in self.replicas]
 
-    # -- routing -------------------------------------------------------------
-    @staticmethod
-    def _least_loaded(replicas: List[ReplicaHandle],
-                      t: float) -> ReplicaHandle:
-        # Ties broken by replica index for determinism.
-        return min(replicas, key=lambda r: (r.queue.backlog(t), r.index))
+    # -- incremental event state ----------------------------------------------
+    def _new_handle(self, index: int, node_id: int,
+                    free_at: float) -> ReplicaHandle:
+        queue = ReplicaBatchQueue(
+            self.policy, self.service_time, free_at=free_at,
+            on_commit=lambda batch, i=index: self._commit(i, batch))
+        handle = ReplicaHandle(index, node_id, queue)
+        self._live[index] = handle
+        self._backlog[index] = 0
+        heapq.heappush(self._load_heap, (0, index))
+        return handle
 
+    def _commit(self, index: int, batch: Batch) -> None:
+        """A batch was committed on replica ``index``: its backlog drops by
+        the batch size once the completion time passes."""
+        heapq.heappush(self._completion_events,
+                       (batch.completion, index, batch.size))
+        if self.on_commit is not None:
+            self.on_commit(index, batch)
+
+    def _schedule_launch(self, handle: ReplicaHandle) -> None:
+        t_launch = handle.queue.next_launch()
+        if t_launch != math.inf:
+            heapq.heappush(self._launch_events, (t_launch, handle.index))
+
+    def _sync(self, t: float) -> None:
+        """Play every event due by ``t``: commit due launches (which feeds
+        the completion heap), then apply due backlog decrements. Amortized
+        O(log R) per event; each arrival generates O(1) events."""
+        le = self._launch_events
+        advanced: List[int] = []
+        while le and le[0][0] <= t:
+            _, idx = heapq.heappop(le)
+            handle = self._live.get(idx)
+            if handle is not None and (not advanced or advanced[-1] != idx):
+                handle.queue.advance(t)
+                advanced.append(idx)
+        for idx in advanced:
+            handle = self._live.get(idx)
+            if handle is not None:
+                self._schedule_launch(handle)
+        ce = self._completion_events
+        while ce and ce[0][0] <= t:
+            _, idx, size = heapq.heappop(ce)
+            if idx in self._live:
+                b = self._backlog[idx] - size
+                self._backlog[idx] = b
+                heapq.heappush(self._load_heap, (b, idx))
+
+    def _assign(self, handle: ReplicaHandle, t: float, request_id: int,
+                ) -> None:
+        """Push one request and keep counters and launch events current."""
+        handle.queue.push(t, request_id)
+        b = self._backlog[handle.index] + 1
+        self._backlog[handle.index] = b
+        heapq.heappush(self._load_heap, (b, handle.index))
+        self._schedule_launch(handle)
+
+    def _least_loaded(self) -> ReplicaHandle:
+        """Live replica with the minimum (backlog, index) — ties broken by
+        replica index for determinism, exactly like the linear scan."""
+        heap = self._load_heap
+        while heap:
+            backlog, idx = heap[0]
+            handle = self._live.get(idx)
+            if handle is None or self._backlog[idx] != backlog:
+                heapq.heappop(heap)      # stale entry: retired or restated
+                continue
+            return handle
+        raise RuntimeError("no live replicas in the load heap")
+
+    # -- routing -------------------------------------------------------------
     def pick(self, t: float) -> ReplicaHandle:
         """Choose the target replica for a request arriving at ``t``."""
-        for r in self.replicas:
-            r.queue.advance(t)
+        self._sync(t)
         if self.strategy == "round_robin":
             r = self.replicas[self._rr_next % self.n_replicas]
             self._rr_next += 1
             return r
-        return self._least_loaded(self.replicas, t)
+        return self._least_loaded()
 
-    def _full(self, replica: ReplicaHandle, t: float) -> bool:
+    def _full(self, handle: ReplicaHandle) -> bool:
         return (self.max_queue is not None
-                and replica.queue.outstanding(t) >= self.max_queue)
+                and self._backlog[handle.index] >= self.max_queue)
 
     def submit(self, t: float, request_id: int) -> bool:
         """Route one arrival; returns False if admission control shed it.
@@ -121,7 +219,8 @@ class Router:
         overload. A request is shed only when every replica is at the
         limit — if the strategy's first pick is full (round_robin doesn't
         look at load), the request fails over to the least-loaded replica
-        with headroom rather than being dropped amid idle capacity.
+        with headroom rather than being dropped; and if the *least-loaded*
+        replica is full, every replica is.
         """
         self.n_offered += 1
         if not self.replicas:
@@ -129,14 +228,12 @@ class Router:
             self.n_dropped += 1
             return False
         replica = self.pick(t)
-        if self._full(replica, t):
-            open_replicas = [r for r in self.replicas
-                             if not self._full(r, t)]
-            if not open_replicas:
+        if self._full(replica):
+            replica = self._least_loaded()
+            if self._full(replica):
                 self.n_dropped += 1
                 return False
-            replica = self._least_loaded(open_replicas, t)
-        replica.queue.push(t, request_id)
+        self._assign(replica, t, request_id)
         return True
 
     # -- live fleet changes ---------------------------------------------------
@@ -155,8 +252,7 @@ class Router:
         allocation and starts empty but *busy until* ``t`` — it cannot serve
         work from before it existed.
         """
-        queue = ReplicaBatchQueue(self.policy, self.service_time, free_at=t)
-        handle = ReplicaHandle(self._placed, self._next_node(), queue)
+        handle = self._new_handle(self._placed, self._next_node(), free_at=t)
         self._placed += 1
         self.replicas.append(handle)
         return handle
@@ -169,22 +265,24 @@ class Router:
         ties to the newest placement, so long-lived replicas persist).
         Batches already launched or due before ``t`` finish on the leaving
         replica; its still-unlaunched requests re-route one at a time to the
-        least-loaded survivor. Re-routed requests bypass ``max_queue`` —
-        they were admitted once and a voluntary scale-in must not turn into
-        a drop — and keep their original ids, so end-to-end latency still
-        counts the time spent waiting on the drained replica.
+        least-loaded survivor (heap pick — each re-route lands on the
+        survivor the counters say is emptiest *after* the previous one).
+        Re-routed requests bypass ``max_queue`` — they were admitted once
+        and a voluntary scale-in must not turn into a drop — and keep their
+        original ids, so end-to-end latency still counts the time spent
+        waiting on the drained replica.
         """
         if len(self.replicas) <= 1:
             raise ValueError("cannot remove the last replica")
-        for r in self.replicas:
-            r.queue.advance(t)
+        self._sync(t)
         if pos is None:
             pos = min(range(len(self.replicas)),
-                      key=lambda p: (self.replicas[p].queue.outstanding(t),
+                      key=lambda p: (self._backlog[self.replicas[p].index],
                                      -self.replicas[p].index))
         replica = self.replicas.pop(pos)
+        del self._live[replica.index]
         for _, rid in replica.queue.evict_queued(t):
-            self._least_loaded(self.replicas, t).queue.push(t, rid)
+            self._assign(self._least_loaded(), t, rid)
         self.retired.append(replica)
         return replica
 
@@ -199,6 +297,7 @@ class Router:
         if not self.replicas:
             raise ValueError("no replicas left to fail")
         replica = self.replicas.pop(pos % len(self.replicas))
+        del self._live[replica.index]
         lost = replica.queue.abort_after(t)
         self.n_failed += len(lost)
         self.failed_ids.update(lost)

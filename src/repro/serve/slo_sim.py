@@ -13,29 +13,78 @@ Arrival streams come from :mod:`repro.serve.arrivals`: deterministic
 :class:`~repro.serve.arrivals.MMPP` instance for a custom burst shape).
 :func:`compare_batching_modes` runs the same sweep under the windowed and
 continuous batching policies and reports the latency win side by side.
+
+With ``cache_size > 0`` a request-level :class:`~repro.serve.cache.
+ResultCache` sits in front of the router: each request carries a content id
+(drawn by a popularity sampler — ``popularity="zipf"`` etc., see
+:func:`~repro.serve.arrivals.make_contents`), a repeat whose result is
+already cached completes at ``request_rtt()`` without consuming replica
+capacity, and the cache fills as batches *complete* (a result cannot be
+served before any replica has produced it). Hits never reach the router, so
+every load signal downstream — admission, routing, the autoscaler's epoch
+records — sees post-cache (miss) traffic, which is what lets the controller
+provision for misses instead of offered rate.
+:func:`sweep_cache_sizes` maps the resulting hit-rate vs p99/attainment
+trade across cache capacities at a fixed offered rate.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import heapq
+import math
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.cluster.machine import CoriMachine, cori
-from repro.serve.arrivals import ProcessLike, make_arrivals
-from repro.serve.batching import BatchingPolicy
+from repro.serve.arrivals import (
+    PopularityLike,
+    ProcessLike,
+    make_arrivals,
+    make_contents,
+)
+from repro.serve.batching import Batch, BatchingPolicy
+from repro.serve.cache import CACHE_POLICIES, ResultCache
 from repro.serve.latency import ServiceTimeModel
-from repro.serve.metrics import LatencyStats, PolicyComparison, SweepReport
+from repro.serve.metrics import (
+    CacheSizeSweep,
+    LatencyStats,
+    PolicyComparison,
+    SweepReport,
+)
 from repro.serve.router import Router
 from repro.sim.workload import Workload
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, spawn_rngs
 
 #: default sweep points as fractions of the saturation rate
 DEFAULT_LOAD_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0)
 
 
+class _CacheRun:
+    """Per-run cache state: the cache itself, each request's content id,
+    the fill events (batch completions waiting to become cache entries),
+    and which requests were served from cache (id -> arrival time)."""
+
+    __slots__ = ("cache", "contents", "fills", "hits")
+
+    def __init__(self, cache: ResultCache, contents: np.ndarray) -> None:
+        self.cache = cache
+        self.contents = contents.tolist()   # plain ints: hot-path lookups
+        self.fills: list = []               # heap of (completion, ids)
+        self.hits: dict = {}                # request_id -> arrival time
+
+    def on_commit(self, index: int, batch: Batch) -> None:
+        heapq.heappush(self.fills, (batch.completion, batch.request_ids))
+
+
 class ServingSimulator:
-    """Simulate serving one workload with N replicas under a batching policy."""
+    """Simulate serving one workload with N replicas under a batching policy.
+
+    ``cache_size`` > 0 puts a ``cache_policy`` ("lru"/"lfu") result cache
+    in front of the router; a fresh cache is built per run (a rate sweep
+    must not warm one point with another point's traffic). ``cache_size=0``
+    is bit-identical to the pre-cache simulator.
+    """
 
     def __init__(self, workload: Workload,
                  machine: Optional[CoriMachine] = None,
@@ -43,7 +92,14 @@ class ServingSimulator:
                  policy: Optional[BatchingPolicy] = None,
                  max_queue: Optional[int] = 256,
                  strategy: str = "least_loaded",
-                 service_model: Optional[ServiceTimeModel] = None) -> None:
+                 service_model: Optional[ServiceTimeModel] = None,
+                 cache_size: int = 0,
+                 cache_policy: str = "lru") -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if cache_policy not in CACHE_POLICIES:
+            raise ValueError(f"unknown cache policy {cache_policy!r}; "
+                             f"have {CACHE_POLICIES}")
         self.workload = workload
         self.machine = machine or cori(seed=0, jitter=False)
         self.n_replicas = n_replicas
@@ -53,6 +109,9 @@ class ServingSimulator:
         self.service = service_model or ServiceTimeModel(
             workload, node=self.machine.node,
             cost=self.machine.network.cost)
+        self.cache_size = cache_size
+        self.cache_policy = cache_policy
+        self._cstate: Optional[_CacheRun] = None
 
     # -- capacity ------------------------------------------------------------
     def saturation_rate(self) -> float:
@@ -72,24 +131,77 @@ class ServingSimulator:
                   seed: SeedLike) -> np.ndarray:
         return make_arrivals(process, rate, n_requests, seed=seed)
 
+    def _make_router(self, on_commit=None) -> Router:
+        """Router factory — the reference (pre-PR) simulator overrides this
+        to route with the O(R) linear scans for the differential tests."""
+        return Router(self.machine, self.n_replicas, self.policy,
+                      self.service.batch_time, max_queue=self.max_queue,
+                      strategy=self.strategy, on_commit=on_commit)
+
+    def _make_cache_run(self, n_requests: int, popularity: PopularityLike,
+                        seed: SeedLike) -> Optional[_CacheRun]:
+        if self.cache_size == 0:
+            return None
+        # Content ids draw from an independent child stream of the run
+        # seed: the seed itself feeds make_arrivals, and sharing one
+        # generator state would couple *when* requests arrive with *what*
+        # they ask for (burst phases and hot-key streaks consuming the
+        # same uniforms), biasing every hit-rate-vs-tail curve.
+        rng = spawn_rngs(seed if seed is not None else 0, 2)[1]
+        contents = make_contents(popularity, n_requests, seed=rng)
+        return _CacheRun(ResultCache(self.cache_size, self.cache_policy),
+                         contents)
+
     def run(self, rate: float, n_requests: int = 512,
             process: ProcessLike = "uniform",
-            seed: SeedLike = None) -> LatencyStats:
+            seed: SeedLike = None,
+            popularity: PopularityLike = None) -> LatencyStats:
         """Serve ``n_requests`` offered at ``rate`` req/s; returns stats.
 
         ``process='uniform'`` (default) gives a deterministic evenly-spaced
         stream — reproducible curves; ``'poisson'`` adds arrival burstiness
         and ``'mmpp'`` (or an :class:`~repro.serve.arrivals.MMPP` instance)
-        adds correlated bursts on top.
+        adds correlated bursts on top. ``popularity`` draws each request's
+        content id (default: all distinct — no request repeats, so a cache
+        never hits); it only matters when ``cache_size > 0``.
         """
         arrivals = self._arrivals(rate, n_requests, process, seed)
-        router = Router(self.machine, self.n_replicas, self.policy,
-                        self.service.batch_time, max_queue=self.max_queue,
-                        strategy=self.strategy)
-        admitted: dict = {}
-        self._drive(arrivals, router, admitted)
-        router.drain()
-        return self._collect(arrivals, router, admitted)
+        self._cstate = self._make_cache_run(n_requests, popularity, seed)
+        try:
+            router = self._make_router(
+                on_commit=None if self._cstate is None
+                else self._cstate.on_commit)
+            admitted: dict = {}
+            self._drive(arrivals, router, admitted)
+            router.drain()
+            return self._collect(arrivals, router, admitted)
+        finally:
+            self._cstate = None
+
+    def _offer(self, router: Router, admitted: dict, t: float,
+               request_id: int) -> None:
+        """Serve one arrival: result cache first, then the router.
+
+        The cache fills from batch *completions* (the fill heap the
+        router's commit hook feeds): a result exists only once some replica
+        has produced it, so a burst of one new key misses until the first
+        answer lands, then hits. Requests lost to a node death never fill
+        the cache — their batch aborted, no result was produced.
+        """
+        cstate = self._cstate
+        if cstate is not None:
+            fills, cache = cstate.fills, cstate.cache
+            while fills and fills[0][0] <= t:
+                _, rids = heapq.heappop(fills)
+                for rid in rids:
+                    if rid not in router.failed_ids:
+                        cache.put(cstate.contents[rid], rid)
+            hit, _ = cache.get(cstate.contents[request_id])
+            if hit:
+                cstate.hits[request_id] = t
+                return
+        if router.submit(t, request_id):
+            admitted[request_id] = t
 
     def _drive(self, arrivals: np.ndarray, router: Router,
                admitted: dict) -> None:
@@ -99,11 +211,13 @@ class ServingSimulator:
         to interleave control epochs and failure events with the same
         submissions — the control path is a superset of this one, not a
         fork, which is what makes the pinned-fleet differential test
-        meaningful.
+        meaningful. The one-shot ``tolist`` converts the whole stream to
+        native floats up front — per-arrival ``float(np_scalar)`` was a
+        measurable slice of the pre-PR hot path.
         """
-        for i, t in enumerate(arrivals):
-            if router.submit(float(t), i):
-                admitted[i] = float(t)
+        offer = self._offer
+        for i, t in enumerate(arrivals.astype(np.float64).tolist()):
+            offer(router, admitted, t, i)
 
     def _collect(self, arrivals: np.ndarray, router: Router,
                  admitted: dict) -> LatencyStats:
@@ -114,27 +228,38 @@ class ServingSimulator:
         ``n_failed`` and count against attainment via ``n_offered``). Only
         those: any *other* admitted request missing a completion is a
         scheduler bug and raises KeyError here rather than silently
-        shrinking the sample.
+        shrinking the sample. Cache hits complete at ``request_rtt()`` —
+        pure transport, no queueing, no service.
         """
+        hits = self._cstate.hits if self._cstate is not None else {}
         completions = router.completions()
         rtt = self.service.request_rtt()
         latencies = np.array(
-            [completions[i] - admitted[i] + rtt for i in sorted(admitted)
+            [rtt if i in hits else completions[i] - admitted[i] + rtt
+             for i in sorted(admitted.keys() | hits.keys())
              if i not in router.failed_ids])
-        horizon = 0.0
+        last = -math.inf
         if completions:
-            horizon = max(completions.values()) + rtt - float(arrivals[0])
+            last = max(completions.values())
+        if hits:
+            last = max(last, max(hits.values()))
+        horizon = 0.0
+        if last > -math.inf:
+            horizon = last + rtt - float(arrivals[0])
         batch_sizes = np.array([b.size for b in router.batches()], dtype=int)
-        return LatencyStats(latencies=latencies, n_offered=router.n_offered,
+        return LatencyStats(latencies=latencies,
+                            n_offered=router.n_offered + len(hits),
                             n_dropped=router.n_dropped, horizon=horizon,
                             batch_sizes=batch_sizes,
-                            n_failed=router.n_failed)
+                            n_failed=router.n_failed,
+                            n_cache_hits=len(hits))
 
     # -- sweeps --------------------------------------------------------------
     def sweep(self, rates: Optional[Sequence[float]] = None,
               n_requests: int = 512, slo: Optional[float] = None,
               process: ProcessLike = "uniform",
-              seed: SeedLike = None) -> SweepReport:
+              seed: SeedLike = None,
+              popularity: PopularityLike = None) -> SweepReport:
         """Run a request-rate sweep; default rates bracket saturation.
 
         With the deterministic ``uniform`` process and ``max_wait`` at or
@@ -160,17 +285,18 @@ class ServingSimulator:
         report = SweepReport(slo=float(slo))
         for rate in rates:
             report.add(rate, self._run_point(rate, n_requests, process, seed,
-                                             float(slo)))
+                                             float(slo), popularity))
         return report
 
     def _run_point(self, rate: float, n_requests: int, process: ProcessLike,
-                   seed: SeedLike, slo: float) -> LatencyStats:
+                   seed: SeedLike, slo: float,
+                   popularity: PopularityLike = None) -> LatencyStats:
         """One sweep point. The base simulator has no use for the sweep's
         SLO at run time; the autoscaler judges per-epoch attainment against
         it, so :class:`AutoscalingSimulator` overrides this to pass it
         through."""
         return self.run(rate, n_requests=n_requests, process=process,
-                        seed=seed)
+                        seed=seed, popularity=popularity)
 
 
 def compare_batching_modes(workload: Workload,
@@ -215,3 +341,55 @@ def compare_batching_modes(workload: Workload,
                for mode, sim in sims.items()}
     return PolicyComparison(windowed=reports["windowed"],
                             continuous=reports["continuous"])
+
+
+def sweep_cache_sizes(workload: Workload,
+                      sizes: Sequence[int],
+                      rate: Optional[float] = None,
+                      machine: Optional[CoriMachine] = None,
+                      n_replicas: int = 1,
+                      policy: Optional[BatchingPolicy] = None,
+                      n_requests: int = 2048,
+                      slo: Optional[float] = None,
+                      process: ProcessLike = "uniform",
+                      popularity: PopularityLike = "zipf",
+                      seed: SeedLike = None,
+                      max_queue: Optional[int] = 256,
+                      strategy: str = "least_loaded",
+                      cache_policy: str = "lru") -> CacheSizeSweep:
+    """The hit-rate vs p99/attainment trade across cache capacities.
+
+    Runs the identical trace — same arrivals, same content-id stream, same
+    fleet, one shared service-time model — once per cache size (0 = the
+    uncached baseline) at one fixed offered rate (default: 1.25x the
+    fleet's saturation rate, the regime where deflected load is the
+    difference between meeting the SLO and shedding). The returned
+    :class:`~repro.serve.metrics.CacheSizeSweep` holds the hit-rate, p99,
+    attainment, and deflected-load curves against capacity.
+    """
+    machine = machine or cori(seed=0, jitter=False)
+    policy = policy or BatchingPolicy()
+    service = ServiceTimeModel(workload, node=machine.node,
+                               cost=machine.network.cost)
+    sizes = [int(s) for s in sizes]
+    if any(s < 0 for s in sizes):
+        raise ValueError(f"cache sizes must be >= 0, got {sizes}")
+    base = ServingSimulator(workload, machine=machine,
+                            n_replicas=n_replicas, policy=policy,
+                            max_queue=max_queue, strategy=strategy,
+                            service_model=service)
+    if rate is None:
+        rate = 1.25 * base.saturation_rate()
+    if slo is None:
+        slo = base.default_slo()
+    points: List[LatencyStats] = []
+    for size in sizes:
+        sim = ServingSimulator(workload, machine=machine,
+                               n_replicas=n_replicas, policy=policy,
+                               max_queue=max_queue, strategy=strategy,
+                               service_model=service, cache_size=size,
+                               cache_policy=cache_policy)
+        points.append(sim.run(rate, n_requests=n_requests, process=process,
+                              seed=seed, popularity=popularity))
+    return CacheSizeSweep(slo=float(slo), rate=float(rate), sizes=sizes,
+                          points=points)

@@ -420,10 +420,14 @@ class TestRouter:
         assert r.submit(0.0, 0)          # -> replica 0 (now full)
         assert r.submit(0.0, 1)          # -> replica 1 (now full)
         assert r.submit(0.0, 2) is False  # everyone full -> shed
-        r2 = self._router(n_replicas=2, max_queue=2, strategy="round_robin")
-        r2.replicas[0].queue.push(0.0, 90)
-        r2.replicas[0].queue.push(0.0, 91)   # replica 0 at limit
-        assert r2.submit(0.0, 0)         # rr turn = replica 0 -> fails over
+        # Arrivals must enter through submit() — the router's incremental
+        # backlog counters can't see queue pushes that sidestep it. Fill
+        # replica 0 via the router, then rewind the round-robin pointer so
+        # the full replica is the next rr turn.
+        r2 = self._router(n_replicas=2, max_queue=1, strategy="round_robin")
+        assert r2.submit(0.0, 90)        # rr turn -> replica 0 (at limit)
+        r2._rr_next = 0                  # replica 0's turn again
+        assert r2.submit(0.0, 0)         # full rr pick -> fails over
         assert r2.replicas[1].queue.queue_depth == 1
         assert r2.n_dropped == 0
 
