@@ -39,6 +39,12 @@ def bench_json(section, data, path=None):
     file is read-modify-write so benchmarks in one run (or re-runs of one
     benchmark) compose instead of clobbering each other; a corrupt or
     missing file starts fresh rather than failing the benchmark.
+
+    Sections *append*: when the section already holds a dict and ``data``
+    is a dict, new keys are merged into it (re-measured keys updated in
+    place) instead of discarding what another benchmark already recorded
+    under the same section — several test files can contribute to one
+    section of the artifact. Non-dict payloads still replace.
     """
     path = path or os.environ.get(BENCH_JSON_ENV, BENCH_JSON_DEFAULT)
     try:
@@ -48,7 +54,11 @@ def bench_json(section, data, path=None):
             payload = {}
     except (OSError, ValueError):
         payload = {}
-    payload[section] = data
+    current = payload.get(section)
+    if isinstance(current, dict) and isinstance(data, dict):
+        current.update(data)
+    else:
+        payload[section] = data
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -1,0 +1,231 @@
+"""Multi-model serving benchmarks: the ISSUE 5 acceptance numbers.
+
+The source paper trains and deploys *two* science networks — the HEP
+classifier and the climate segmenter — on one supercomputer partition.
+Their serving profiles could hardly differ more: one climate forward
+costs ~140x an HEP forward, so a climate request is a big scan riding the
+same fleet as the HEP firehose. Two headline claims about serving both
+from one shared replica pool:
+
+- **pooling beats static partitioning**: at equal per-model attainment
+  targets (>= 0.95 each, every model judged against its own SLO), the
+  shared pool needs *fewer total replicas* than the best static
+  per-model split. The win is the classic statistical-multiplexing one:
+  each dedicated fleet must round its fractional load up to whole
+  replicas, the shared pool rounds once.
+- **weighted admission protects the high-weight model through a burst**:
+  under an MMPP burst that overloads the pool, the unweighted baseline
+  lets the cheap-but-huge climate requests squat in every queue and
+  drags HEP far below its target; weighting climate down (so it is shed
+  early once backlog builds) keeps HEP at >= target through the same
+  trace, at the explicit cost of climate attainment — which is the
+  operator's stated priority, not a hidden one.
+
+HEP's SLO in the shared pool includes one full climate batch of
+head-of-line blocking — batches never mix models, so an HEP request can
+land behind one (and with least-loaded routing, rarely more than one)
+climate batch on its replica. That is the honest price of sharing;
+partitioned fleets are judged against the *same* SLOs so the replica
+counts compare like for like.
+"""
+
+import pytest
+
+from bench_report import bench_json, report
+from repro.serve import (
+    MMPP,
+    BatchingPolicy,
+    ModelMix,
+    ModelProfile,
+    ServingSimulator,
+)
+
+#: shared batching policy: the 3 s hold lets the slow-trickling climate
+#: stream fill real batches instead of serving efficiency-collapsed
+#: singletons (HEP fills a batch in ~70 ms, so the hold never binds it)
+POLICY = BatchingPolicy(max_batch=16, max_wait=3.0)
+TARGET = 0.95
+N_REQUESTS = 8000
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def setup(hep_wl, climate_wl):
+    hep_sim = ServingSimulator(hep_wl, n_replicas=1, policy=POLICY)
+    cli_sim = ServingSimulator(climate_wl, n_replicas=1, policy=POLICY)
+    # HEP's mixed-pool SLO: its own healthy-serving budget plus one full
+    # climate batch of head-of-line blocking; climate keeps its default.
+    slo_hep = (cli_sim.service.batch_time(POLICY.max_batch)
+               + hep_sim.default_slo())
+    slo_cli = cli_sim.default_slo()
+    return hep_sim, cli_sim, slo_hep, slo_cli
+
+
+def _profiles(hep_wl, climate_wl, slo_hep, slo_cli, w_cli=1.0):
+    return [ModelProfile("hep", hep_wl, slo=slo_hep, weight=1.0),
+            ModelProfile("climate", climate_wl, slo=slo_cli,
+                         weight=w_cli)]
+
+
+class TestSharedPoolBeatsStaticPartition:
+    def test_fewer_total_replicas_at_equal_targets(self, hep_wl,
+                                                   climate_wl, setup):
+        """Acceptance: the shared pool meets both per-model targets with
+        fewer total replicas than the best static per-model split.
+
+        Loads: HEP at 0.2 of one replica's saturation, climate at 1.4 —
+        so dedicated fleets need 1 (HEP, mostly idle) + 2 (climate) = 3
+        replicas, while the pooled load of 1.6 replica-equivalents fits
+        in 2 shared ones with both models at full attainment.
+        """
+        hep_sim, cli_sim, slo_hep, slo_cli = setup
+        rate_hep = 0.2 * hep_sim.saturation_rate()
+        rate_cli = 1.4 * cli_sim.saturation_rate()
+        rho = rate_hep + rate_cli
+        mix = ModelMix((rate_hep / rho, rate_cli / rho))
+        profiles = _profiles(hep_wl, climate_wl, slo_hep, slo_cli)
+
+        def shared_attainments(n_replicas):
+            sim = ServingSimulator(models=profiles, model_mix=mix,
+                                   n_replicas=n_replicas, policy=POLICY)
+            s = sim.run(rho, n_requests=N_REQUESTS, seed=SEED)
+            return {m.name: m.attainment for m in s.models}
+
+        def partition_attainment(wl, rate, slo, n_replicas, n_requests):
+            sim = ServingSimulator(wl, n_replicas=n_replicas,
+                                   policy=POLICY)
+            return sim.run(rate, n_requests=n_requests,
+                           seed=SEED).attainment(slo)
+
+        n_hep = int(round(N_REQUESTS * rate_hep / rho))
+        n_cli = N_REQUESTS - n_hep
+
+        # Find each side's minimum (search from 1; the loads make both
+        # minima small, so this stays a handful of runs).
+        shared_min, shared_att = None, None
+        for n in (1, 2, 3):
+            att = shared_attainments(n)
+            if min(att.values()) >= TARGET:
+                shared_min, shared_att = n, att
+                break
+        hep_min = next(n for n in (1, 2, 3) if partition_attainment(
+            hep_wl, rate_hep, slo_hep, n, n_hep) >= TARGET)
+        cli_att1 = partition_attainment(climate_wl, rate_cli, slo_cli, 1,
+                                        n_cli)
+        cli_min = next(n for n in (1, 2, 3, 4) if partition_attainment(
+            climate_wl, rate_cli, slo_cli, n, n_cli) >= TARGET)
+        partition_min = hep_min + cli_min
+
+        report("Multi-model: shared pool vs static partition "
+               f"(targets >= {TARGET} each)", [
+                   ("offered rate (req/s, hep+climate)", "--",
+                    f"{rate_hep:.1f}+{rate_cli:.2f}"),
+                   ("per-model SLOs (s, hep/climate)", "--",
+                    f"{slo_hep:.2f}/{slo_cli:.2f}"),
+                   ("shared pool min replicas", "--", f"{shared_min}"),
+                   ("shared attainment (hep/climate)", ">= 0.95",
+                    f"{shared_att['hep']:.3f}/"
+                    f"{shared_att['climate']:.3f}"),
+                   ("best static split (hep + climate)", "--",
+                    f"{hep_min} + {cli_min} = {partition_min}"),
+                   ("climate partition att at 1 replica", "< 0.95",
+                    f"{cli_att1:.3f}"),
+               ])
+        bench_json("multimodel_shared_vs_partition", {
+            "rate_hep": rate_hep, "rate_climate": rate_cli,
+            "slo_hep": slo_hep, "slo_climate": slo_cli,
+            "target": TARGET, "shared_min_replicas": shared_min,
+            "shared_attainment": shared_att,
+            "partition_min_replicas": partition_min,
+            "partition_split": [hep_min, cli_min],
+        })
+
+        # Acceptance: the shared pool strictly beats the best partition.
+        assert shared_min is not None, "shared pool never met both targets"
+        assert min(shared_att.values()) >= TARGET
+        assert cli_att1 < TARGET          # the split genuinely needs 2
+        assert shared_min < partition_min
+
+
+class TestWeightedAdmissionProtectsHighWeight:
+    #: queue depth sized so HEP can ride out one climate forward: a
+    #: climate batch blocks a replica for ~6 s while HEP arrives at
+    #: ~70 req/s — a shallow queue would shed HEP during exactly the
+    #: head-of-line blocking its SLO already budgets for
+    MAX_QUEUE = 512
+    #: weight ratio: ceil(512 * 1/512) = 1, so climate gets an admission
+    #: slot only on an otherwise-idle replica — the operator's statement
+    #: that the online classifier outranks the batch scans absolutely
+    HEP_WEIGHT = 512.0
+
+    def test_high_weight_slo_survives_burst(self, hep_wl, climate_wl,
+                                            setup):
+        """Acceptance: through an MMPP burst that drops unweighted HEP
+        attainment below target, weighting climate down keeps HEP at
+        >= target on the identical trace.
+
+        Loads are the pooling scenario's (HEP 0.2, climate 1.4 of one
+        replica): HEP's own 3x burst peak still fits the pool while
+        climate's does not, so the unweighted baseline fails *only*
+        because climate requests squat in the shared queues ahead of HEP
+        — which is exactly what weighted admission evicts first.
+        """
+        hep_sim, cli_sim, slo_hep, slo_cli = setup
+        rate_hep = 0.2 * hep_sim.saturation_rate()
+        rate_cli = 1.4 * cli_sim.saturation_rate()
+        rho = rate_hep + rate_cli
+        # Phase-correlated mix: climate arrives in streaks (mean run 8),
+        # the adversarial case for a shared queue.
+        mix = ModelMix((rate_hep / rho, rate_cli / rho), mean_run=8.0)
+        shape = MMPP(burst=3.0, burst_fraction=0.15,
+                     cycle_requests=2000.0)
+
+        def run(hep_weight):
+            profiles = [ModelProfile("hep", hep_wl, slo=slo_hep,
+                                     weight=hep_weight),
+                        ModelProfile("climate", climate_wl, slo=slo_cli,
+                                     weight=1.0)]
+            sim = ServingSimulator(
+                models=profiles, model_mix=mix, n_replicas=2,
+                policy=POLICY, max_queue=self.MAX_QUEUE)
+            s = sim.run(rho, n_requests=N_REQUESTS, process=shape,
+                        seed=SEED)
+            return {m.name: m for m in s.models}
+
+        unweighted = run(1.0)
+        weighted = run(self.HEP_WEIGHT)
+
+        report("Multi-model: weighted admission under an MMPP burst "
+               "(3x, 15% of time)", [
+                   ("hep attainment, unweighted", f"< {TARGET}",
+                    f"{unweighted['hep'].attainment:.3f}"),
+                   (f"hep attainment, weight {self.HEP_WEIGHT:.0f}:1",
+                    f">= {TARGET}",
+                    f"{weighted['hep'].attainment:.3f}"),
+                   ("hep drops, unweighted -> weighted", "--",
+                    f"{unweighted['hep'].n_dropped} -> "
+                    f"{weighted['hep'].n_dropped}"),
+                   ("climate attainment, unweighted -> weighted",
+                    "sacrificed",
+                    f"{unweighted['climate'].attainment:.3f} -> "
+                    f"{weighted['climate'].attainment:.3f}"),
+               ])
+        bench_json("multimodel_weighted_admission", {
+            "burst": 3.0, "burst_fraction": 0.15,
+            "max_queue": self.MAX_QUEUE, "hep_weight": self.HEP_WEIGHT,
+            "hep_attainment_unweighted": unweighted["hep"].attainment,
+            "hep_attainment_weighted": weighted["hep"].attainment,
+            "climate_attainment_unweighted":
+                unweighted["climate"].attainment,
+            "climate_attainment_weighted":
+                weighted["climate"].attainment,
+        })
+
+        # Acceptance: the burst breaks the unweighted baseline's
+        # high-weight model; weighted admission preserves it.
+        assert unweighted["hep"].attainment < TARGET
+        assert weighted["hep"].attainment >= TARGET
+        # The protection has a mechanism, not luck: climate was shed
+        # harder under weighting — the sacrifice is explicit.
+        assert weighted["climate"].attainment < \
+            unweighted["climate"].attainment

@@ -5,14 +5,20 @@ turns them into a servable system with explicit throughput/latency
 accounting:
 
 - :mod:`repro.serve.registry` — versioned checkpoint store; loads snapshots
-  into immutable eval-mode replicas (:class:`ServableModel`);
+  into immutable eval-mode replicas (:class:`ServableModel`); exposes the
+  registered model set to the simulator as :class:`ModelProfile` entries
+  (workload, SLO, admission weight) and invalidates attached caches on
+  publish;
 - :mod:`repro.serve.batching` — dynamic micro-batching (windowed
   max-batch/max-wait and vLLM-style continuous modes) for both simulated
-  queues and real coalesced forwards;
+  queues and real coalesced forwards; per-model batch lanes on shared
+  replicas (batches never mix models);
 - :mod:`repro.serve.arrivals` — open-loop arrival processes: uniform,
   Poisson, and bursty :class:`MMPP` streams with analytic moments; plus
   request-content popularity samplers (uniform / Zipf / bursty hot-key)
-  that make cache hit rates meaningful;
+  that make cache hit rates meaningful, and :class:`ModelMix` — which
+  registered model each arrival asks for (weighted shares, optionally in
+  correlated streaks);
 - :mod:`repro.serve.cache` — request-level result cache (LRU/LFU, content
   hashed): hot requests skip the replica fleet entirely, in simulation and
   in real batched inference;
@@ -24,7 +30,9 @@ accounting:
 - :mod:`repro.serve.metrics` — latency percentiles, throughput, SLO
   attainment;
 - :mod:`repro.serve.slo_sim` — request-rate sweeps producing p50/p99 and
-  SLO-attainment curves for capacity planning;
+  SLO-attainment curves for capacity planning; multi-model shared pools
+  (``models=[ModelProfile(...), ...]``) with per-model SLOs, weighted
+  admission, optional replica affinity, and in-flight request coalescing;
 - :mod:`repro.serve.autoscale` — burst-aware replica autoscaling: a
   discrete-time controller that scales out on broken SLO attainment and in
   on sustained idle occupancy, contending with node failures from
@@ -63,10 +71,12 @@ from repro.serve.arrivals import (  # noqa: F401
     MMPP,
     POPULARITY_KINDS,
     HotKeyPopularity,
+    ModelMix,
     UniformPopularity,
     ZipfPopularity,
     make_arrivals,
     make_contents,
+    make_model_ids,
     poisson_arrivals,
     uniform_arrivals,
 )
@@ -83,17 +93,25 @@ from repro.serve.batching import (  # noqa: F401
     ReplicaBatchQueue,
     plan_batches,
 )
-from repro.serve.latency import ServiceTimeModel  # noqa: F401
+from repro.serve.latency import (  # noqa: F401
+    PerModelServiceTime,
+    ServiceTimeModel,
+)
 from repro.serve.metrics import (  # noqa: F401
     CacheSizeSweep,
     EpochRecord,
     LatencyStats,
+    PerModelStats,
     PolicyComparison,
     RatePoint,
     ScaleEvent,
     SweepReport,
 )
-from repro.serve.registry import ModelRegistry, ServableModel  # noqa: F401
+from repro.serve.registry import (  # noqa: F401
+    ModelProfile,
+    ModelRegistry,
+    ServableModel,
+)
 from repro.serve.router import ReplicaHandle, Router  # noqa: F401
 from repro.serve.slo_sim import (  # noqa: F401
     ServingSimulator,
@@ -117,7 +135,11 @@ __all__ = [
     "HotKeyPopularity",
     "LatencyStats",
     "MMPP",
+    "ModelMix",
+    "ModelProfile",
     "ModelRegistry",
+    "PerModelServiceTime",
+    "PerModelStats",
     "PolicyComparison",
     "RatePoint",
     "ReplicaBatchQueue",
@@ -136,6 +158,7 @@ __all__ = [
     "content_key",
     "make_arrivals",
     "make_contents",
+    "make_model_ids",
     "plan_batches",
     "poisson_arrivals",
     "sweep_cache_sizes",

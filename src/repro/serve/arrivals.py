@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
@@ -325,6 +325,93 @@ class HotKeyPopularity:
 #: what ``make_contents`` accepts as a popularity spec
 PopularityLike = Union[None, str, UniformPopularity, ZipfPopularity,
                        HotKeyPopularity]
+
+
+# -- request model identity (multi-model serving) ------------------------------
+
+@dataclass(frozen=True)
+class ModelMix:
+    """Which registered model each arrival asks for.
+
+    ``weights`` are the per-model traffic shares (any positive scale — they
+    are normalized); ``mean_run`` adds *phase correlation*: each arrival
+    resamples its model from the shares with probability ``1/mean_run``
+    and otherwise repeats the previous arrival's model, producing
+    geometric same-model streaks of expected length ``mean_run`` whose
+    stationary shares are still exactly ``weights``. ``mean_run=1`` is the
+    i.i.d. mix; long runs are the model-identity analogue of an MMPP
+    burst — one model hammers the fleet for a stretch, which is what makes
+    per-model admission and batching lanes earn their keep.
+
+    A one-model mix never consumes randomness, so a single-model
+    multi-model run draws the same arrival/content streams as the classic
+    single-model simulator — the single-model differential depends on it.
+    """
+
+    weights: Tuple[float, ...] = (1.0,)
+    mean_run: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("ModelMix needs at least one model weight")
+        if any(not w > 0 for w in self.weights):
+            raise ValueError(
+                f"model weights must be positive, got {self.weights}")
+        if self.mean_run < 1.0:
+            raise ValueError(
+                f"mean_run must be >= 1, got {self.mean_run}")
+
+    @property
+    def n_models(self) -> int:
+        return len(self.weights)
+
+    @property
+    def shares(self) -> np.ndarray:
+        """Normalized stationary traffic share of each model."""
+        w = np.asarray(self.weights, dtype=np.float64)
+        return w / w.sum()
+
+    def sample(self, n_requests: int,
+               rng: np.random.Generator) -> np.ndarray:
+        """Model index of each of ``n_requests`` arrivals."""
+        if self.n_models == 1:
+            return np.zeros(n_requests, dtype=np.int64)
+        draws = rng.choice(self.n_models, size=n_requests, p=self.shares)
+        if self.mean_run <= 1.0:
+            return draws.astype(np.int64)
+        # Sticky resampling: arrival i keeps arrival i-1's model unless a
+        # 1/mean_run coin says redraw. Resampling from the stationary
+        # shares (self-transitions allowed) keeps the marginal law exact.
+        # Vectorized forward-fill (no per-request Python loop on the
+        # trace-preprocessing path): each arrival takes the draw at the
+        # most recent resample point at or before it.
+        resample = rng.random(n_requests) < 1.0 / self.mean_run
+        resample[0] = True
+        points = np.flatnonzero(resample)
+        idx = points[np.searchsorted(points, np.arange(n_requests),
+                                     side="right") - 1]
+        return draws[idx].astype(np.int64)
+
+
+#: what ``make_model_ids`` accepts as a mix spec
+MixLike = Union[None, Sequence[float], ModelMix]
+
+
+def make_model_ids(mix: MixLike, n_requests: int,
+                   seed: SeedLike = None) -> np.ndarray:
+    """Model-index array for any mix spec.
+
+    ``mix`` is ``None`` (everything is model 0), a weight sequence
+    (i.i.d. mix), or a :class:`ModelMix` instance. Stochastic draws
+    default to seed 0, matching :func:`make_arrivals`.
+    """
+    if n_requests <= 0:
+        raise ValueError(f"n_requests must be positive, got {n_requests}")
+    if mix is None:
+        return np.zeros(n_requests, dtype=np.int64)
+    if not isinstance(mix, ModelMix):
+        mix = ModelMix(tuple(float(w) for w in mix))
+    return mix.sample(n_requests, as_rng(seed if seed is not None else 0))
 
 
 def make_contents(popularity: PopularityLike, n_requests: int,

@@ -148,7 +148,11 @@ class Autoscaler:
         self._idle_streak = self._idle_streak + 1 if idle else 0
         if rec.index < self._next_voluntary:
             return ScaleDecision(0, "hold", "cooldown")
-        att = rec.attainment
+        # Multi-model epochs judge each model against its own SLO; the
+        # controller keys on the *worst* per-model attainment (a shared
+        # pool provisions for its most broken model). Single-model
+        # records carry no per-model slice, so this is the aggregate.
+        att = rec.control_attainment
         if not math.isnan(att) and att < p.target_attainment \
                 and n < p.max_replicas:
             delta = min(p.step_out, p.max_replicas - n)
@@ -191,7 +195,7 @@ class AutoscalingSimulator(ServingSimulator):
     to the fleet that produced it.
     """
 
-    def __init__(self, workload: Workload,
+    def __init__(self, workload: Optional[Workload] = None,
                  autoscale: Optional[AutoscalePolicy] = None,
                  machine: Optional[CoriMachine] = None,
                  n_replicas: Optional[int] = None,
@@ -202,7 +206,10 @@ class AutoscalingSimulator(ServingSimulator):
                  failures: Optional[FailureModel] = None,
                  failure_events: Optional[Sequence[FailureEvent]] = None,
                  cache_size: int = 0,
-                 cache_policy: str = "lru") -> None:
+                 cache_policy: str = "lru",
+                 models=None, model_mix=None,
+                 service_models: Optional[Sequence] = None,
+                 coalesce: bool = False) -> None:
         self.autoscale = autoscale or AutoscalePolicy()
         initial = (self.autoscale.min_replicas if n_replicas is None
                    else n_replicas)
@@ -212,10 +219,15 @@ class AutoscalingSimulator(ServingSimulator):
                 f"initial fleet {initial} outside "
                 f"[{self.autoscale.min_replicas}, "
                 f"{self.autoscale.max_replicas}]")
+        # (No ``affinity`` here: affinity pins models to fixed replica
+        # indices, which contradicts a controller whose whole job is to
+        # add and remove replicas — the router would refuse anyway.)
         super().__init__(workload, machine=machine, n_replicas=initial,
                          policy=policy, max_queue=max_queue,
                          strategy=strategy, service_model=service_model,
-                         cache_size=cache_size, cache_policy=cache_policy)
+                         cache_size=cache_size, cache_policy=cache_policy,
+                         models=models, model_mix=model_mix,
+                         service_models=service_models, coalesce=coalesce)
         if failures is not None and failure_events is not None:
             raise ValueError(
                 "pass either a FailureModel or explicit failure_events, "
@@ -236,23 +248,39 @@ class AutoscalingSimulator(ServingSimulator):
         cache (``cache_size > 0``) the controller sees only post-cache
         traffic: hits never reach the router, never appear in an epoch
         record, and never hold a replica — the fleet is provisioned for
-        misses."""
+        misses.
+
+        Multi-model runs judge each model against its own SLO (profile
+        ``slo`` or per-model default); an explicit ``slo`` here overrides
+        every model with one uniform target. The controller reacts to the
+        worst per-model attainment."""
+        explicit = slo is not None
         if slo is None:
             slo = self.default_slo()
         elif slo <= 0:
             raise ValueError(f"slo must be positive, got {slo}")
         self._run_slo = float(slo)
+        self._run_slos = (None if self.models is None
+                          else [float(slo)] * len(self.models) if explicit
+                          else self.model_slos())
         try:
             return super().run(rate, n_requests=n_requests, process=process,
                                seed=seed, popularity=popularity)
         finally:
             del self._run_slo
+            del self._run_slos
 
     def _run_point(self, rate: float, n_requests: int, process: ProcessLike,
                    seed: SeedLike, slo: float,
                    popularity: PopularityLike = None) -> LatencyStats:
+        # Multi-model sweeps keep per-model control: the sweep's scalar
+        # ``slo`` is the report's aggregate yardstick, but forwarding it
+        # here would override every profile's own SLO with the loosest
+        # one — the controller and the per-model slices judge against
+        # :meth:`model_slos` instead.
         return self.run(rate, n_requests=n_requests, process=process,
-                        seed=seed, slo=slo, popularity=popularity)
+                        seed=seed, slo=slo if self.models is None else None,
+                        popularity=popularity)
 
     # -- the control loop -----------------------------------------------------
     def _failure_schedule(self, t0: float,
@@ -276,8 +304,9 @@ class AutoscalingSimulator(ServingSimulator):
         return [e for e in events if e.kind == "fail"]
 
     def _observe(self, router: Router, admitted: dict, t_start: float,
-                 t_end: float, index: int, slo: float, rtt: float,
-                 n_shed: int) -> EpochRecord:
+                 t_end: float, index: int, slos: List[float],
+                 rtts: List[float], floors: List[float], n_shed: int,
+                 shed_by_model: Optional[List[int]] = None) -> EpochRecord:
         """One causal epoch observation.
 
         Completions whose (virtual) completion time falls inside the window
@@ -305,6 +334,13 @@ class AutoscalingSimulator(ServingSimulator):
         arrival itself and therefore closed, so that arrival (and a batch
         launched at that exact instant) is not invisible to the controller.
 
+        Multi-model runs judge each admitted request against *its own
+        model's* SLO, transport cost, and doomed floor; the aggregate
+        fields are the per-model sums and ``model_attainment`` carries the
+        per-model signals the controller's worst-case rule consumes. With
+        one model the sums degenerate to exactly the single-model
+        arithmetic (the pinned differential).
+
         Each observation scans the run's accumulated state (admitted map,
         per-replica batch lists) rather than tracking per-epoch deltas;
         that is quadratic in principle, but at simulator scale (thousands
@@ -314,23 +350,27 @@ class AutoscalingSimulator(ServingSimulator):
         """
         on_start = t_start if index == 0 else math.inf
         completions = router.completions()
-        n_completed = n_ok = n_doomed = 0
-        floor = self.service.batch_time(1) + rtt
+        mids = self._mids
+        M = len(slos)
+        n_completed = [0] * M
+        n_ok = [0] * M
+        n_doomed = [0] * M
         for rid, a in admitted.items():
+            m = 0 if mids is None else mids[rid]
             c = completions.get(rid)
             if c is None:
                 # Queued. Requests lost to a failure are excluded: they
                 # took their attainment hit while queued (doomed) or not at
                 # all, and must not depress the signal forever after.
                 if rid not in router.failed_ids and a <= t_end \
-                        and t_end - a + floor > slo:
-                    n_doomed += 1
+                        and t_end - a + floors[m] > slos[m]:
+                    n_doomed[m] += 1
             elif t_start < c <= t_end:
-                n_completed += 1
-                if c - a + rtt <= slo:
-                    n_ok += 1
-            elif c > t_end >= a and c - a + rtt > slo:
-                n_doomed += 1       # launched; completion known and late
+                n_completed[m] += 1
+                if c - a + rtts[m] <= slos[m]:
+                    n_ok[m] += 1
+            elif c > t_end >= a and c - a + rtts[m] > slos[m]:
+                n_doomed[m] += 1    # launched; completion known and late
         n_arrived = sum(1 for a in admitted.values()
                         if t_start < a <= t_end or a == on_start)
         queue_depth = sum(r.queue.outstanding(t_end)
@@ -344,27 +384,46 @@ class AutoscalingSimulator(ServingSimulator):
         mean_batch = float(np.mean(sizes)) if sizes else float("nan")
         occupancy = (mean_batch / self.policy.max_batch if sizes
                      else float("nan"))
-        if n_completed or n_doomed or n_shed:
-            attainment = n_ok / (n_completed + n_doomed + n_shed)
+        tot_completed, tot_ok = sum(n_completed), sum(n_ok)
+        tot_doomed = sum(n_doomed)
+        if tot_completed or tot_doomed or n_shed:
+            attainment = tot_ok / (tot_completed + tot_doomed + n_shed)
         elif queue_depth > 0:
             attainment = 0.0        # stalled: backlog, nothing finishing
         else:
             attainment = float("nan")
+        model_attainment = None
+        if mids is not None:
+            shed_m = shed_by_model or [0] * M
+            per = []
+            for m in range(M):
+                judged = n_completed[m] + n_doomed[m] + shed_m[m]
+                per.append(n_ok[m] / judged if judged else float("nan"))
+            model_attainment = tuple(per)
         return EpochRecord(index=index, t_start=t_start, t_end=t_end,
                            n_replicas=router.n_replicas,
-                           n_arrived=n_arrived, n_completed=n_completed,
-                           n_ok=n_ok, n_doomed=n_doomed, n_shed=n_shed,
+                           n_arrived=n_arrived, n_completed=tot_completed,
+                           n_ok=tot_ok, n_doomed=tot_doomed, n_shed=n_shed,
                            attainment=attainment,
                            mean_batch_size=mean_batch, occupancy=occupancy,
-                           queue_depth=queue_depth)
+                           queue_depth=queue_depth,
+                           model_attainment=model_attainment)
 
     def _drive(self, arrivals: np.ndarray, router: Router,
                admitted: dict) -> None:
         slo = getattr(self, "_run_slo", None) or self.default_slo()
+        if self.models is None:
+            slos = [slo]
+        else:
+            slos = (getattr(self, "_run_slos", None) or self.model_slos())
         cfg = self.autoscale
         epoch_s = cfg.epoch if cfg.epoch is not None else 2.0 * slo
         controller = Autoscaler(cfg, initial=router.n_replicas)
-        rtt = self.service.request_rtt()
+        rtts = self._request_rtts()
+        svcs = [self.service] if self.models is None else list(self.services)
+        floors = [svc.batch_time(1) + rtts[m]
+                  for m, svc in enumerate(svcs)]
+        n_models = len(slos)
         t0, t_end = float(arrivals[0]), float(arrivals[-1])
         failures = self._failure_schedule(t0, t_end)
         epochs: List[EpochRecord] = []
@@ -381,6 +440,8 @@ class AutoscalingSimulator(ServingSimulator):
         next_epoch = t0 + epoch_s
         prev_epoch_t = t0
         dropped_mark = router.n_dropped
+        dropped_marks = [router.dropped_by_model.get(m, 0)
+                         for m in range(n_models)]
 
         def close_epoch(t: float) -> None:
             nonlocal epoch_idx, prev_epoch_t, dropped_mark
@@ -389,8 +450,16 @@ class AutoscalingSimulator(ServingSimulator):
                 r.queue.advance(t)
             n_shed = router.n_dropped - dropped_mark
             dropped_mark = router.n_dropped
+            shed_by_model = None
+            if self.models is not None:
+                shed_by_model = []
+                for m in range(n_models):
+                    now = router.dropped_by_model.get(m, 0)
+                    shed_by_model.append(now - dropped_marks[m])
+                    dropped_marks[m] = now
             rec = self._observe(router, admitted, prev_epoch_t, t,
-                                epoch_idx, slo, rtt, n_shed)
+                                epoch_idx, slos, rtts, floors, n_shed,
+                                shed_by_model)
             decision = controller.decide(rec)
             if decision.delta > 0:
                 for _ in range(decision.delta):

@@ -81,11 +81,17 @@ class BatchingPolicy:
 
 @dataclass(frozen=True)
 class Batch:
-    """One launched micro-batch (virtual-time record)."""
+    """One launched micro-batch (virtual-time record).
+
+    ``model`` identifies which registered model the batch ran — batches
+    never mix models (one forward pass is one set of weights), so a
+    multi-model replica serializes per-model batches on one timeline.
+    """
 
     start: float                   # launch time (s)
     completion: float              # start + service time (s)
     request_ids: Tuple[int, ...]   # members, FIFO order
+    model: int = 0                 # index of the model the batch ran
 
     @property
     def size(self) -> int:
@@ -93,25 +99,42 @@ class Batch:
 
 
 class ReplicaBatchQueue:
-    """FIFO request queue + batching policy for one replica, virtual time.
+    """Per-model FIFO lanes + batching policy for one replica, virtual time.
 
-    Drive it with nondecreasing ``push(t, request_id)`` calls and a final
-    :meth:`drain`; it records every launched :class:`Batch` and each
+    Drive it with nondecreasing ``push(t, request_id, model)`` calls and a
+    final :meth:`drain`; it records every launched :class:`Batch` and each
     request's completion time. ``service_time(batch_size) -> seconds`` is
-    the replica's batched-forward latency model.
+    the replica's batched-forward latency model; for a multi-model replica
+    pass ``service_times`` (one callable per model index) instead — each
+    model has its own service curve, and batches never mix models.
+
+    The replica is one shared execution resource: every lane's batches
+    serialize on the same ``free_at`` timeline. Launch order across lanes
+    is strictly by launch instant — each :meth:`advance` step commits the
+    lane with the globally earliest launch key — with ties broken full
+    batch first, then lowest model index. With a single lane this reduces
+    exactly to the classic max-batch/max-wait schedule — the single-model
+    differential tests pin that bit for bit.
     """
 
     def __init__(self, policy: BatchingPolicy,
                  service_time: Callable[[int], float],
                  free_at: float = 0.0,
-                 on_commit: Optional[Callable[[Batch], None]] = None) -> None:
+                 on_commit: Optional[Callable[[Batch], None]] = None,
+                 service_times: Optional[
+                     Sequence[Callable[[int], float]]] = None) -> None:
         self.policy = policy
         self.service_time = service_time
+        #: per-model service-time callables (None: every lane uses
+        #: ``service_time`` — the single-model case)
+        self.service_times = (None if service_times is None
+                              else list(service_times))
         self.free_at = free_at
         #: called with each :class:`Batch` the instant it is committed —
         #: the router's event feed (backlog decrements, cache fills)
         self.on_commit = on_commit
-        self.queue: List[Tuple[float, int]] = []   # (arrival, request_id)
+        #: model index -> FIFO lane of (arrival, request_id)
+        self.lanes: Dict[int, List[Tuple[float, int]]] = {}
         self.batches: List[Batch] = []
         self.completions: Dict[int, float] = {}    # request_id -> completion
         #: launched but not yet completed batches: (completion, size), FIFO
@@ -120,11 +143,16 @@ class ReplicaBatchQueue:
         # free_at (requests queuing while the replica is still busy).
         self._clock = -math.inf
 
+    def _svc(self, model: int, size: int) -> float:
+        if self.service_times is not None:
+            return self.service_times[model](size)
+        return self.service_time(size)
+
     # -- state ---------------------------------------------------------------
     @property
     def queue_depth(self) -> int:
-        """Requests admitted but not yet launched."""
-        return len(self.queue)
+        """Requests admitted but not yet launched (all lanes)."""
+        return sum(len(lane) for lane in self.lanes.values())
 
     def outstanding(self, t: float) -> int:
         """Requests admitted but not yet *completed* at time ``t``: the
@@ -133,7 +161,7 @@ class ReplicaBatchQueue:
         are still work the replica owes."""
         while self._in_flight and self._in_flight[0][0] <= t:
             self._in_flight.popleft()
-        return len(self.queue) + sum(size for _, size in self._in_flight)
+        return self.queue_depth + sum(size for _, size in self._in_flight)
 
     def backlog(self, t: float) -> int:
         """Routing load signal; alias of :meth:`outstanding` (one unit —
@@ -141,89 +169,125 @@ class ReplicaBatchQueue:
         idle)."""
         return self.outstanding(t)
 
+    def _lane_key(self, model: int,
+                  lane: List[Tuple[float, int]]) -> Tuple[float, int, int]:
+        """Launch-order key of one nonempty lane: (launch instant, partial?,
+        model). Full batches sort before partial ones at the same instant
+        (their membership is determined; a held partial is still waiting),
+        and model index breaks exact ties deterministically."""
+        B = self.policy.max_batch
+        if len(lane) >= B:
+            return (max(self.free_at, lane[B - 1][0]), 0, model)
+        return (max(self.free_at, lane[0][0] + self.policy.launch_wait),
+                1, model)
+
     def next_launch(self) -> float:
         """Launch instant of the next uncommitted batch (+inf if none).
 
         State-determined, so the router can schedule launch events instead
         of polling every queue at every arrival: a full batch launches at
         ``max(free_at, B-th arrival)``, a partial one at its head's hold
-        deadline. A scheduled event can go stale in either direction — a
-        commit pushes the next launch later, while a push that fills a
-        partial batch can pull it *earlier* — so the router re-derives
-        this after every state change it makes (each push, each fired
-        event); a stale early event is then a harmless no-op and a stale
-        late one is shadowed by the fresher entry.
+        deadline — and a multi-lane replica's next launch is the earliest
+        over its lanes. A scheduled event can go stale in either
+        direction — a commit pushes the next launch later, while a push
+        that fills a partial batch can pull it *earlier* — so the router
+        re-derives this after every state change it makes (each push, each
+        fired event); a stale early event is then a harmless no-op and a
+        stale late one is shadowed by the fresher entry.
         """
-        if not self.queue:
-            return math.inf
-        B = self.policy.max_batch
-        if len(self.queue) >= B:
-            return max(self.free_at, self.queue[B - 1][0])
-        return max(self.free_at, self.queue[0][0] + self.policy.launch_wait)
+        t = math.inf
+        for model, lane in self.lanes.items():
+            if lane:
+                t = min(t, self._lane_key(model, lane)[0])
+        return t
 
     # -- event loop -----------------------------------------------------------
-    def push(self, t: float, request_id: int) -> None:
-        """Admit a request arriving at time ``t`` (nondecreasing)."""
+    def push(self, t: float, request_id: int, model: int = 0) -> None:
+        """Admit a ``model`` request arriving at time ``t`` (nondecreasing
+        across all models — one replica sees one arrival clock)."""
         if t < self._clock:
             raise ValueError(
                 f"arrivals must be nondecreasing: {t} < {self._clock}")
+        if self.service_times is not None and \
+                not 0 <= model < len(self.service_times):
+            raise ValueError(
+                f"model index {model} outside the {len(self.service_times)} "
+                f"registered service models")
         self.advance(t)
         self._clock = t
-        self.queue.append((t, request_id))
+        self.lanes.setdefault(model, []).append((t, request_id))
 
     def advance(self, until: float) -> None:
         """Launch every batch whose launch instant falls before ``until``.
 
-        Launches at or after ``until`` are deferred: the next arrival (which
-        is what ``until`` represents) may still join them.
+        Partial-batch launches at or after ``until`` are deferred: the next
+        arrival (which is what ``until`` represents) may still join them.
+        A full batch — membership (first B of the lane, FIFO) and launch
+        time both already determined, no future arrival can change
+        either — commits whenever it holds the globally earliest lane
+        key, even past ``until``; once the earliest key belongs to a
+        deferred partial lane, the loop stops (any full lane behind it
+        launches later anyway, so nothing determined is being held back
+        out of order).
         """
-        B, W = self.policy.max_batch, self.policy.launch_wait
-        while self.queue:
-            head_arrival = self.queue[0][0]
-            if len(self.queue) >= B:
-                # Full batch: membership (first B, FIFO) and launch time are
-                # already determined — no future arrival can change either —
-                # so commit it now regardless of ``until``. This also frees
-                # queue_depth for admission control immediately.
-                launch = max(self.free_at, self.queue[B - 1][0])
-            else:
-                # Partial batch: the head's hold deadline fires it (for the
-                # continuous mode that deadline is the arrival itself), but
-                # the next arrival (``until``) may still join — defer.
-                launch = max(self.free_at, head_arrival + W)
-                if launch >= until:
-                    return
-            self._launch(min(B, len(self.queue)), launch)
+        while True:
+            best: Optional[Tuple[float, int, int]] = None
+            for model, lane in self.lanes.items():
+                if lane:
+                    key = self._lane_key(model, lane)
+                    if best is None or key < best:
+                        best = key
+            if best is None:
+                return
+            launch, partial, model = best
+            if partial and launch >= until:
+                return
+            self._launch(model,
+                         min(self.policy.max_batch, len(self.lanes[model])),
+                         launch)
 
-    def _launch(self, take: int, launch: float) -> None:
-        """Commit the first ``take`` queued requests as one batch."""
-        members = self.queue[:take]
-        del self.queue[:take]
-        completion = launch + self.service_time(take)
+    def _launch(self, model: int, take: int, launch: float) -> None:
+        """Commit the first ``take`` requests of ``model``'s lane as one
+        batch."""
+        lane = self.lanes[model]
+        members = lane[:take]
+        del lane[:take]
+        completion = launch + self._svc(model, take)
         self.free_at = completion
         self._in_flight.append((completion, take))
         batch = Batch(start=launch, completion=completion,
-                      request_ids=tuple(rid for _, rid in members))
+                      request_ids=tuple(rid for _, rid in members),
+                      model=model)
         self.batches.append(batch)
         for _, rid in members:
             self.completions[rid] = completion
         if self.on_commit is not None:
             self.on_commit(batch)
 
+    def _queued(self) -> List[Tuple[float, int, int]]:
+        """Every unlaunched ``(arrival, request_id, model)``, merged across
+        lanes in arrival order (ties by model index; stable within a lane,
+        so a single-lane queue keeps its exact FIFO order)."""
+        return sorted(
+            ((a, rid, model) for model, lane in self.lanes.items()
+             for a, rid in lane),
+            key=lambda e: (e[0], e[2]))
+
     # -- live-scaling support -------------------------------------------------
-    def evict_queued(self, t: float) -> List[Tuple[float, int]]:
+    def evict_queued(self, t: float) -> List[Tuple[float, int, int]]:
         """Hand back every still-unlaunched request at time ``t``.
 
         Graceful-drain primitive for live replica removal: first advance to
         ``t`` so any batch whose launch instant has already passed departs
         normally (it was committed before the removal decision), then strip
-        the remaining ``(arrival, request_id)`` pairs in FIFO order for the
-        caller to re-route. In-flight batches are untouched — they complete
-        on this replica; only unlaunched work moves.
+        the remaining ``(arrival, request_id, model)`` triples in arrival
+        order for the caller to re-route onto the right model lane
+        elsewhere. In-flight batches are untouched — they complete on this
+        replica; only unlaunched work moves.
         """
         self.advance(t)
-        evicted = list(self.queue)
-        self.queue.clear()
+        evicted = self._queued()
+        self.lanes.clear()
         return evicted
 
     def abort_after(self, t: float) -> List[int]:
@@ -237,8 +301,8 @@ class ReplicaBatchQueue:
         (``free_at`` pinned to infinity).
         """
         self.advance(t)
-        lost = [rid for _, rid in self.queue]
-        self.queue.clear()
+        lost = [rid for _, rid, _ in self._queued()]
+        self.lanes.clear()
         survived = []
         for b in self.batches:
             if b.completion > t:
@@ -260,12 +324,19 @@ class ReplicaBatchQueue:
         fires; :meth:`advance` would hold it forever and its requests would
         silently vanish from :attr:`completions`. Once the stream has ended
         no future arrival can top the batch up, so fire the remainder as
-        soon as the replica frees.
+        soon as the replica frees — held lanes in head-arrival order (ties
+        to the lowest model index).
         """
         self.advance(math.inf)
-        while self.queue:
-            take = min(self.policy.max_batch, len(self.queue))
-            self._launch(take, max(self.free_at, self.queue[take - 1][0]))
+        while True:
+            held = [(lane[0][0], model) for model, lane in self.lanes.items()
+                    if lane]
+            if not held:
+                return
+            _, model = min(held)
+            lane = self.lanes[model]
+            take = min(self.policy.max_batch, len(lane))
+            self._launch(model, take, max(self.free_at, lane[take - 1][0]))
 
 
 def plan_batches(arrivals: Sequence[float], policy: BatchingPolicy,

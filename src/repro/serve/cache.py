@@ -80,6 +80,9 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.insertions = 0
+        #: entries removed by :meth:`invalidate_scope` (not capacity
+        #: pressure — a versioned rollout, not the eviction policy)
+        self.invalidations = 0
         # LRU: one OrderedDict, least recent first.
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         # LFU: key -> use count, plus per-count recency buckets and the
@@ -145,6 +148,34 @@ class ResultCache:
             self._freq[key] = 1
             self._buckets.setdefault(1, OrderedDict())[key] = None
             self._min_freq = 1
+
+    def invalidate_scope(self, scope) -> int:
+        """Evict every entry whose key is prefixed with ``scope``.
+
+        Scoped keys are the ``(scope, ...)`` tuples the real serving path
+        writes (:class:`~repro.serve.batching.BatchExecutor` prefixes each
+        content digest with the replica's ``cache_scope = (name,
+        version)``) and the multi-model simulator writes (``(model_index,
+        content_id)``). A registry publish invalidates the superseded
+        version's scope (:meth:`~repro.serve.registry.ModelRegistry.
+        attach_cache`) so a bounded cache is not left carrying entries no
+        request can hit again. Returns the number of entries removed;
+        unscoped (plain) keys are never touched.
+        """
+        victims = [k for k in self._data
+                   if isinstance(k, tuple) and k and k[0] == scope]
+        for k in victims:
+            del self._data[k]
+            if self.policy == "lfu":
+                f = self._freq.pop(k)
+                bucket = self._buckets[f]
+                del bucket[k]
+                if not bucket:
+                    del self._buckets[f]
+        if self.policy == "lfu":
+            self._min_freq = min(self._buckets) if self._buckets else 0
+        self.invalidations += len(victims)
+        return len(victims)
 
     def clear(self) -> None:
         """Drop every entry; lookup counters are kept (they describe the

@@ -94,3 +94,53 @@ class ServiceTimeModel:
     def peak_throughput(self, max_batch: int) -> float:
         """Requests/second of one replica running full batches back to back."""
         return max_batch / self.batch_time(max_batch)
+
+
+class PerModelServiceTime:
+    """Service-time models of a multi-model fleet, indexed by model.
+
+    One entry per registered model, in :class:`~repro.serve.registry.
+    ModelProfile` order — HEP and climate have very different Fig 5
+    forward curves, so a shared replica's batch time depends on *which*
+    model the batch ran. The entries are duck-typed (anything with
+    ``batch_time``/``request_rtt``/``peak_throughput``), which is what the
+    property tests' fake services rely on.
+    """
+
+    def __init__(self, models) -> None:
+        self.models = list(models)
+        if not self.models:
+            raise ValueError("need at least one service-time model")
+
+    @classmethod
+    def for_workloads(cls, workloads, node=None, cost=None,
+                      dispatch_overhead: float = 5e-4,
+                      response_bytes: int = 4096) -> "PerModelServiceTime":
+        """Build one :class:`ServiceTimeModel` per workload on one node
+        model and one interconnect cost model (the shared machine)."""
+        return cls([ServiceTimeModel(w, node=node, cost=cost,
+                                     dispatch_overhead=dispatch_overhead,
+                                     response_bytes=response_bytes)
+                    for w in workloads])
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    def __getitem__(self, model: int):
+        return self.models[model]
+
+    def __iter__(self):
+        return iter(self.models)
+
+    def batch_time_fns(self):
+        """Per-model ``batch_time`` callables, the router's wiring."""
+        return [m.batch_time for m in self.models]
+
+    def batch_time(self, model: int, batch: int) -> float:
+        return self.models[model].batch_time(batch)
+
+    def request_rtt(self, model: int) -> float:
+        return self.models[model].request_rtt()
+
+    def peak_throughput(self, model: int, max_batch: int) -> float:
+        return self.models[model].peak_throughput(max_batch)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -78,6 +78,9 @@ class EpochRecord:
     mean_batch_size: float  # mean size of the epoch's launches (NaN if none)
     occupancy: float        # mean_batch_size / max_batch (NaN if none)
     queue_depth: int        # outstanding requests at t_end
+    #: per-model attainment against each model's own SLO (None on
+    #: single-model runs — the aggregate IS the one model's signal)
+    model_attainment: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if self.t_end <= self.t_start:
@@ -85,58 +88,27 @@ class EpochRecord:
         if self.n_ok > self.n_completed:
             raise ValueError("n_ok cannot exceed n_completed")
 
+    @property
+    def control_attainment(self) -> float:
+        """What the autoscaler keys on: the *worst* per-model attainment
+        when the epoch judged any model, else the aggregate. A shared pool
+        must provision for its most broken model — averaging two models'
+        attainments would let a healthy high-traffic model mask a broken
+        low-traffic one."""
+        if self.model_attainment is None:
+            return self.attainment
+        judged = [a for a in self.model_attainment if not math.isnan(a)]
+        return min(judged) if judged else self.attainment
 
-@dataclass
-class LatencyStats:
-    """Outcome of serving one request stream at a fixed offered rate."""
 
-    latencies: np.ndarray          # seconds, one entry per completed request
-    n_offered: int                 # requests that arrived at the front door
-    n_dropped: int = 0             # rejected by admission control
-    horizon: float = 0.0           # first arrival -> last completion (s)
-    #: size of each launched micro-batch, launch order (None: not recorded)
-    batch_sizes: Optional[np.ndarray] = None
-    #: admitted but lost to a replica failure (never answered)
-    n_failed: int = 0
-    #: requests answered by the result cache (never reached a replica)
-    n_cache_hits: int = 0
-    #: time-averaged replica count over the run (None: fixed fleet)
-    mean_replicas: Optional[float] = None
-    #: per-control-epoch observations (None: not an autoscaled run)
-    epochs: Optional[List[EpochRecord]] = None
-    #: fleet changes in time order (None: not an autoscaled run)
-    scale_events: Optional[List[ScaleEvent]] = None
-
-    def __post_init__(self) -> None:
-        self.latencies = np.asarray(self.latencies, dtype=np.float64)
-        if self.n_offered < 0 or self.n_dropped < 0 or self.n_failed < 0 \
-                or self.n_cache_hits < 0:
-            raise ValueError("counts must be non-negative")
-        if self.n_cache_hits > self.n_completed:
-            raise ValueError(
-                f"cache hits ({self.n_cache_hits}) exceed completed "
-                f"({self.n_completed}) — every hit is a completion")
-        if self.n_completed + self.n_dropped + self.n_failed > self.n_offered:
-            raise ValueError(
-                f"completed ({self.n_completed}) + dropped ({self.n_dropped})"
-                f" + failed ({self.n_failed}) exceed offered "
-                f"({self.n_offered})")
-        if self.batch_sizes is not None:
-            self.batch_sizes = np.asarray(self.batch_sizes, dtype=np.int64)
-            if int(self.batch_sizes.sum()) != (self.n_completed
-                                               - self.n_cache_hits):
-                raise ValueError(
-                    f"batch sizes sum to {int(self.batch_sizes.sum())} but "
-                    f"{self.n_completed - self.n_cache_hits} requests "
-                    f"completed on replicas (cache hits launch no batch)")
+class _LatencySample:
+    """Shared latency-sample accessors for :class:`LatencyStats` and its
+    per-model slices — one implementation of the percentile and hit-rate
+    arithmetic, so the aggregate and the slices can never diverge."""
 
     @property
     def n_completed(self) -> int:
         return int(self.latencies.size)
-
-    @property
-    def drop_rate(self) -> float:
-        return self.n_dropped / self.n_offered if self.n_offered else 0.0
 
     def percentile(self, q: float) -> float:
         """Latency percentile ``q`` in [0, 100] over completed requests."""
@@ -155,6 +127,129 @@ class LatencyStats:
         return self.percentile(99.0)
 
     @property
+    def hit_rate(self) -> float:
+        """Fraction of this sample's *offered* requests the result cache
+        answered. The denominator is this run's own offered count —
+        curves that stack several runs (e.g. :class:`CacheSizeSweep`)
+        compare per-run fractions, not one pooled ratio."""
+        return self.n_cache_hits / self.n_offered if self.n_offered else 0.0
+
+
+@dataclass
+class PerModelStats(_LatencySample):
+    """One model's slice of a multi-model serving run.
+
+    Same accounting as the aggregate :class:`LatencyStats`, restricted to
+    the requests that asked for this model, and judged against *this
+    model's* SLO — per-model attainment is what the weighted-admission and
+    shared-vs-partitioned benchmarks compare. Conservation holds per
+    model: every offered request completes (replica, cache hit, or
+    coalesced ride-along), is shed by admission, or dies with a replica.
+    """
+
+    name: str
+    slo: float                     # this model's latency target (s)
+    weight: float                  # its admission weight
+    latencies: np.ndarray          # completed requests of this model (s)
+    n_offered: int
+    n_dropped: int = 0
+    n_failed: int = 0
+    n_cache_hits: int = 0
+    n_coalesced: int = 0
+
+    def __post_init__(self) -> None:
+        self.latencies = np.asarray(self.latencies, dtype=np.float64)
+        if self.slo <= 0:
+            raise ValueError(f"slo must be positive, got {self.slo}")
+        if min(self.n_offered, self.n_dropped, self.n_failed,
+               self.n_cache_hits, self.n_coalesced) < 0:
+            raise ValueError("counts must be non-negative")
+        if self.n_completed + self.n_dropped + self.n_failed \
+                > self.n_offered:
+            raise ValueError(
+                f"model {self.name!r}: completed ({self.n_completed}) + "
+                f"dropped ({self.n_dropped}) + failed ({self.n_failed}) "
+                f"exceed offered ({self.n_offered})")
+        if self.n_cache_hits + self.n_coalesced > self.n_completed:
+            raise ValueError(
+                f"model {self.name!r}: hits ({self.n_cache_hits}) + "
+                f"coalesced ({self.n_coalesced}) exceed completed "
+                f"({self.n_completed})")
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of this model's offered requests answered within its
+        own SLO (drops and failures count as violations)."""
+        if self.n_offered == 0:
+            return 1.0
+        return int((self.latencies <= self.slo).sum()) / self.n_offered
+
+
+@dataclass
+class LatencyStats(_LatencySample):
+    """Outcome of serving one request stream at a fixed offered rate."""
+
+    latencies: np.ndarray          # seconds, one entry per completed request
+    n_offered: int                 # requests that arrived at the front door
+    n_dropped: int = 0             # rejected by admission control
+    horizon: float = 0.0           # first arrival -> last completion (s)
+    #: size of each launched micro-batch, launch order (None: not recorded)
+    batch_sizes: Optional[np.ndarray] = None
+    #: admitted but lost to a replica failure (never answered)
+    n_failed: int = 0
+    #: requests answered by the result cache (never reached a replica)
+    n_cache_hits: int = 0
+    #: duplicate in-flight misses that completed by riding the first
+    #: miss's forward (a follower whose leader died counts in n_failed)
+    n_coalesced: int = 0
+    #: time-averaged replica count over the run (None: fixed fleet)
+    mean_replicas: Optional[float] = None
+    #: per-control-epoch observations (None: not an autoscaled run)
+    epochs: Optional[List[EpochRecord]] = None
+    #: fleet changes in time order (None: not an autoscaled run)
+    scale_events: Optional[List[ScaleEvent]] = None
+    #: per-model slices, profile order (None: single-model run)
+    models: Optional[List[PerModelStats]] = None
+
+    def __post_init__(self) -> None:
+        self.latencies = np.asarray(self.latencies, dtype=np.float64)
+        if min(self.n_offered, self.n_dropped, self.n_failed,
+               self.n_cache_hits, self.n_coalesced) < 0:
+            raise ValueError("counts must be non-negative")
+        if self.n_cache_hits + self.n_coalesced > self.n_completed:
+            raise ValueError(
+                f"cache hits ({self.n_cache_hits}) + coalesced "
+                f"({self.n_coalesced}) exceed completed "
+                f"({self.n_completed}) — each is a completion")
+        if self.n_completed + self.n_dropped + self.n_failed > self.n_offered:
+            raise ValueError(
+                f"completed ({self.n_completed}) + dropped ({self.n_dropped})"
+                f" + failed ({self.n_failed}) exceed offered "
+                f"({self.n_offered})")
+        if self.batch_sizes is not None:
+            self.batch_sizes = np.asarray(self.batch_sizes, dtype=np.int64)
+            on_replicas = (self.n_completed - self.n_cache_hits
+                           - self.n_coalesced)
+            if int(self.batch_sizes.sum()) != on_replicas:
+                raise ValueError(
+                    f"batch sizes sum to {int(self.batch_sizes.sum())} but "
+                    f"{on_replicas} requests completed on replicas (cache "
+                    f"hits and coalesced rides launch no batch)")
+
+    def model(self, name: str) -> PerModelStats:
+        """The per-model slice for ``name`` (multi-model runs only)."""
+        for m in self.models or []:
+            if m.name == name:
+                return m
+        raise KeyError(
+            f"no per-model stats for {name!r}; have "
+            f"{[m.name for m in self.models or []]}")
+
+    @property
+    def drop_rate(self) -> float:
+        return self.n_dropped / self.n_offered if self.n_offered else 0.0
+
+    @property
     def mean(self) -> float:
         return float(self.latencies.mean()) if self.latencies.size else float(
             "nan")
@@ -167,14 +262,18 @@ class LatencyStats:
         return self.n_completed / self.horizon
 
     @property
-    def hit_rate(self) -> float:
-        """Fraction of *offered* requests the result cache answered."""
-        return self.n_cache_hits / self.n_offered if self.n_offered else 0.0
-
-    @property
     def deflected_load(self) -> float:
         """Requests/second the cache kept off the replicas — capacity the
-        fleet did not have to provision (the autoscaler never sees it)."""
+        fleet did not have to provision (the autoscaler never sees it).
+
+        Normalized by *this run's own horizon* (first arrival to last
+        response). Runs in a sweep generally have different horizons —
+        overload stretches the makespan — so cross-run comparisons of
+        this number compare per-run rates over per-run windows; it is not
+        additive across runs. :class:`CacheSizeSweep` therefore refuses
+        runs with a non-positive horizon up front instead of letting this
+        quietly read 0.0.
+        """
         if self.horizon <= 0:
             return 0.0
         return self.n_cache_hits / self.horizon
@@ -299,6 +398,12 @@ class SweepReport:
     def attainment_curve(self) -> np.ndarray:
         return np.array([p.stats.attainment(self.slo) for p in self.points])
 
+    def model_attainment_curve(self, name: str) -> np.ndarray:
+        """One model's attainment (against its own SLO) per offered rate —
+        multi-model sweeps only."""
+        return np.array([p.stats.model(name).attainment
+                         for p in self.points])
+
     def p99_is_monotone(self, rel_tol: float = 5e-3) -> bool:
         """Check that p99 latency never decreases as offered load rises.
 
@@ -337,6 +442,13 @@ class CacheSizeSweep:
     uncached baseline. The curves answer the capacity-planning question
     the ROADMAP poses: how many cache entries buy back the SLO that the
     offered rate alone would break.
+
+    Each point's rate-like numbers (``deflected_load``, ``throughput``)
+    are normalized by that point's *own* horizon — the runs share a trace
+    but not a makespan (a bigger cache finishes the same trace sooner).
+    Every point must therefore have a positive horizon, which is checked
+    here at construction: a zero-horizon run (nothing completed) would
+    silently flatten the deflected-load curve to 0.0 instead of failing.
     """
 
     slo: float                     # latency target (s)
@@ -348,6 +460,12 @@ class CacheSizeSweep:
         if len(self.sizes) != len(self.points):
             raise ValueError(
                 f"{len(self.sizes)} sizes but {len(self.points)} runs")
+        for size, point in zip(self.sizes, self.points):
+            if point.horizon <= 0:
+                raise ValueError(
+                    f"cache size {size}: run has non-positive horizon "
+                    f"({point.horizon}); its per-horizon rates would "
+                    f"silently read 0.0 — the run served nothing")
 
     @property
     def hit_rate_curve(self) -> np.ndarray:

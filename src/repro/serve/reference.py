@@ -66,7 +66,9 @@ class LinearRouter(Router):
         return (self.max_queue is not None
                 and replica.queue.outstanding(t) >= self.max_queue)
 
-    def submit(self, t: float, request_id: int) -> bool:
+    def submit(self, t: float, request_id: int, model: int = 0) -> bool:
+        # ``model`` passes through to the queue lane (always 0 on the
+        # pre-multi-model single-model runs this oracle is kept for).
         self.n_offered += 1
         if not self.replicas:
             self.n_dropped += 1
@@ -79,7 +81,7 @@ class LinearRouter(Router):
                 self.n_dropped += 1
                 return False
             replica = self._least_loaded_scan(open_replicas, t)
-        replica.queue.push(t, request_id)
+        replica.queue.push(t, request_id, model)
         return True
 
     def remove_replica(self, t: float, pos=None) -> ReplicaHandle:
@@ -93,8 +95,9 @@ class LinearRouter(Router):
                                      -self.replicas[p].index))
         replica = self.replicas.pop(pos)
         self._live.pop(replica.index, None)   # keep base fail/peek coherent
-        for _, rid in replica.queue.evict_queued(t):
-            self._least_loaded_scan(self.replicas, t).queue.push(t, rid)
+        for _, rid, model in replica.queue.evict_queued(t):
+            self._least_loaded_scan(self.replicas, t).queue.push(t, rid,
+                                                                 model)
         self.retired.append(replica)
         return replica
 
@@ -123,6 +126,10 @@ class LinearServingSimulator(ServingSimulator):
             raise ValueError(
                 "the reference simulator predates the result cache; "
                 "run it with cache_size=0")
+        if self.models is not None or self.coalesce:
+            raise ValueError(
+                "the reference simulator predates multi-model serving "
+                "and request coalescing; run it single-model")
         # Swap the default service model for the pre-PR rescanning clamp;
         # duck-typed stand-ins (the tests' FakeService) pass through.
         if type(self.service) is ServiceTimeModel:
@@ -149,6 +156,13 @@ class LinearAutoscalingSimulator(AutoscalingSimulator):
     """:class:`AutoscalingSimulator` routed through :class:`LinearRouter`,
     so the heap rewrite is pinned under live scale-out/in and failures too
     (the control loop itself is unchanged and stays shared)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.models is not None or self.coalesce:
+            raise ValueError(
+                "the reference simulator predates multi-model serving "
+                "and request coalescing; run it single-model")
 
     def _make_router(self, on_commit=None) -> Router:
         return LinearRouter(self.machine, self.n_replicas, self.policy,

@@ -14,6 +14,7 @@ raises instead of silently skewing production traffic.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -23,6 +24,32 @@ from repro.train.checkpoint import load_checkpoint, save_checkpoint
 
 _VERSION_RE = re.compile(r"^v(\d+)\.npz$")
 _NAME_RE = re.compile(r"[A-Za-z0-9._-]+")  # fullmatch: one path component
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """One registered model as the serving *simulator* sees it.
+
+    Pairs the model's identity with its :class:`~repro.sim.workload.
+    Workload` (which sets its Fig 5 service curve — HEP and climate have
+    very different ones), its latency target, and its admission ``weight``
+    (higher weight = shed later under overload; see
+    :class:`~repro.serve.router.Router`). ``slo=None`` lets the simulator
+    derive the model's default target from its own batch service time.
+    """
+
+    name: str
+    workload: object                    # repro.sim.workload.Workload
+    slo: Optional[float] = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a model profile needs a name")
+        if self.slo is not None and not self.slo > 0:
+            raise ValueError(f"slo must be positive, got {self.slo}")
+        if not self.weight > 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
 
 
 def _state_spec(net) -> Dict[str, Tuple[int, ...]]:
@@ -108,6 +135,12 @@ class ModelRegistry:
         self.root = Path(root)
         self._builders: Dict[str, Callable[[], object]] = {}
         self._input_shapes: Dict[str, Tuple[int, ...]] = {}
+        self._workloads: Dict[str, object] = {}
+        self._weights: Dict[str, float] = {}
+        self._slos: Dict[str, Optional[float]] = {}
+        #: called with (name, new_version) after every successful publish —
+        #: rollout machinery (e.g. result-cache invalidation) hangs off it
+        self._publish_hooks: List[Callable[[str, int], None]] = []
         #: name -> expected state-dict spec {key: shape}, built lazily from
         #: one builder() call (publishing a 300 MiB net should not construct
         #: a second one per snapshot just to validate it)
@@ -115,20 +148,62 @@ class ModelRegistry:
 
     # -- registration --------------------------------------------------------
     def register(self, name: str, builder: Callable[[], object],
-                 input_shape: Tuple[int, ...]) -> None:
+                 input_shape: Tuple[int, ...],
+                 workload: Optional[object] = None,
+                 slo: Optional[float] = None,
+                 weight: float = 1.0) -> None:
         """Associate ``name`` with a zero-arg net factory and its per-sample
-        input shape."""
+        input shape.
+
+        ``workload``/``slo``/``weight`` are the serving-simulator face of
+        the model (see :class:`ModelProfile`): registering them here is
+        what lets one registry describe the whole multi-model fleet —
+        :meth:`profiles` hands the set straight to
+        :class:`~repro.serve.slo_sim.ServingSimulator(models=...)`.
+        """
         # The name becomes a directory under root: allow one plain path
         # component only (no separators, no '.'/'..' traversal).
         if not _NAME_RE.fullmatch(name) or name in (".", ".."):
             raise ValueError(f"invalid model name {name!r}")
         if name in self._builders:
             raise ValueError(f"model {name!r} already registered")
+        # Validate everything (eagerly, even without a workload) BEFORE
+        # touching any dict — a failed register must leave no trace, or
+        # the corrected retry hits "already registered" forever.
+        ModelProfile(name, workload, slo=slo, weight=weight)
+        shape = tuple(input_shape)
         self._builders[name] = builder
-        self._input_shapes[name] = tuple(input_shape)
+        self._input_shapes[name] = shape
+        if workload is not None:
+            self._workloads[name] = workload
+        self._slos[name] = slo
+        self._weights[name] = float(weight)
 
     def names(self) -> List[str]:
         return sorted(self._builders)
+
+    # -- the simulator-facing model set ---------------------------------------
+    def profile(self, name: str) -> ModelProfile:
+        """The :class:`ModelProfile` of one registered model (requires a
+        ``workload`` to have been registered for it)."""
+        self._require(name)
+        if name not in self._workloads:
+            raise ValueError(
+                f"model {name!r} was registered without a workload; the "
+                f"simulator needs one for its service-time curve")
+        return ModelProfile(name, self._workloads[name],
+                            slo=self._slos[name], weight=self._weights[name])
+
+    def profiles(self,
+                 names: Optional[List[str]] = None) -> List[ModelProfile]:
+        """Simulator-ready profiles, registration order (or ``names``).
+
+        Only models registered with a workload are included when ``names``
+        is None — the registry may also hold real-path-only models.
+        """
+        if names is None:
+            names = [n for n in self._builders if n in self._workloads]
+        return [self.profile(n) for n in names]
 
     def _require(self, name: str) -> None:
         if name not in self._builders:
@@ -208,7 +283,30 @@ class ModelRegistry:
         versions = self.versions(name)
         version = (versions[-1] + 1) if versions else 1
         save_checkpoint(net, self._path(name, version))
+        for hook in self._publish_hooks:
+            hook(name, version)
         return version
+
+    # -- rollout hooks --------------------------------------------------------
+    def on_publish(self, hook: Callable[[str, int], None]) -> None:
+        """Call ``hook(name, new_version)`` after every successful publish."""
+        self._publish_hooks.append(hook)
+
+    def attach_cache(self, cache) -> None:
+        """Invalidate ``cache`` entries of superseded versions on publish.
+
+        Result-cache keys are scoped by ``(name, version)``
+        (:attr:`ServableModel.cache_scope`), so entries from an old
+        version can never be *served* for a new one — but after a rollout
+        they are dead weight squatting in a bounded cache. Attaching the
+        cache here evicts every older version's entries the moment
+        ``publish`` creates a new one.
+        """
+        def _invalidate(name: str, version: int) -> None:
+            for v in self.versions(name):
+                if v != version:
+                    cache.invalidate_scope((name, v))
+        self.on_publish(_invalidate)
 
     def load(self, name: str, version: Optional[int] = None) -> ServableModel:
         """Rebuild ``name`` at ``version`` (default: latest) for serving."""

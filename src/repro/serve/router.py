@@ -65,6 +65,24 @@ class Router:
     ``on_commit(replica_index, batch)``, when given, is called the instant
     any replica commits a batch — the serving simulator uses it to schedule
     result-cache fills at batch completion times.
+
+    Multi-model serving shares the one replica pool: pass ``service_times``
+    (one batched-forward latency callable per model index) and route with
+    ``submit(t, rid, model)``. Each replica keeps per-model batch lanes
+    (batches never mix models); replica selection still reads the O(log R)
+    load heap, now the best (replica, model) pair under two optional
+    per-model constraints:
+
+    - **weighted admission** (``model_weights``): model ``m``'s effective
+      admission limit is ``ceil(max_queue * w_m / max(w))`` — under
+      overload the backlog keeps growing only for the highest-weight
+      models while low-weight traffic is shed early, which is what keeps
+      the high-weight SLO intact through a burst;
+    - **affinity** (``affinity={model: replica indices}``): hard placement
+      of a model onto a replica subset (PS-style shard placement) — those
+      models route and fail over only within their set, via a dedicated
+      per-model load heap. Affinity pins replicas, so it is only valid on
+      a fixed fleet (``add_replica``/``remove_replica`` refuse).
     """
 
     def __init__(self, machine: Optional[CoriMachine], n_replicas: int,
@@ -72,7 +90,11 @@ class Router:
                  service_time: Callable[[int], float],
                  max_queue: Optional[int] = 64,
                  strategy: str = "least_loaded",
-                 on_commit: Optional[Callable[[int, Batch], None]] = None
+                 on_commit: Optional[Callable[[int, Batch], None]] = None,
+                 service_times: Optional[
+                     List[Callable[[int], float]]] = None,
+                 model_weights: Optional[List[float]] = None,
+                 affinity: Optional[Dict[int, Tuple[int, ...]]] = None
                  ) -> None:
         if n_replicas <= 0:
             raise ValueError(
@@ -90,13 +112,50 @@ class Router:
                 f"{self.machine.n_nodes}")
         self.policy = policy
         self.service_time = service_time
+        self.service_times = (None if service_times is None
+                              else list(service_times))
+        n_models = 1 if self.service_times is None else len(
+            self.service_times)
+        if model_weights is not None:
+            if len(model_weights) != n_models:
+                raise ValueError(
+                    f"{len(model_weights)} model weights for {n_models} "
+                    f"model(s)")
+            if any(not w > 0 for w in model_weights):
+                raise ValueError(
+                    f"model weights must be positive, got {model_weights}")
+        self.model_weights = (None if model_weights is None
+                              else [float(w) for w in model_weights])
         self.max_queue = max_queue
+        #: per-model admission limit: the weighted share of ``max_queue``
+        #: (highest-weight model gets the full queue; see class docstring)
+        self._limits: List[Optional[int]] = self._admission_limits(n_models)
         self.strategy = strategy
         self.on_commit = on_commit
+        if affinity:
+            if strategy != "least_loaded":
+                raise ValueError(
+                    "model affinity requires the least_loaded strategy")
+            for m, members in affinity.items():
+                if not 0 <= m < n_models:
+                    raise ValueError(
+                        f"affinity for unknown model index {m}")
+                if not members or not all(
+                        0 <= i < n_replicas for i in members):
+                    raise ValueError(
+                        f"affinity for model {m} must name replica indices "
+                        f"in [0, {n_replicas}), got {tuple(members)}")
+        self.affinity: Dict[int, frozenset] = {
+            m: frozenset(members) for m, members in (affinity or {}).items()}
+        #: per-request-model offer/drop tallies (key: model index)
+        self.offered_by_model: Dict[int, int] = {}
+        self.dropped_by_model: Dict[int, int] = {}
         # Incremental event state (see module docstring).
         self._backlog: Dict[int, int] = {}
         self._live: Dict[int, ReplicaHandle] = {}
         self._load_heap: List[Tuple[int, int]] = []
+        self._model_heaps: Dict[int, List[Tuple[int, int]]] = {
+            m: [] for m in self.affinity}
         self._completion_events: List[Tuple[float, int, int]] = []
         self._launch_events: List[Tuple[float, int]] = []
         # One contiguous allocation, one node per replica (Fig 3 ideal).
@@ -125,17 +184,43 @@ class Router:
     def node_ids(self) -> List[int]:
         return [r.node_id for r in self.replicas]
 
+    def _admission_limits(self, n_models: int) -> List[Optional[int]]:
+        """Per-model admission limit on a replica's outstanding requests.
+
+        Without weights every model shares ``max_queue`` — the unweighted
+        (single-model) behavior, unchanged. With weights, model ``m`` is
+        admitted only while the target backlog is under
+        ``ceil(max_queue * w_m / max(w))``: the highest-weight model keeps
+        the whole queue, lower-weight ones are shed progressively earlier
+        as backlog builds, so overload evicts cheap traffic first.
+        """
+        if self.model_weights is None or self.max_queue is None:
+            return [self.max_queue] * n_models
+        w_max = max(self.model_weights)
+        return [int(math.ceil(self.max_queue * w / w_max))
+                for w in self.model_weights]
+
     # -- incremental event state ----------------------------------------------
     def _new_handle(self, index: int, node_id: int,
                     free_at: float) -> ReplicaHandle:
         queue = ReplicaBatchQueue(
             self.policy, self.service_time, free_at=free_at,
-            on_commit=lambda batch, i=index: self._commit(i, batch))
+            on_commit=lambda batch, i=index: self._commit(i, batch),
+            service_times=self.service_times)
         handle = ReplicaHandle(index, node_id, queue)
         self._live[index] = handle
         self._backlog[index] = 0
-        heapq.heappush(self._load_heap, (0, index))
+        self._push_load(index, 0)
         return handle
+
+    def _push_load(self, index: int, backlog: int) -> None:
+        """Publish a replica's new backlog to the load heap(s): the global
+        heap always, plus each affinity model's heap that may route to it.
+        With no affinity this is exactly the pre-multi-model single push."""
+        heapq.heappush(self._load_heap, (backlog, index))
+        for m, members in self.affinity.items():
+            if index in members:
+                heapq.heappush(self._model_heaps[m], (backlog, index))
 
     def _commit(self, index: int, batch: Batch) -> None:
         """A batch was committed on replica ``index``: its backlog drops by
@@ -172,21 +257,25 @@ class Router:
             if idx in self._live:
                 b = self._backlog[idx] - size
                 self._backlog[idx] = b
-                heapq.heappush(self._load_heap, (b, idx))
+                self._push_load(idx, b)
 
     def _assign(self, handle: ReplicaHandle, t: float, request_id: int,
-                ) -> None:
+                model: int = 0) -> None:
         """Push one request and keep counters and launch events current."""
-        handle.queue.push(t, request_id)
+        handle.queue.push(t, request_id, model)
         b = self._backlog[handle.index] + 1
         self._backlog[handle.index] = b
-        heapq.heappush(self._load_heap, (b, handle.index))
+        self._push_load(handle.index, b)
         self._schedule_launch(handle)
 
-    def _least_loaded(self) -> ReplicaHandle:
+    def _least_loaded(self, model: int = 0) -> Optional[ReplicaHandle]:
         """Live replica with the minimum (backlog, index) — ties broken by
-        replica index for determinism, exactly like the linear scan."""
-        heap = self._load_heap
+        replica index for determinism, exactly like the linear scan. A
+        model with affinity reads its own heap (only its replicas) and gets
+        ``None`` when every one of them is gone (dead affinity set)."""
+        heap = (self._model_heaps[model] if model in self.affinity
+                else self._load_heap)
+        members = self.affinity.get(model)
         while heap:
             backlog, idx = heap[0]
             handle = self._live.get(idx)
@@ -194,46 +283,67 @@ class Router:
                 heapq.heappop(heap)      # stale entry: retired or restated
                 continue
             return handle
+        if members is not None:
+            return None
         raise RuntimeError("no live replicas in the load heap")
 
+    def sync(self, t: float) -> None:
+        """Play every scheduled event due by ``t`` (public form of the
+        per-arrival catch-up that :meth:`pick` performs). The coalescing
+        serving path calls this for arrivals that never reach
+        :meth:`submit` — batch commits must still fire on time or the
+        in-flight ledger and cache fills would stall until the next
+        admitted request."""
+        self._sync(t)
+
     # -- routing -------------------------------------------------------------
-    def pick(self, t: float) -> ReplicaHandle:
-        """Choose the target replica for a request arriving at ``t``."""
+    def pick(self, t: float, model: int = 0) -> Optional[ReplicaHandle]:
+        """Choose the target replica for a ``model`` request arriving at
+        ``t`` (``None`` only when the model's affinity set has no live
+        replica left)."""
         self._sync(t)
         if self.strategy == "round_robin":
             r = self.replicas[self._rr_next % self.n_replicas]
             self._rr_next += 1
             return r
-        return self._least_loaded()
+        return self._least_loaded(model)
 
-    def _full(self, handle: ReplicaHandle) -> bool:
-        return (self.max_queue is not None
-                and self._backlog[handle.index] >= self.max_queue)
+    def _full(self, handle: ReplicaHandle, model: int = 0) -> bool:
+        limit = self._limits[model]
+        return limit is not None and self._backlog[handle.index] >= limit
 
-    def submit(self, t: float, request_id: int) -> bool:
+    def _shed(self, model: int) -> bool:
+        self.n_dropped += 1
+        self.dropped_by_model[model] = \
+            self.dropped_by_model.get(model, 0) + 1
+        return False
+
+    def submit(self, t: float, request_id: int, model: int = 0) -> bool:
         """Route one arrival; returns False if admission control shed it.
 
         ``max_queue`` bounds each replica's *outstanding* requests (queued
         plus launched-but-unfinished), so per-request latency is bounded by
         roughly ``max_queue / replica_throughput`` even under sustained
-        overload. A request is shed only when every replica is at the
-        limit — if the strategy's first pick is full (round_robin doesn't
-        look at load), the request fails over to the least-loaded replica
-        with headroom rather than being dropped; and if the *least-loaded*
-        replica is full, every replica is.
+        overload. A request is shed only when every replica (that its
+        model may use) is at the model's admission limit — if the
+        strategy's first pick is full (round_robin doesn't look at load),
+        the request fails over to the least-loaded replica with headroom
+        rather than being dropped; and if the *least-loaded* replica is
+        full, every replica is. With ``model_weights``, low-weight models
+        hit their (smaller) limit first — weighted admission.
         """
         self.n_offered += 1
+        self.offered_by_model[model] = \
+            self.offered_by_model.get(model, 0) + 1
         if not self.replicas:
             # Every replica has failed and no repair has landed yet: shed.
-            self.n_dropped += 1
-            return False
-        replica = self.pick(t)
-        if self._full(replica):
-            replica = self._least_loaded()
-            if self._full(replica):
-                self.n_dropped += 1
-                return False
-        self._assign(replica, t, request_id)
+            return self._shed(model)
+        replica = self.pick(t, model)
+        if replica is None or self._full(replica, model):
+            replica = self._least_loaded(model)
+            if replica is None or self._full(replica, model):
+                return self._shed(model)
+        self._assign(replica, t, request_id, model)
         return True
 
     # -- live fleet changes ---------------------------------------------------
@@ -252,6 +362,10 @@ class Router:
         allocation and starts empty but *busy until* ``t`` — it cannot serve
         work from before it existed.
         """
+        if self.affinity:
+            raise ValueError(
+                "model affinity pins replicas: live fleet changes are not "
+                "supported (use a fixed fleet)")
         handle = self._new_handle(self._placed, self._next_node(), free_at=t)
         self._placed += 1
         self.replicas.append(handle)
@@ -274,6 +388,10 @@ class Router:
         """
         if len(self.replicas) <= 1:
             raise ValueError("cannot remove the last replica")
+        if self.affinity:
+            raise ValueError(
+                "model affinity pins replicas: live fleet changes are not "
+                "supported (use a fixed fleet)")
         self._sync(t)
         if pos is None:
             pos = min(range(len(self.replicas)),
@@ -281,8 +399,8 @@ class Router:
                                      -self.replicas[p].index))
         replica = self.replicas.pop(pos)
         del self._live[replica.index]
-        for _, rid in replica.queue.evict_queued(t):
-            self._assign(self._least_loaded(), t, rid)
+        for _, rid, model in replica.queue.evict_queued(t):
+            self._assign(self._least_loaded(model), t, rid, model)
         self.retired.append(replica)
         return replica
 
