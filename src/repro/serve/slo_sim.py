@@ -26,6 +26,14 @@ records — sees post-cache (miss) traffic, which is what lets the controller
 provision for misses instead of offered rate.
 :func:`sweep_cache_sizes` maps the resulting hit-rate vs p99/attainment
 trade across cache capacities at a fixed offered rate.
+
+Multi-model serving shares one replica pool between several registered
+models (``models=[ModelProfile(...), ...]`` — e.g. the paper's HEP
+classifier and climate segmenter): a :class:`~repro.serve.arrivals.
+ModelMix` assigns each arrival a model, replicas batch per model on one
+timeline, admission is weighted by profile, and the stats carry per-model
+slices judged against per-model SLOs. See the class docstring; with one
+profile everything reduces bit-identically to the classic simulator.
 """
 
 from __future__ import annotations
@@ -38,20 +46,25 @@ import numpy as np
 
 from repro.cluster.machine import CoriMachine, cori
 from repro.serve.arrivals import (
+    MixLike,
+    ModelMix,
     PopularityLike,
     ProcessLike,
     make_arrivals,
     make_contents,
+    make_model_ids,
 )
 from repro.serve.batching import Batch, BatchingPolicy
 from repro.serve.cache import CACHE_POLICIES, ResultCache
-from repro.serve.latency import ServiceTimeModel
+from repro.serve.latency import PerModelServiceTime, ServiceTimeModel
 from repro.serve.metrics import (
     CacheSizeSweep,
     LatencyStats,
+    PerModelStats,
     PolicyComparison,
     SweepReport,
 )
+from repro.serve.registry import ModelProfile
 from repro.serve.router import Router
 from repro.sim.workload import Workload
 from repro.utils.rng import SeedLike, spawn_rngs
@@ -63,15 +76,20 @@ DEFAULT_LOAD_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0)
 class _CacheRun:
     """Per-run cache state: the cache itself, each request's content id,
     the fill events (batch completions waiting to become cache entries),
-    and which requests were served from cache (id -> arrival time)."""
+    which requests were served from cache (id -> arrival time), plus the
+    request-coalescing ledger — in-flight leaders by key and the
+    followers riding each one (id -> (arrival time, leader id))."""
 
-    __slots__ = ("cache", "contents", "fills", "hits")
+    __slots__ = ("cache", "contents", "fills", "hits", "inflight",
+                 "coalesced")
 
     def __init__(self, cache: ResultCache, contents: np.ndarray) -> None:
         self.cache = cache
         self.contents = contents.tolist()   # plain ints: hot-path lookups
         self.fills: list = []               # heap of (completion, ids)
         self.hits: dict = {}                # request_id -> arrival time
+        self.inflight: dict = {}            # content key -> leader id
+        self.coalesced: dict = {}           # follower id -> (arrival, leader)
 
     def on_commit(self, index: int, batch: Batch) -> None:
         heapq.heappush(self.fills, (batch.completion, batch.request_ids))
@@ -84,9 +102,28 @@ class ServingSimulator:
     in front of the router; a fresh cache is built per run (a rate sweep
     must not warm one point with another point's traffic). ``cache_size=0``
     is bit-identical to the pre-cache simulator.
+
+    **Multi-model serving**: pass ``models`` (a list of
+    :class:`~repro.serve.registry.ModelProfile` — e.g. the HEP classifier
+    and the climate segmenter) instead of ``workload``, plus a
+    ``model_mix`` saying which model each arrival asks for. The one
+    replica pool is shared: every replica keeps per-model batch lanes
+    (batches never mix models, each model has its own Fig 5 service
+    curve), admission is weighted by each profile's ``weight`` (overload
+    sheds low-weight traffic first), ``affinity`` optionally pins a model
+    to a replica subset, and the returned stats carry one
+    :class:`~repro.serve.metrics.PerModelStats` per profile judged
+    against that model's own SLO. With exactly one profile every code
+    path collapses to the classic single-model simulator bit for bit —
+    pinned by the differential tests.
+
+    ``coalesce=True`` additionally deduplicates in-flight misses: a
+    request whose content key is already being forwarded waits for that
+    forward instead of consuming another replica slot, completing at the
+    leader's finish plus transport (``n_coalesced`` in the stats).
     """
 
-    def __init__(self, workload: Workload,
+    def __init__(self, workload: Optional[Workload] = None,
                  machine: Optional[CoriMachine] = None,
                  n_replicas: int = 1,
                  policy: Optional[BatchingPolicy] = None,
@@ -94,37 +131,127 @@ class ServingSimulator:
                  strategy: str = "least_loaded",
                  service_model: Optional[ServiceTimeModel] = None,
                  cache_size: int = 0,
-                 cache_policy: str = "lru") -> None:
+                 cache_policy: str = "lru",
+                 models: Optional[Sequence[ModelProfile]] = None,
+                 model_mix: MixLike = None,
+                 affinity: Optional[dict] = None,
+                 service_models: Optional[Sequence] = None,
+                 coalesce: bool = False) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         if cache_policy not in CACHE_POLICIES:
             raise ValueError(f"unknown cache policy {cache_policy!r}; "
                              f"have {CACHE_POLICIES}")
-        self.workload = workload
         self.machine = machine or cori(seed=0, jitter=False)
         self.n_replicas = n_replicas
         self.policy = policy or BatchingPolicy()
         self.max_queue = max_queue
         self.strategy = strategy
-        self.service = service_model or ServiceTimeModel(
-            workload, node=self.machine.node,
-            cost=self.machine.network.cost)
+        self.models: Optional[List[ModelProfile]] = None
+        self.model_mix: Optional[ModelMix] = None
+        self.affinity = affinity
+        self.coalesce = coalesce
+        if models is not None:
+            # -- the multi-model path ------------------------------------
+            if workload is not None:
+                raise ValueError(
+                    "pass either workload (single-model) or models "
+                    "(multi-model), not both")
+            if service_model is not None:
+                raise ValueError(
+                    "service_model is single-model; pass service_models "
+                    "(one per profile) with models")
+            self.models = list(models)
+            if not self.models:
+                raise ValueError("models must name at least one profile")
+            names = [p.name for p in self.models]
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate model names: {names}")
+            if model_mix is None:
+                model_mix = ModelMix((1.0,) * len(self.models))
+            elif not isinstance(model_mix, ModelMix):
+                model_mix = ModelMix(tuple(float(w) for w in model_mix))
+            if model_mix.n_models != len(self.models):
+                raise ValueError(
+                    f"model_mix has {model_mix.n_models} weights for "
+                    f"{len(self.models)} models")
+            self.model_mix = model_mix
+            self.workload = None
+            if service_models is not None:
+                if len(service_models) != len(self.models):
+                    raise ValueError(
+                        f"{len(service_models)} service models for "
+                        f"{len(self.models)} profiles")
+                self.services = PerModelServiceTime(service_models)
+            else:
+                self.services = PerModelServiceTime.for_workloads(
+                    [p.workload for p in self.models],
+                    node=self.machine.node,
+                    cost=self.machine.network.cost)
+            # ``self.service`` stays the single-model attribute only.
+            self.service = None
+        else:
+            if model_mix is not None or affinity is not None \
+                    or service_models is not None:
+                raise ValueError(
+                    "model_mix/affinity/service_models require models=...")
+            if workload is None and service_model is None:
+                raise ValueError(
+                    "pass a workload (single-model), models=[...] "
+                    "(multi-model), or an explicit service_model")
+            self.workload = workload
+            self.service = service_model or ServiceTimeModel(
+                workload, node=self.machine.node,
+                cost=self.machine.network.cost)
+            self.services = None
         self.cache_size = cache_size
         self.cache_policy = cache_policy
         self._cstate: Optional[_CacheRun] = None
+        self._mids: Optional[list] = None
 
     # -- capacity ------------------------------------------------------------
     def saturation_rate(self) -> float:
-        """Offered rate (req/s) at which full-batch replicas are 100% busy."""
-        return (self.n_replicas
-                * self.service.peak_throughput(self.policy.max_batch))
+        """Offered rate (req/s) at which full-batch replicas are 100% busy.
+
+        Multi-model: the mix-weighted capacity — rate ``r`` lands
+        ``r * share_m`` on model ``m``, each request of which costs
+        ``1 / peak_m`` replica-seconds, so the fleet saturates at
+        ``R / sum_m(share_m / peak_m)`` (one model's reciprocal throughput
+        with one profile).
+        """
+        B = self.policy.max_batch
+        if self.models is None:
+            return self.n_replicas * self.service.peak_throughput(B)
+        shares = self.model_mix.shares
+        denom = sum(float(s) / self.services.peak_throughput(m, B)
+                    for m, s in enumerate(shares))
+        return self.n_replicas / denom
+
+    def model_slos(self) -> List[float]:
+        """Each model's latency target: its profile ``slo`` or, by
+        default, the single-model formula on its own service curve."""
+        if self.models is None:
+            return [self.default_slo()]
+        out = []
+        for m, p in enumerate(self.models):
+            if p.slo is not None:
+                out.append(float(p.slo))
+            else:
+                svc = self.services[m]
+                out.append(3.0 * svc.batch_time(self.policy.max_batch)
+                           + self.policy.launch_wait + svc.request_rtt())
+        return out
 
     def default_slo(self) -> float:
         """A latency target that healthy, sub-saturation serving meets:
         a few full-batch service times plus hold budget and transport.
-        (Continuous mode never holds, so its budget term is zero.)"""
-        return (3.0 * self.service.batch_time(self.policy.max_batch)
-                + self.policy.launch_wait + self.service.request_rtt())
+        (Continuous mode never holds, so its budget term is zero.)
+        Multi-model: the loosest per-model target — the aggregate
+        yardstick; per-model judging always uses :meth:`model_slos`."""
+        if self.models is None:
+            return (3.0 * self.service.batch_time(self.policy.max_batch)
+                    + self.policy.launch_wait + self.service.request_rtt())
+        return max(self.model_slos())
 
     # -- one run -------------------------------------------------------------
     def _arrivals(self, rate: float, n_requests: int, process: ProcessLike,
@@ -134,13 +261,21 @@ class ServingSimulator:
     def _make_router(self, on_commit=None) -> Router:
         """Router factory — the reference (pre-PR) simulator overrides this
         to route with the O(R) linear scans for the differential tests."""
+        if self.models is not None:
+            return Router(self.machine, self.n_replicas, self.policy,
+                          self.services[0].batch_time,
+                          max_queue=self.max_queue,
+                          strategy=self.strategy, on_commit=on_commit,
+                          service_times=self.services.batch_time_fns(),
+                          model_weights=[p.weight for p in self.models],
+                          affinity=self.affinity)
         return Router(self.machine, self.n_replicas, self.policy,
                       self.service.batch_time, max_queue=self.max_queue,
                       strategy=self.strategy, on_commit=on_commit)
 
     def _make_cache_run(self, n_requests: int, popularity: PopularityLike,
                         seed: SeedLike) -> Optional[_CacheRun]:
-        if self.cache_size == 0:
+        if self.cache_size == 0 and not self.coalesce:
             return None
         # Content ids draw from an independent child stream of the run
         # seed: the seed itself feeds make_arrivals, and sharing one
@@ -149,8 +284,34 @@ class ServingSimulator:
         # same uniforms), biasing every hit-rate-vs-tail curve.
         rng = spawn_rngs(seed if seed is not None else 0, 2)[1]
         contents = make_contents(popularity, n_requests, seed=rng)
+        # cache_size=0 with coalesce=True: an inert (never-storing) cache
+        # still carries the in-flight ledger — pure request deduplication.
         return _CacheRun(ResultCache(self.cache_size, self.cache_policy),
                          contents)
+
+    def _make_model_ids(self, n_requests: int,
+                        seed: SeedLike) -> Optional[list]:
+        """Which model each request asks for; None on single-model runs.
+
+        Drawn from a third independent child stream (arrivals consume the
+        seed itself, content ids child 1) so adding a mix never perturbs
+        *when* requests arrive or *what* content they carry. A one-model
+        mix draws nothing — the single-model differential's guarantee.
+        """
+        if self.models is None:
+            return None
+        rng = spawn_rngs(seed if seed is not None else 0, 3)[2]
+        return make_model_ids(self.model_mix, n_requests,
+                              seed=rng).tolist()
+
+    def _content_key(self, request_id: int):
+        """Cache key of one request: the content id, scoped by the model
+        index on multi-model runs (two models' id spaces are distinct
+        request populations — model 0's content 7 is not model 1's)."""
+        content = self._cstate.contents[request_id]
+        if self._mids is None:
+            return content
+        return (self._mids[request_id], content)
 
     def run(self, rate: float, n_requests: int = 512,
             process: ProcessLike = "uniform",
@@ -167,6 +328,7 @@ class ServingSimulator:
         """
         arrivals = self._arrivals(rate, n_requests, process, seed)
         self._cstate = self._make_cache_run(n_requests, popularity, seed)
+        self._mids = self._make_model_ids(n_requests, seed)
         try:
             router = self._make_router(
                 on_commit=None if self._cstate is None
@@ -177,6 +339,7 @@ class ServingSimulator:
             return self._collect(arrivals, router, admitted)
         finally:
             self._cstate = None
+            self._mids = None
 
     def _offer(self, router: Router, admitted: dict, t: float,
                request_id: int) -> None:
@@ -187,21 +350,53 @@ class ServingSimulator:
         has produced it, so a burst of one new key misses until the first
         answer lands, then hits. Requests lost to a node death never fill
         the cache — their batch aborted, no result was produced.
+
+        With ``coalesce``, a miss whose key is already being forwarded
+        becomes a *follower*: it occupies no queue slot and completes at
+        its leader's finish plus transport. The in-flight ledger clears
+        when the leader's fill event lands. Followers already riding a
+        forward when its replica dies are stranded as failures — their
+        result was never produced — but a duplicate arriving *after* the
+        death (which is causally known by then) re-leads with a fresh
+        forward instead of following a corpse.
         """
         cstate = self._cstate
         if cstate is not None:
+            if self.coalesce:
+                # Commits normally fire inside submit's event catch-up,
+                # but a coalesced (or hit) arrival never submits — sync
+                # explicitly, or a run of duplicates would ride a leader
+                # whose batch long since completed (stale ledger, fills
+                # never draining, negative "latencies").
+                router.sync(t)
             fills, cache = cstate.fills, cstate.cache
             while fills and fills[0][0] <= t:
                 _, rids = heapq.heappop(fills)
                 for rid in rids:
+                    key = self._content_key(rid)
                     if rid not in router.failed_ids:
-                        cache.put(cstate.contents[rid], rid)
-            hit, _ = cache.get(cstate.contents[request_id])
+                        cache.put(key, rid)
+                    if cstate.inflight.get(key) == rid:
+                        # Only the entry's own leader clears it: a dead
+                        # leader's stale fill must not evict the ledger
+                        # entry of a duplicate that re-led the key.
+                        del cstate.inflight[key]
+            key = self._content_key(request_id)
+            hit, _ = cache.get(key)
             if hit:
                 cstate.hits[request_id] = t
                 return
-        if router.submit(t, request_id):
+            if self.coalesce:
+                leader = cstate.inflight.get(key)
+                if leader is not None and \
+                        leader not in router.failed_ids:
+                    cstate.coalesced[request_id] = (t, leader)
+                    return
+        model = 0 if self._mids is None else self._mids[request_id]
+        if router.submit(t, request_id, model):
             admitted[request_id] = t
+            if cstate is not None and self.coalesce:
+                cstate.inflight[key] = request_id
 
     def _drive(self, arrivals: np.ndarray, router: Router,
                admitted: dict) -> None:
@@ -219,6 +414,13 @@ class ServingSimulator:
         for i, t in enumerate(arrivals.astype(np.float64).tolist()):
             offer(router, admitted, t, i)
 
+    def _request_rtts(self) -> List[float]:
+        """Per-model request transport times (one entry single-model)."""
+        if self.models is None:
+            return [self.service.request_rtt()]
+        return [self.services.request_rtt(m)
+                for m in range(len(self.models))]
+
     def _collect(self, arrivals: np.ndarray, router: Router,
                  admitted: dict) -> LatencyStats:
         """Turn a finished router run into :class:`LatencyStats`.
@@ -229,15 +431,44 @@ class ServingSimulator:
         those: any *other* admitted request missing a completion is a
         scheduler bug and raises KeyError here rather than silently
         shrinking the sample. Cache hits complete at ``request_rtt()`` —
-        pure transport, no queueing, no service.
+        pure transport, no queueing, no service — and coalesced followers
+        at their leader's completion plus transport (a follower whose
+        leader died is a failure: no result was ever produced for it).
+
+        Multi-model runs additionally slice everything per model
+        (:class:`PerModelStats`), each judged with its own transport cost
+        and against its own SLO; conservation holds per model and in
+        aggregate.
         """
-        hits = self._cstate.hits if self._cstate is not None else {}
+        cstate = self._cstate
+        hits = cstate.hits if cstate is not None else {}
+        coalesced = cstate.coalesced if cstate is not None else {}
         completions = router.completions()
-        rtt = self.service.request_rtt()
-        latencies = np.array(
-            [rtt if i in hits else completions[i] - admitted[i] + rtt
-             for i in sorted(admitted.keys() | hits.keys())
-             if i not in router.failed_ids])
+        mids, rtts = self._mids, self._request_rtts()
+        rtt = rtts[0]
+
+        def rtt_of(i: int) -> float:
+            return rtt if mids is None else rtts[mids[i]]
+
+        lat: List[float] = []
+        which: List[int] = []      # request id per latency entry
+        n_coalesced = coal_failed = 0
+        for i in sorted(admitted.keys() | hits.keys() | coalesced.keys()):
+            if i in router.failed_ids:
+                continue
+            if i in hits:
+                lat.append(rtt_of(i))
+            elif i in coalesced:
+                t_arr, leader = coalesced[i]
+                if leader in router.failed_ids:
+                    coal_failed += 1
+                    continue
+                lat.append(completions[leader] - t_arr + rtt_of(i))
+                n_coalesced += 1
+            else:
+                lat.append(completions[i] - admitted[i] + rtt_of(i))
+            which.append(i)
+        latencies = np.array(lat)
         last = -math.inf
         if completions:
             last = max(completions.values())
@@ -245,14 +476,60 @@ class ServingSimulator:
             last = max(last, max(hits.values()))
         horizon = 0.0
         if last > -math.inf:
-            horizon = last + rtt - float(arrivals[0])
+            # Final transport leg: the one rtt single-model; the largest
+            # per-model rtt on a mixed run (conservative by at most the
+            # rtt spread — the last event's own model is not tracked).
+            horizon = (last + (rtt if mids is None else max(rtts))
+                       - float(arrivals[0]))
         batch_sizes = np.array([b.size for b in router.batches()], dtype=int)
-        return LatencyStats(latencies=latencies,
-                            n_offered=router.n_offered + len(hits),
-                            n_dropped=router.n_dropped, horizon=horizon,
-                            batch_sizes=batch_sizes,
-                            n_failed=router.n_failed,
-                            n_cache_hits=len(hits))
+        stats = LatencyStats(
+            latencies=latencies,
+            n_offered=router.n_offered + len(hits) + len(coalesced),
+            n_dropped=router.n_dropped, horizon=horizon,
+            batch_sizes=batch_sizes,
+            n_failed=router.n_failed + coal_failed,
+            n_cache_hits=len(hits), n_coalesced=n_coalesced)
+        if self.models is not None:
+            stats.models = self._per_model_stats(
+                router, admitted, hits, coalesced, latencies, which, rtts)
+        return stats
+
+    def _per_model_stats(self, router: Router, admitted: dict, hits: dict,
+                         coalesced: dict, latencies: np.ndarray,
+                         which: List[int],
+                         rtts: List[float]) -> List[PerModelStats]:
+        """Slice one finished run per model (multi-model runs only)."""
+        mids, slos = self._mids, self.model_slos()
+        M = len(self.models)
+        lat_by_m: List[List[float]] = [[] for _ in range(M)]
+        for pos, i in enumerate(which):
+            lat_by_m[mids[i]].append(float(latencies[pos]))
+        hits_by_m = [0] * M
+        for i in hits:
+            hits_by_m[mids[i]] += 1
+        coal_by_m = [0] * M
+        coal_failed_by_m = [0] * M
+        for i, (_, leader) in coalesced.items():
+            if leader in router.failed_ids:
+                coal_failed_by_m[mids[i]] += 1
+            else:
+                coal_by_m[mids[i]] += 1
+        failed_by_m = [0] * M
+        for i in router.failed_ids:
+            failed_by_m[mids[i]] += 1
+        out = []
+        for m, profile in enumerate(self.models):
+            offered = (router.offered_by_model.get(m, 0)
+                       + hits_by_m[m] + coal_by_m[m] + coal_failed_by_m[m])
+            out.append(PerModelStats(
+                name=profile.name, slo=slos[m], weight=profile.weight,
+                latencies=np.array(lat_by_m[m]),
+                n_offered=offered,
+                n_dropped=router.dropped_by_model.get(m, 0),
+                n_failed=failed_by_m[m] + coal_failed_by_m[m],
+                n_cache_hits=hits_by_m[m],
+                n_coalesced=coal_by_m[m]))
+        return out
 
     # -- sweeps --------------------------------------------------------------
     def sweep(self, rates: Optional[Sequence[float]] = None,
