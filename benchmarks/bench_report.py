@@ -13,13 +13,37 @@ wall-clock, cache hit rate — accumulates across PRs instead of living only
 in scrollback.
 """
 
+import datetime
 import json
 import os
+import subprocess
 
 #: env var that redirects where bench_json writes
 BENCH_JSON_ENV = "BENCH_SERVE_JSON"
 #: default output file (repo root when pytest runs from the checkout)
 BENCH_JSON_DEFAULT = "BENCH_serve.json"
+
+_GIT_SHA = None
+
+
+def git_sha():
+    """The commit the numbers were measured at: ``$GITHUB_SHA`` in CI,
+    ``git rev-parse HEAD`` locally, ``"unknown"`` outside a checkout.
+    Cached — one subprocess per pytest run, not per section."""
+    global _GIT_SHA
+    if _GIT_SHA is None:
+        sha = os.environ.get("GITHUB_SHA")
+        if not sha:
+            try:
+                sha = subprocess.run(
+                    ["git", "rev-parse", "HEAD"], capture_output=True,
+                    text=True, timeout=10,
+                    cwd=os.path.dirname(os.path.abspath(__file__)),
+                ).stdout.strip()
+            except (OSError, subprocess.SubprocessError):
+                sha = ""
+        _GIT_SHA = sha or "unknown"
+    return _GIT_SHA
 
 
 def report(title, rows):
@@ -45,6 +69,12 @@ def bench_json(section, data, path=None):
     place) instead of discarding what another benchmark already recorded
     under the same section — several test files can contribute to one
     section of the artifact. Non-dict payloads still replace.
+
+    Every dict section is stamped with provenance — ``git_sha`` (the
+    measured commit) and ``recorded_at`` (UTC ISO timestamp) — so an
+    artifact pulled off CI months later still says which code produced
+    which number. A merged section keeps the *latest* stamp: mixed-commit
+    sections surface as a changed ``git_sha``, not silently.
     """
     path = path or os.environ.get(BENCH_JSON_ENV, BENCH_JSON_DEFAULT)
     try:
@@ -54,6 +84,11 @@ def bench_json(section, data, path=None):
             payload = {}
     except (OSError, ValueError):
         payload = {}
+    if isinstance(data, dict):
+        data = dict(data)
+        data["git_sha"] = git_sha()
+        data["recorded_at"] = datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds")
     current = payload.get(section)
     if isinstance(current, dict) and isinstance(data, dict):
         current.update(data)

@@ -18,7 +18,9 @@ The pipeline every future serving PR builds on:
    controller provisions for misses, not offered rate);
 7. serve *both* paper networks — the HEP classifier and the climate
    segmenter — from one shared replica pool with per-model SLOs, and
-   protect the high-weight model through a burst with weighted admission.
+   protect the high-weight model through a burst with weighted admission;
+8. trace a bursty run request-by-request, reconcile the trace against
+   the stats, and ask the tracer *why* one request was shed.
 
 Run:  python examples/serve_quickstart.py
 """
@@ -49,7 +51,7 @@ from repro.train import fit_classifier
 def main() -> None:
     print("=== repro quickstart: serving the HEP classifier ===\n")
 
-    print("[1/9] training a snapshot (scaled-down net, 32px events)...")
+    print("[1/10] training a snapshot (scaled-down net, 32px events)...")
     ds = make_hep_dataset(n_events=1200, image_size=32,
                           signal_fraction=0.5, seed=0)
     net = build_hep_net(filters=16, rng=0)
@@ -57,7 +59,7 @@ def main() -> None:
                    batch=32, n_iterations=60, seed=0)
 
     with tempfile.TemporaryDirectory() as root:
-        print("[2/9] publishing to the model registry and loading a "
+        print("[2/10] publishing to the model registry and loading a "
               "frozen replica...")
         registry = ModelRegistry(root)
         registry.register("hep", lambda: build_hep_net(filters=16, rng=0),
@@ -67,7 +69,7 @@ def main() -> None:
         print(f"      published v{version}; loaded {replica!r} "
               f"(eval-mode, weights read-only)")
 
-        print("[3/9] serving real requests through the micro-batching "
+        print("[3/10] serving real requests through the micro-batching "
               "executor...")
         requests = [ds.images[i] for i in range(64)]
         policy = BatchingPolicy(max_batch=32, max_wait=0.01)
@@ -80,7 +82,7 @@ def main() -> None:
               f"<= {policy.max_batch}; max deviation from unbatched "
               f"forward: {worst:.2e}")
 
-        print("[4/9] result cache: repeated requests skip the forward "
+        print("[4/10] result cache: repeated requests skip the forward "
               "entirely...")
         # A hot request list: 64 requests over only 8 distinct events.
         hot = [ds.images[i % 8] for i in range(64)]
@@ -95,7 +97,7 @@ def main() -> None:
               f"pass 2: {hits2}/{len(hot)} hits, zero forwards — "
               f"bitwise identical: {identical}")
 
-    print("[5/9] SLO simulation: request-rate sweep on the Cori model "
+    print("[5/10] SLO simulation: request-rate sweep on the Cori model "
           "(4 replicas)...")
     workload = custom_workload("hep_32px", net, ds.images.shape[1:])
     # The 32px model serves a full batch in well under a millisecond, so the
@@ -108,7 +110,7 @@ def main() -> None:
           f"SLO = {sweep.slo * 1e3:.1f} ms\n")
     print(sweep.table())
 
-    print("\n[6/9] continuous batching: launch the instant a replica "
+    print("\n[6/10] continuous batching: launch the instant a replica "
           "frees instead of\n      holding partial batches for max_wait "
           "(the low-load p50 win)...")
     sat = sim.saturation_rate()
@@ -125,14 +127,14 @@ def main() -> None:
           f"{cmp.continuous.mean_batch_curve[0]:.1f}: latency bought with "
           f"idle capacity")
 
-    print("\n[7/9] bursty traffic: MMPP arrivals (8x bursts, 12.5% of the "
+    print("\n[7/10] bursty traffic: MMPP arrivals (8x bursts, 12.5% of the "
           "time) at the\n      same mean rates — the tail the autoscaler "
           "has to plan for...")
     bursty = sim.sweep(n_requests=2048, process=MMPP(burst=8.0),
                        seed=0, slo=sweep.slo)
     print(bursty.table())
 
-    print("\n[8/9] autoscaling: scale out when burst attainment breaks, "
+    print("\n[8/10] autoscaling: scale out when burst attainment breaks, "
           "back in on idle\n      occupancy — never keying on the "
           "saturation rate...")
     sat1 = ServingSimulator(workload, n_replicas=1,
@@ -176,7 +178,7 @@ def main() -> None:
           f"{uncached.attainment(sweep.slo):.3f} -> "
           f"{cached.attainment(sweep.slo):.3f}")
 
-    print("\n[9/9] multi-model serving: the HEP classifier and the "
+    print("\n[9/10] multi-model serving: the HEP classifier and the "
           "climate segmenter share\n      one replica pool — per-model "
           "SLOs, weighted admission, one fleet...")
     from repro.serve import ModelMix, ModelProfile
@@ -223,6 +225,29 @@ def main() -> None:
           f"the same trace — at climate's explicit, operator-chosen "
           f"expense")
 
+    print("\n[10/10] observability: trace the same kind of burst on a "
+          "tight queue, reconcile\n      the trace against the stats, "
+          "and ask why one request was shed...")
+    import textwrap
+
+    from repro.serve import Tracer, reconcile
+
+    tracer = Tracer()
+    # 2 replicas at 1.4x their saturation rate with 3x MMPP bursts on a
+    # 32-deep queue: most requests complete, the burst peaks shed.
+    obs_sim = ServingSimulator(hep_full, n_replicas=2, max_queue=32)
+    obs_stats = obs_sim.run(1.4 * obs_sim.saturation_rate(),
+                            n_requests=4000, process=burst, seed=0,
+                            tracer=tracer)
+    reconcile(tracer, obs_stats)   # event totals == stats, exactly
+    c = tracer.counts()
+    print(f"      {len(tracer)} events; offered {c['offered']}, "
+          f"completed {c['completed']}, shed {c['shed']} — "
+          f"conservation reconciled against the run's stats")
+    shed_rid = next(ev.request_id for ev in tracer.events
+                    if ev.kind == "shed")
+    print(textwrap.indent(tracer.explain(shed_rid), "      "))
+
     print("\nDone. benchmarks/test_serve_throughput.py, "
           "benchmarks/test_serve_continuous.py, "
           "benchmarks/test_serve_autoscale.py, "
@@ -234,11 +259,14 @@ def main() -> None:
           "cache-restored SLO above saturation, >=5x serving hot-path "
           "speedup, shared multi-model pool beating static partitioning, "
           "weighted admission holding the high-weight SLO through a "
-          "burst); tests/test_serve_properties.py, "
+          "burst); benchmarks/test_serve_obs.py holds full tracing to "
+          "<=15% wall-clock with bit-identical output; "
+          "tests/test_serve_properties.py, "
           "tests/test_autoscale_properties.py, "
-          "tests/test_serve_cache_properties.py, and "
-          "tests/test_serve_multimodel.py pin the scheduler, "
-          "controller, cache, and multi-model invariants.")
+          "tests/test_serve_cache_properties.py, "
+          "tests/test_serve_multimodel.py, and tests/test_serve_obs.py "
+          "pin the scheduler, controller, cache, multi-model, and "
+          "trace-conservation invariants.")
 
 
 if __name__ == "__main__":

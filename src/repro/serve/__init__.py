@@ -36,7 +36,12 @@ accounting:
 - :mod:`repro.serve.autoscale` — burst-aware replica autoscaling: a
   discrete-time controller that scales out on broken SLO attainment and in
   on sustained idle occupancy, contending with node failures from
-  :class:`repro.cluster.failures.FailureModel`.
+  :class:`repro.cluster.failures.FailureModel`;
+- :mod:`repro.serve.obs` — opt-in observability: a :class:`Tracer` of
+  typed per-request and fleet events in virtual time, a labeled
+  :class:`MetricsRegistry` reconciled against the run's stats, a
+  wall-clock :class:`Profiler` of the simulator hot path, and exporters
+  (JSON-lines, Chrome trace-event / Perfetto, text ``explain``).
 
 Quickstart::
 
@@ -105,7 +110,20 @@ from repro.serve.metrics import (  # noqa: F401
     PolicyComparison,
     RatePoint,
     ScaleEvent,
+    ScaleReason,
     SweepReport,
+)
+from repro.serve.obs import (  # noqa: F401
+    MetricsRegistry,
+    Profiler,
+    ReconciliationError,
+    TraceEvent,
+    Tracer,
+    explain,
+    reconcile,
+    registry_from_trace,
+    to_chrome,
+    to_jsonl,
 )
 from repro.serve.registry import (  # noqa: F401
     ModelProfile,
@@ -135,32 +153,43 @@ __all__ = [
     "HotKeyPopularity",
     "LatencyStats",
     "MMPP",
+    "MetricsRegistry",
     "ModelMix",
     "ModelProfile",
     "ModelRegistry",
     "PerModelServiceTime",
     "PerModelStats",
     "PolicyComparison",
+    "Profiler",
     "RatePoint",
+    "ReconciliationError",
     "ReplicaBatchQueue",
     "ReplicaHandle",
     "ResultCache",
     "Router",
     "ScaleDecision",
     "ScaleEvent",
+    "ScaleReason",
     "ServableModel",
     "ServiceTimeModel",
     "ServingSimulator",
     "SweepReport",
+    "TraceEvent",
+    "Tracer",
     "UniformPopularity",
     "ZipfPopularity",
     "compare_batching_modes",
     "content_key",
+    "explain",
     "make_arrivals",
     "make_contents",
     "make_model_ids",
     "plan_batches",
     "poisson_arrivals",
+    "reconcile",
+    "registry_from_trace",
     "sweep_cache_sizes",
+    "to_chrome",
+    "to_jsonl",
     "uniform_arrivals",
 ]

@@ -42,7 +42,12 @@ from repro.cluster.failures import FailureEvent, FailureModel
 from repro.cluster.machine import CoriMachine
 from repro.serve.batching import BatchingPolicy
 from repro.serve.latency import ServiceTimeModel
-from repro.serve.metrics import EpochRecord, LatencyStats, ScaleEvent
+from repro.serve.metrics import (
+    EpochRecord,
+    LatencyStats,
+    ScaleEvent,
+    ScaleReason,
+)
 from repro.serve.router import Router
 from repro.serve.slo_sim import ServingSimulator
 from repro.serve.arrivals import PopularityLike, ProcessLike
@@ -97,11 +102,16 @@ class AutoscalePolicy:
 
 @dataclass(frozen=True)
 class ScaleDecision:
-    """One controller verdict: signed fleet delta plus its justification."""
+    """One controller verdict: signed fleet delta plus its justification.
+
+    ``reason`` is structured (:class:`~repro.serve.metrics.ScaleReason`):
+    the cause plus the signals observed at decision time, so tests and
+    traces assert on *why* instead of string-matching. Holds carry a
+    reason too (``cooldown`` / ``steady``)."""
 
     delta: int
     action: str    # "scale_out" | "scale_in" | "repair" | "hold"
-    reason: str = ""
+    reason: Optional[ScaleReason] = None
 
 
 class Autoscaler:
@@ -115,7 +125,7 @@ class Autoscaler:
     """
 
     def __init__(self, policy: AutoscalePolicy,
-                 initial: Optional[int] = None) -> None:
+                 initial: Optional[int] = None, tracer=None) -> None:
         self.policy = policy
         n0 = policy.min_replicas if initial is None else initial
         if not policy.min_replicas <= n0 <= policy.max_replicas:
@@ -123,8 +133,21 @@ class Autoscaler:
                 f"initial fleet {n0} outside "
                 f"[{policy.min_replicas}, {policy.max_replicas}]")
         self.desired = n0
+        #: opt-in :class:`repro.serve.obs.Tracer`: every verdict (holds
+        #: included) is emitted as a ``decision`` event with its signals
+        self.tracer = tracer
         self._next_voluntary = 0     # first epoch index allowed to act
         self._idle_streak = 0
+
+    def _verdict(self, rec: EpochRecord, delta: int, action: str,
+                 reason: ScaleReason) -> ScaleDecision:
+        if self.tracer is not None:
+            self.tracer.emit(
+                "decision", rec.t_end,
+                data={"epoch": rec.index, "action": action, "delta": delta,
+                      "idle_streak": self._idle_streak,
+                      **reason.signals()})
+        return ScaleDecision(delta, action, reason)
 
     def decide(self, rec: EpochRecord) -> ScaleDecision:
         p = self.policy
@@ -132,8 +155,11 @@ class Autoscaler:
         if n < self.desired:
             # Involuntary scale-in (node death): replace, don't deliberate.
             delta = self.desired - n
-            return ScaleDecision(delta, "repair",
-                                 f"replacing {delta} failed replica(s)")
+            return self._verdict(rec, delta, "repair", ScaleReason(
+                "replace_failed", attainment=rec.control_attainment,
+                occupancy=rec.occupancy, n_doomed=rec.n_doomed,
+                n_shed=rec.n_shed,
+                detail=f"replacing {delta} failed replica(s)"))
         # Idle bookkeeping runs every epoch, even inside cooldown, so the
         # streak reflects sustained idleness rather than post-cooldown luck.
         # An epoch with no batches at all is idle only if nothing arrived
@@ -146,8 +172,12 @@ class Autoscaler:
                 or (math.isnan(rec.occupancy) and rec.queue_depth == 0
                     and rec.n_arrived == 0))
         self._idle_streak = self._idle_streak + 1 if idle else 0
+        signals = dict(attainment=rec.control_attainment,
+                       occupancy=rec.occupancy, n_doomed=rec.n_doomed,
+                       n_shed=rec.n_shed)
         if rec.index < self._next_voluntary:
-            return ScaleDecision(0, "hold", "cooldown")
+            return self._verdict(rec, 0, "hold", ScaleReason(
+                "cooldown", detail="cooldown", **signals))
         # Multi-model epochs judge each model against its own SLO; the
         # controller keys on the *worst* per-model attainment (a shared
         # pool provisions for its most broken model). Single-model
@@ -159,20 +189,23 @@ class Autoscaler:
             self.desired = n + delta
             self._next_voluntary = rec.index + 1 + p.cooldown_epochs
             self._idle_streak = 0
-            return ScaleDecision(
-                delta, "scale_out",
-                f"attainment {att:.3f} < {p.target_attainment:.3f}")
+            return self._verdict(rec, delta, "scale_out", ScaleReason(
+                "attainment_below_target",
+                detail=f"attainment {att:.3f} < {p.target_attainment:.3f}",
+                **signals))
         if (self._idle_streak >= p.idle_epochs and n > p.min_replicas
                 and (math.isnan(att) or att >= p.target_attainment)):
             delta = min(p.step_in, n - p.min_replicas)
             self.desired = n - delta
             self._next_voluntary = rec.index + 1 + p.cooldown_epochs
             self._idle_streak = 0
-            return ScaleDecision(
-                -delta, "scale_in",
-                f"occupancy < {p.scale_in_occupancy:.2f} for "
-                f"{p.idle_epochs} epochs")
-        return ScaleDecision(0, "hold", "")
+            return self._verdict(rec, -delta, "scale_in", ScaleReason(
+                "sustained_idle",
+                detail=f"occupancy < {p.scale_in_occupancy:.2f} for "
+                       f"{p.idle_epochs} epochs",
+                **signals))
+        return self._verdict(rec, 0, "hold",
+                             ScaleReason("steady", **signals))
 
 
 class AutoscalingSimulator(ServingSimulator):
@@ -241,7 +274,8 @@ class AutoscalingSimulator(ServingSimulator):
     def run(self, rate: float, n_requests: int = 512,
             process: ProcessLike = "uniform", seed: SeedLike = None,
             slo: Optional[float] = None,
-            popularity: PopularityLike = None) -> LatencyStats:
+            popularity: PopularityLike = None,
+            tracer=None, profiler=None) -> LatencyStats:
         """One autoscaled run; ``slo`` is the controller's attainment
         yardstick (default: :meth:`default_slo` of the *initial* fleet's
         batching policy, same as the static simulator). With a result
@@ -265,7 +299,8 @@ class AutoscalingSimulator(ServingSimulator):
                           else self.model_slos())
         try:
             return super().run(rate, n_requests=n_requests, process=process,
-                               seed=seed, popularity=popularity)
+                               seed=seed, popularity=popularity,
+                               tracer=tracer, profiler=profiler)
         finally:
             del self._run_slo
             del self._run_slos
@@ -418,7 +453,9 @@ class AutoscalingSimulator(ServingSimulator):
             slos = (getattr(self, "_run_slos", None) or self.model_slos())
         cfg = self.autoscale
         epoch_s = cfg.epoch if cfg.epoch is not None else 2.0 * slo
-        controller = Autoscaler(cfg, initial=router.n_replicas)
+        tracer = self._tracer
+        controller = Autoscaler(cfg, initial=router.n_replicas,
+                                tracer=tracer)
         rtts = self._request_rtts()
         svcs = [self.service] if self.models is None else list(self.services)
         floors = [svc.batch_time(1) + rtts[m]
@@ -460,6 +497,18 @@ class AutoscalingSimulator(ServingSimulator):
             rec = self._observe(router, admitted, prev_epoch_t, t,
                                 epoch_idx, slos, rtts, floors, n_shed,
                                 shed_by_model)
+            if tracer is not None:
+                tracer.emit(
+                    "epoch", t,
+                    data={"index": rec.index, "n_replicas": rec.n_replicas,
+                          "n_arrived": rec.n_arrived,
+                          "n_completed": rec.n_completed,
+                          "n_ok": rec.n_ok, "n_doomed": rec.n_doomed,
+                          "n_shed": rec.n_shed,
+                          "attainment": rec.attainment,
+                          "control_attainment": rec.control_attainment,
+                          "occupancy": rec.occupancy,
+                          "queue_depth": rec.queue_depth})
             decision = controller.decide(rec)
             if decision.delta > 0:
                 for _ in range(decision.delta):
@@ -472,6 +521,14 @@ class AutoscalingSimulator(ServingSimulator):
                     time=t, epoch=epoch_idx, action=decision.action,
                     delta=decision.delta, n_replicas=router.n_replicas,
                     reason=decision.reason))
+                if tracer is not None:
+                    tracer.emit(
+                        "scale", t,
+                        data={"epoch": epoch_idx,
+                              "action": decision.action,
+                              "delta": decision.delta,
+                              "n_replicas": router.n_replicas,
+                              **decision.reason.signals()})
             epochs.append(rec)
             prev_epoch_t = t
             epoch_idx += 1
@@ -482,10 +539,25 @@ class AutoscalingSimulator(ServingSimulator):
             advance_area(ev.time)
             dead, lost = router.fail_replica(
                 ev.time, ev.node_id % router.n_replicas)
+            reason = ScaleReason(
+                "node_death",
+                detail=f"node {dead.node_id} died, {lost} requests lost")
             events.append(ScaleEvent(
                 time=ev.time, epoch=epoch_idx, action="failure", delta=-1,
-                n_replicas=router.n_replicas,
-                reason=f"node {dead.node_id} died, {lost} requests lost"))
+                n_replicas=router.n_replicas, reason=reason))
+            if tracer is not None:
+                tracer.emit(
+                    "scale", ev.time,
+                    data={"epoch": epoch_idx, "action": "failure",
+                          "delta": -1, "n_replicas": router.n_replicas,
+                          "node_id": dead.node_id, "lost": lost,
+                          **reason.signals()})
+
+        if self._prof is not None:
+            close_epoch = self._prof.wrap("autoscale.close_epoch",
+                                          close_epoch)
+            apply_failure = self._prof.wrap("autoscale.apply_failure",
+                                            apply_failure)
 
         for i, t in enumerate(arrivals.astype(np.float64).tolist()):
             # Everything scheduled before this arrival happens first, in
@@ -504,14 +576,23 @@ class AutoscalingSimulator(ServingSimulator):
             self._offer(router, admitted, t, i)
         advance_area(t_end)
         span = t_end - t0
-        self._trace = (epochs, events,
-                       area / span if span > 0 else float(router.n_replicas))
+        # run()/collect handoff: ServingSimulator.run calls _drive then
+        # _collect on the same router; the epoch records, scale events,
+        # and fleet-size time average accumulated here have nowhere to go
+        # through _drive's (None) return, so they ride this attribute for
+        # exactly the window between the two calls. _collect consumes and
+        # deletes it, so a stale accumulation can never leak into a later
+        # run. (Named _epoch_accum — NOT _trace — to keep it unconfusable
+        # with the per-request obs tracer threaded through the same runs.)
+        self._epoch_accum = (
+            epochs, events,
+            area / span if span > 0 else float(router.n_replicas))
 
     def _collect(self, arrivals: np.ndarray, router: Router,
                  admitted: dict) -> LatencyStats:
         stats = super()._collect(arrivals, router, admitted)
-        epochs, events, mean_replicas = self._trace
-        del self._trace
+        epochs, events, mean_replicas = self._epoch_accum
+        del self._epoch_accum
         stats.epochs = epochs
         stats.scale_events = events
         stats.mean_replicas = mean_replicas

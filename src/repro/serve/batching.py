@@ -122,8 +122,14 @@ class ReplicaBatchQueue:
                  free_at: float = 0.0,
                  on_commit: Optional[Callable[[Batch], None]] = None,
                  service_times: Optional[
-                     Sequence[Callable[[int], float]]] = None) -> None:
+                     Sequence[Callable[[int], float]]] = None,
+                 tracer=None, replica: Optional[int] = None) -> None:
         self.policy = policy
+        #: opt-in :class:`repro.serve.obs.Tracer` (duck-typed; ``None``
+        #: keeps every push/launch on the exact pre-trace instruction path)
+        self.tracer = tracer
+        #: this queue's replica index, stamped on its trace events
+        self.replica = replica
         self.service_time = service_time
         #: per-model service-time callables (None: every lane uses
         #: ``service_time`` — the single-model case)
@@ -215,6 +221,9 @@ class ReplicaBatchQueue:
                 f"registered service models")
         self.advance(t)
         self._clock = t
+        # no trace emission here: the tracer synthesizes each member's
+        # "enqueue" from the lane slice handed over at batch commit, so
+        # admission costs the traced hot path nothing
         self.lanes.setdefault(model, []).append((t, request_id))
 
     def advance(self, until: float) -> None:
@@ -261,6 +270,14 @@ class ReplicaBatchQueue:
         self.batches.append(batch)
         for _, rid in members:
             self.completions[rid] = completion
+        if self.tracer is not None:
+            # Emitted at commit, timestamped per the batch's (future)
+            # completion; a later node death strikes these with "fail".
+            # The lane slice carries each member's (enqueue_t, rid) —
+            # the tracer synthesizes their enqueue/complete events from
+            # it lazily, so commit stores one tuple, not 3x batch size.
+            self.tracer.batch_launch(launch, self.replica, model,
+                                     completion, members)
         if self.on_commit is not None:
             self.on_commit(batch)
 
@@ -309,6 +326,12 @@ class ReplicaBatchQueue:
                 lost.extend(b.request_ids)
                 for rid in b.request_ids:
                     del self.completions[rid]
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "batch_abort", t, replica=self.replica,
+                        model=b.model,
+                        data={"launch": b.start, "completion": b.completion,
+                              "size": b.size, "request_ids": b.request_ids})
             else:
                 survived.append(b)
         self.batches = survived

@@ -68,7 +68,8 @@ class ResultCache:
     simulator, :func:`content_key` digests on the real path).
     """
 
-    def __init__(self, capacity: int, policy: str = "lru") -> None:
+    def __init__(self, capacity: int, policy: str = "lru",
+                 tracer=None) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         if policy not in CACHE_POLICIES:
@@ -76,6 +77,13 @@ class ResultCache:
                              f"have {CACHE_POLICIES}")
         self.capacity = int(capacity)
         self.policy = policy
+        #: opt-in :class:`repro.serve.obs.Tracer` (duck-typed; ``None``
+        #: keeps every operation on the exact pre-trace path)
+        self.tracer = tracer
+        #: virtual time stamped on trace events — the cache has no clock
+        #: of its own, so the simulator sets this before traced mutations
+        #: (NaN outside a simulation, e.g. the real ``BatchExecutor`` path)
+        self.now = float("nan")
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -106,7 +114,7 @@ class ResultCache:
 
     def _evict_one(self) -> None:
         if self.policy == "lru":
-            self._data.popitem(last=False)
+            victim, _ = self._data.popitem(last=False)
         else:
             bucket = self._buckets[self._min_freq]
             victim, _ = bucket.popitem(last=False)
@@ -115,6 +123,12 @@ class ResultCache:
             del self._freq[victim]
             del self._data[victim]
         self.evictions += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.detail:
+            # raw key, not repr(): exporters stringify off the hot path
+            tracer.emit_raw(
+                (self.now, "cache_evict", None, None, None,
+                 {"key": victim}))
 
     # -- the cache API --------------------------------------------------------
     def get(self, key: Hashable) -> Tuple[bool, Any]:
@@ -144,6 +158,11 @@ class ResultCache:
             self._evict_one()
         self._data[key] = value
         self.insertions += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.detail:
+            tracer.emit_raw(
+                (self.now, "cache_insert", None, None, None,
+                 {"key": key}))
         if self.policy == "lfu":
             self._freq[key] = 1
             self._buckets.setdefault(1, OrderedDict())[key] = None
@@ -175,6 +194,10 @@ class ResultCache:
         if self.policy == "lfu":
             self._min_freq = min(self._buckets) if self._buckets else 0
         self.invalidations += len(victims)
+        if victims and self.tracer is not None:
+            self.tracer.emit("cache_invalidate", self.now,
+                             data={"scope": repr(scope),
+                                   "removed": len(victims)})
         return len(victims)
 
     def clear(self) -> None:

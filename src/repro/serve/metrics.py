@@ -27,6 +27,53 @@ import numpy as np
 #: every way the serving fleet can change size mid-run
 SCALE_ACTIONS = ("scale_out", "scale_in", "failure", "repair")
 
+#: every trigger a :class:`ScaleReason` can name. The first four justify
+#: fleet changes (one per :data:`SCALE_ACTIONS` entry); the last two
+#: justify holds (:class:`~repro.serve.autoscale.ScaleDecision` carries a
+#: reason even when the fleet does not move).
+SCALE_CAUSES = (
+    "attainment_below_target",  # scale_out: observed attainment < target
+    "sustained_idle",           # scale_in: occupancy low for idle_epochs
+    "node_death",               # failure: a replica's node fail-stopped
+    "replace_failed",           # repair: actual fleet < desired fleet
+    "cooldown",                 # hold: inside post-decision cooldown
+    "steady",                   # hold: no signal crossed a threshold
+)
+
+
+@dataclass(frozen=True)
+class ScaleReason:
+    """*Why* the controller acted: the cause plus the signals it saw.
+
+    Replaces the old free-text reason string so traces and tests assert on
+    the cause and the observed signals (attainment, occupancy, doomed and
+    shed counts at decision time) instead of string-matching. ``detail``
+    keeps a human-readable phrase for ledgers; ``str(reason)`` renders it
+    (or the cause when no detail was given), so f-string printing sites
+    read exactly as before.
+    """
+
+    cause: str
+    attainment: float = float("nan")   # control attainment at decision
+    occupancy: float = float("nan")    # mean_batch/max_batch at decision
+    n_doomed: int = 0                  # known-late pending at decision
+    n_shed: int = 0                    # shed inside the decision's epoch
+    detail: str = ""                   # human phrasing for ledgers
+
+    def __post_init__(self) -> None:
+        if self.cause not in SCALE_CAUSES:
+            raise ValueError(f"unknown scale cause {self.cause!r}; "
+                             f"have {SCALE_CAUSES}")
+
+    def signals(self) -> dict:
+        """The observed-signal payload (what trace events carry)."""
+        return {"cause": self.cause, "attainment": self.attainment,
+                "occupancy": self.occupancy, "n_doomed": self.n_doomed,
+                "n_shed": self.n_shed}
+
+    def __str__(self) -> str:
+        return self.detail if self.detail else self.cause
+
 
 @dataclass(frozen=True)
 class ScaleEvent:
@@ -37,7 +84,8 @@ class ScaleEvent:
     action: str          # one of SCALE_ACTIONS
     delta: int           # signed replica-count change
     n_replicas: int      # fleet size after the change
-    reason: str = ""     # controller's stated trigger (free text)
+    #: controller's trigger and observed signals (None: not recorded)
+    reason: Optional[ScaleReason] = None
 
     def __post_init__(self) -> None:
         if self.action not in SCALE_ACTIONS:

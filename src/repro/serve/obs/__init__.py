@@ -1,0 +1,58 @@
+"""Observability for the serving stack: tracing, metrics, profiling.
+
+- :mod:`repro.serve.obs.trace` — :class:`Tracer` / :class:`TraceEvent`,
+  the opt-in structured event stream in virtual time;
+- :mod:`repro.serve.obs.metrics` — :class:`MetricsRegistry` with labeled
+  counters/gauges/histograms, plus :func:`reconcile` tying trace totals
+  to the run's stats;
+- :mod:`repro.serve.obs.profile` — :class:`Profiler` wall-clock span
+  timing of the simulator hot path with :meth:`Profiler.perf_report`;
+- :mod:`repro.serve.obs.export` — JSON-lines, Chrome trace-event
+  (Perfetto), and text ``explain(request_id)`` exporters.
+
+Nothing here imports from the serving modules — the simulator accepts a
+tracer/profiler duck-typed, so ``repro.serve`` stays cycle-free and the
+``tracer=None`` path never touches this package.
+"""
+
+from repro.serve.obs.export import explain, to_chrome, to_jsonl
+from repro.serve.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ReconciliationError,
+    reconcile,
+    registry_from_trace,
+)
+from repro.serve.obs.profile import Profiler
+from repro.serve.obs.trace import (
+    BATCH_EVENT_KINDS,
+    EVENT_KINDS,
+    FLEET_EVENT_KINDS,
+    REQUEST_EVENT_KINDS,
+    RUN_EVENT_KINDS,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "BATCH_EVENT_KINDS",
+    "Counter",
+    "EVENT_KINDS",
+    "FLEET_EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "REQUEST_EVENT_KINDS",
+    "RUN_EVENT_KINDS",
+    "ReconciliationError",
+    "TraceEvent",
+    "Tracer",
+    "explain",
+    "reconcile",
+    "registry_from_trace",
+    "to_chrome",
+    "to_jsonl",
+]

@@ -1,0 +1,143 @@
+"""Wall-clock profiling hooks for the simulator hot path.
+
+The serving simulator's *virtual* time is free; its *wall-clock* time is
+what caps sweep sizes (ROADMAP item 4 wants a 10M-request core). This
+module measures where the wall clock goes — routing, batch planning,
+cache, control loop — without touching virtual-time results: a profiled
+run produces bit-identical stats to an unprofiled one, it just knows
+where its real seconds went.
+
+Usage mirrors the tracer: pass ``profiler=Profiler()`` to
+``ServingSimulator.run`` / ``AutoscalingSimulator.run`` (every hook site
+is guarded by ``if profiler is not None``), then read
+:meth:`Profiler.perf_report`. Spans can also be taken manually::
+
+    prof = Profiler()
+    with prof.span("my_phase"):
+        ...
+    print(prof.perf_report())
+
+Span times are **inclusive** — a parent span ("drive") contains its
+children ("offer", "router.submit") — so column sums exceed total wall
+time by design; the report says so.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, List, Optional
+
+
+class _Span:
+    """Context manager timing one named region into its profiler."""
+
+    __slots__ = ("_prof", "_name", "_t0")
+
+    def __init__(self, prof: "Profiler", name: str) -> None:
+        self._prof = prof
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = _time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._prof.add(self._name, _time.perf_counter() - self._t0)
+
+
+class Profiler:
+    """Accumulates wall-clock time per named span of the simulator.
+
+    ``add``/``span``/``wrap`` are the write side; ``totals``/``to_dict``/
+    ``perf_report`` the read side. All times are seconds from
+    ``time.perf_counter``. Profiling never changes virtual-time results —
+    only the wall clock it is measuring.
+    """
+
+    __slots__ = ("_totals", "_counts")
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    # -- write side -----------------------------------------------------------
+    def add(self, name: str, elapsed: float, calls: int = 1) -> None:
+        """Credit ``elapsed`` wall seconds (over ``calls`` calls) to a span."""
+        self._totals[name] = self._totals.get(name, 0.0) + elapsed
+        self._counts[name] = self._counts.get(name, 0) + calls
+
+    def span(self, name: str) -> _Span:
+        """``with prof.span("routing"): ...`` — time a region."""
+        return _Span(self, name)
+
+    def wrap(self, name: str, fn: Callable) -> Callable:
+        """Return ``fn`` instrumented to credit its wall time to ``name``.
+
+        Used to hook bound methods on the hot path
+        (``router.submit = prof.wrap("router.submit", router.submit)``)
+        without a conditional inside the method itself — an unprofiled
+        run never pays for the check.
+        """
+        perf_counter = _time.perf_counter
+        add = self.add
+
+        def timed(*args, **kwargs):
+            t0 = perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                add(name, perf_counter() - t0)
+
+        timed.__name__ = getattr(fn, "__name__", name)
+        timed.__wrapped__ = fn
+        return timed
+
+    def clear(self) -> None:
+        self._totals.clear()
+        self._counts.clear()
+
+    # -- read side ------------------------------------------------------------
+    def totals(self) -> Dict[str, float]:
+        """Span name -> accumulated wall seconds."""
+        return dict(self._totals)
+
+    def calls(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """``{span: {"seconds": ..., "calls": ..., "per_call_us": ...}}``
+        sorted by descending time — the JSON-friendly report."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self._totals, key=self._totals.get,
+                           reverse=True):
+            secs = self._totals[name]
+            n = self._counts[name]
+            out[name] = {"seconds": secs, "calls": n,
+                         "per_call_us": (secs / n * 1e6) if n else 0.0}
+        return out
+
+    def perf_report(self, top: Optional[int] = None) -> str:
+        """Formatted wall-clock breakdown, hottest span first.
+
+        Spans are inclusive (parents contain children), so the column
+        does not sum to total run time.
+        """
+        rows = list(self.to_dict().items())
+        if top is not None:
+            rows = rows[:top]
+        if not rows:
+            return "perf_report: no spans recorded"
+        width = max(len(name) for name, _ in rows)
+        lines = [f"{'span':<{width}}  {'seconds':>10}  {'calls':>10}  "
+                 f"{'us/call':>10}",
+                 "-" * (width + 36)]
+        for name, row in rows:
+            lines.append(f"{name:<{width}}  {row['seconds']:>10.4f}  "
+                         f"{row['calls']:>10d}  "
+                         f"{row['per_call_us']:>10.2f}")
+        lines.append("(spans are inclusive; parents contain children)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Profiler({len(self._totals)} spans)"

@@ -94,8 +94,8 @@ class Router:
                  service_times: Optional[
                      List[Callable[[int], float]]] = None,
                  model_weights: Optional[List[float]] = None,
-                 affinity: Optional[Dict[int, Tuple[int, ...]]] = None
-                 ) -> None:
+                 affinity: Optional[Dict[int, Tuple[int, ...]]] = None,
+                 tracer=None) -> None:
         if n_replicas <= 0:
             raise ValueError(
                 f"n_replicas must be positive, got {n_replicas}")
@@ -132,6 +132,9 @@ class Router:
         self._limits: List[Optional[int]] = self._admission_limits(n_models)
         self.strategy = strategy
         self.on_commit = on_commit
+        #: opt-in :class:`repro.serve.obs.Tracer` (duck-typed), handed down
+        #: to every replica queue; ``None`` is the exact pre-trace path
+        self.tracer = tracer
         if affinity:
             if strategy != "least_loaded":
                 raise ValueError(
@@ -206,7 +209,8 @@ class Router:
         queue = ReplicaBatchQueue(
             self.policy, self.service_time, free_at=free_at,
             on_commit=lambda batch, i=index: self._commit(i, batch),
-            service_times=self.service_times)
+            service_times=self.service_times,
+            tracer=self.tracer, replica=index)
         handle = ReplicaHandle(index, node_id, queue)
         self._live[index] = handle
         self._backlog[index] = 0
@@ -312,10 +316,12 @@ class Router:
         limit = self._limits[model]
         return limit is not None and self._backlog[handle.index] >= limit
 
-    def _shed(self, model: int) -> bool:
+    def _shed(self, t: float, request_id: int, model: int) -> bool:
         self.n_dropped += 1
         self.dropped_by_model[model] = \
             self.dropped_by_model.get(model, 0) + 1
+        if self.tracer is not None:
+            self.tracer.emit_raw((t, "shed", request_id, None, model, None))
         return False
 
     def submit(self, t: float, request_id: int, model: int = 0) -> bool:
@@ -337,12 +343,12 @@ class Router:
             self.offered_by_model.get(model, 0) + 1
         if not self.replicas:
             # Every replica has failed and no repair has landed yet: shed.
-            return self._shed(model)
+            return self._shed(t, request_id, model)
         replica = self.pick(t, model)
         if replica is None or self._full(replica, model):
             replica = self._least_loaded(model)
             if replica is None or self._full(replica, model):
-                return self._shed(model)
+                return self._shed(t, request_id, model)
         self._assign(replica, t, request_id, model)
         return True
 
@@ -399,8 +405,15 @@ class Router:
                                      -self.replicas[p].index))
         replica = self.replicas.pop(pos)
         del self._live[replica.index]
+        if self.tracer is not None:
+            self.tracer.emit("drain", t, replica=replica.index)
         for _, rid, model in replica.queue.evict_queued(t):
-            self._assign(self._least_loaded(model), t, rid, model)
+            target = self._least_loaded(model)
+            if self.tracer is not None:
+                self.tracer.emit("reroute", t, request_id=rid,
+                                 replica=replica.index, model=model,
+                                 data={"to": target.index})
+            self._assign(target, t, rid, model)
         self.retired.append(replica)
         return replica
 
@@ -419,6 +432,14 @@ class Router:
         lost = replica.queue.abort_after(t)
         self.n_failed += len(lost)
         self.failed_ids.update(lost)
+        if self.tracer is not None:
+            self.tracer.emit("replica_fail", t, replica=replica.index,
+                             data={"lost": len(lost)})
+            for rid in lost:
+                # Strikes any optimistic "complete" the request's batch
+                # emitted at commit (terminal state is last-emitted).
+                self.tracer.emit("fail", t, request_id=rid,
+                                 replica=replica.index)
         self.retired.append(replica)
         return replica, len(lost)
 

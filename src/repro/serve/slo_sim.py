@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from contextlib import nullcontext
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -71,6 +72,10 @@ from repro.utils.rng import SeedLike, spawn_rngs
 
 #: default sweep points as fractions of the saturation rate
 DEFAULT_LOAD_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0)
+
+#: shared no-op context for unprofiled runs (contextlib.nullcontext is
+#: reusable and reentrant, so one instance serves every span site)
+_NULL_SPAN = nullcontext()
 
 
 class _CacheRun:
@@ -208,6 +213,12 @@ class ServingSimulator:
         self.cache_policy = cache_policy
         self._cstate: Optional[_CacheRun] = None
         self._mids: Optional[list] = None
+        # Per-run observability handles (set by run(), cleared after): the
+        # structured event tracer and the wall-clock profiler. Both are
+        # None by default — the untraced path is the exact pre-obs
+        # instruction stream, pinned bit-identical by the obs tests.
+        self._tracer = None
+        self._prof = None
 
     # -- capacity ------------------------------------------------------------
     def saturation_rate(self) -> float:
@@ -268,10 +279,11 @@ class ServingSimulator:
                           strategy=self.strategy, on_commit=on_commit,
                           service_times=self.services.batch_time_fns(),
                           model_weights=[p.weight for p in self.models],
-                          affinity=self.affinity)
+                          affinity=self.affinity, tracer=self._tracer)
         return Router(self.machine, self.n_replicas, self.policy,
                       self.service.batch_time, max_queue=self.max_queue,
-                      strategy=self.strategy, on_commit=on_commit)
+                      strategy=self.strategy, on_commit=on_commit,
+                      tracer=self._tracer)
 
     def _make_cache_run(self, n_requests: int, popularity: PopularityLike,
                         seed: SeedLike) -> Optional[_CacheRun]:
@@ -286,7 +298,8 @@ class ServingSimulator:
         contents = make_contents(popularity, n_requests, seed=rng)
         # cache_size=0 with coalesce=True: an inert (never-storing) cache
         # still carries the in-flight ledger — pure request deduplication.
-        return _CacheRun(ResultCache(self.cache_size, self.cache_policy),
+        return _CacheRun(ResultCache(self.cache_size, self.cache_policy,
+                                     tracer=self._tracer),
                          contents)
 
     def _make_model_ids(self, n_requests: int,
@@ -313,10 +326,33 @@ class ServingSimulator:
             return content
         return (self._mids[request_id], content)
 
+    def _run_meta(self, rate: float, n_requests: int,
+                  process: ProcessLike, seed: SeedLike) -> dict:
+        """Run configuration published to the tracer (`run_start` payload
+        and ``Tracer.meta``): what exporters need to label tracks and
+        judge latencies without a backref to the simulator."""
+        if self.models is None:
+            names = [getattr(self.workload, "name", None) or "model0"]
+        else:
+            names = [p.name for p in self.models]
+        return {"rate": float(rate), "n_requests": int(n_requests),
+                "process": (process if isinstance(process, str)
+                            else type(process).__name__),
+                "seed": repr(seed),
+                "n_replicas": self.n_replicas,
+                "max_batch": self.policy.max_batch,
+                "batching_mode": self.policy.mode,
+                "cache_size": self.cache_size,
+                "coalesce": self.coalesce,
+                "models": names,
+                "slos": self.model_slos(),
+                "rtts": self._request_rtts()}
+
     def run(self, rate: float, n_requests: int = 512,
             process: ProcessLike = "uniform",
             seed: SeedLike = None,
-            popularity: PopularityLike = None) -> LatencyStats:
+            popularity: PopularityLike = None,
+            tracer=None, profiler=None) -> LatencyStats:
         """Serve ``n_requests`` offered at ``rate`` req/s; returns stats.
 
         ``process='uniform'`` (default) gives a deterministic evenly-spaced
@@ -325,21 +361,69 @@ class ServingSimulator:
         adds correlated bursts on top. ``popularity`` draws each request's
         content id (default: all distinct — no request repeats, so a cache
         never hits); it only matters when ``cache_size > 0``.
+
+        ``tracer`` (a :class:`repro.serve.obs.Tracer`) records the typed
+        per-request/fleet event stream; ``profiler`` (a
+        :class:`repro.serve.obs.Profiler`) accumulates wall-clock span
+        times of the hot path. Both are opt-in: left ``None`` (the
+        default) the run executes the exact pre-obs instruction stream,
+        bit for bit; neither ever changes virtual-time results.
         """
-        arrivals = self._arrivals(rate, n_requests, process, seed)
-        self._cstate = self._make_cache_run(n_requests, popularity, seed)
-        self._mids = self._make_model_ids(n_requests, seed)
+        self._tracer = tracer
+        self._prof = prof = profiler
+        span = (prof.span if prof is not None
+                else (lambda name: _NULL_SPAN))
         try:
+            with span("run.arrivals"):
+                arrivals = self._arrivals(rate, n_requests, process, seed)
+            self._cstate = self._make_cache_run(n_requests, popularity,
+                                                seed)
+            self._mids = self._make_model_ids(n_requests, seed)
+            if tracer is not None:
+                meta = self._run_meta(rate, n_requests, process, seed)
+                tracer.meta.update(meta)
+                tracer.emit("run_start", float(arrivals[0]), data=meta)
+                # the whole arrival stream is known up front — hand the
+                # arrays over as one columnar block (O(1)); the tracer
+                # expands them lazily at materialization
+                tracer.bulk_arrivals(arrivals, self._mids)
             router = self._make_router(
                 on_commit=None if self._cstate is None
                 else self._cstate.on_commit)
+            if prof is not None:
+                # Hook the hot-path bound methods per instance: an
+                # unprofiled run never even pays for the check. Spans are
+                # inclusive — submit contains sync (event catch-up:
+                # batch planning and launch commits) which it calls.
+                router._sync = prof.wrap("router.sync", router._sync)
+                router.submit = prof.wrap("router.submit", router.submit)
+                if self._cstate is not None:
+                    cache = self._cstate.cache
+                    cache.get = prof.wrap("cache.get", cache.get)
+                    cache.put = prof.wrap("cache.put", cache.put)
             admitted: dict = {}
-            self._drive(arrivals, router, admitted)
-            router.drain()
-            return self._collect(arrivals, router, admitted)
+            with span("run.drive"):
+                self._drive(arrivals, router, admitted)
+            with span("run.drain"):
+                router.drain()
+            with span("run.collect"):
+                stats = self._collect(arrivals, router, admitted)
+            if tracer is not None:
+                if self._cstate is not None:
+                    # hand the run's hit ledger over as one columnar
+                    # block — the hottest branch under Zipf traffic
+                    # pays nothing per event
+                    tracer.bulk_cache_hits(self._cstate.hits, self._mids)
+                # no counts() here: tallying is O(events) and would land
+                # inside the overhead budget; readers call counts()
+                tracer.emit("run_end", float(arrivals[0]) + stats.horizon,
+                            data={"n_events": len(tracer) + 1})
+            return stats
         finally:
             self._cstate = None
             self._mids = None
+            self._tracer = None
+            self._prof = None
 
     def _offer(self, router: Router, admitted: dict, t: float,
                request_id: int) -> None:
@@ -360,6 +444,8 @@ class ServingSimulator:
         death (which is causally known by then) re-leads with a fresh
         forward instead of following a corpse.
         """
+        tracer = self._tracer   # arrivals were bulk-emitted by run()
+        mids = self._mids
         cstate = self._cstate
         if cstate is not None:
             if self.coalesce:
@@ -371,7 +457,11 @@ class ServingSimulator:
                 router.sync(t)
             fills, cache = cstate.fills, cstate.cache
             while fills and fills[0][0] <= t:
-                _, rids = heapq.heappop(fills)
+                t_fill, rids = heapq.heappop(fills)
+                if tracer is not None:
+                    # The cache has no clock; stamp its insert/evict
+                    # events at the fill's (batch completion) time.
+                    cache.now = t_fill
                 for rid in rids:
                     key = self._content_key(rid)
                     if rid not in router.failed_ids:
@@ -384,6 +474,8 @@ class ServingSimulator:
             key = self._content_key(request_id)
             hit, _ = cache.get(key)
             if hit:
+                # no trace emission here: hits are bulk-emitted by run()
+                # from this ledger after the drive loop
                 cstate.hits[request_id] = t
                 return
             if self.coalesce:
@@ -391,8 +483,13 @@ class ServingSimulator:
                 if leader is not None and \
                         leader not in router.failed_ids:
                     cstate.coalesced[request_id] = (t, leader)
+                    if tracer is not None:
+                        tracer.emit_raw(
+                            (t, "coalesce", request_id, None,
+                             0 if mids is None else mids[request_id],
+                             {"leader": leader}))
                     return
-        model = 0 if self._mids is None else self._mids[request_id]
+        model = 0 if mids is None else mids[request_id]
         if router.submit(t, request_id, model):
             admitted[request_id] = t
             if cstate is not None and self.coalesce:
@@ -450,6 +547,7 @@ class ServingSimulator:
         def rtt_of(i: int) -> float:
             return rtt if mids is None else rtts[mids[i]]
 
+        tracer = self._tracer
         lat: List[float] = []
         which: List[int] = []      # request id per latency entry
         n_coalesced = coal_failed = 0
@@ -460,11 +558,23 @@ class ServingSimulator:
                 lat.append(rtt_of(i))
             elif i in coalesced:
                 t_arr, leader = coalesced[i]
+                m = 0 if mids is None else mids[i]
                 if leader in router.failed_ids:
+                    # Stranded follower: its leader's forward died, so no
+                    # result was ever produced for it.
                     coal_failed += 1
+                    if tracer is not None:
+                        tracer.emit("fail", t_arr, request_id=i, model=m,
+                                    data={"leader": leader,
+                                          "stranded": True})
                     continue
                 lat.append(completions[leader] - t_arr + rtt_of(i))
                 n_coalesced += 1
+                if tracer is not None:
+                    tracer.emit("complete", completions[leader],
+                                request_id=i, model=m,
+                                data={"via": "coalesced",
+                                      "leader": leader})
             else:
                 lat.append(completions[i] - admitted[i] + rtt_of(i))
             which.append(i)
