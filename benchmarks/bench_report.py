@@ -20,8 +20,13 @@ import subprocess
 
 #: env var that redirects where bench_json writes
 BENCH_JSON_ENV = "BENCH_SERVE_JSON"
-#: default output file (repo root when pytest runs from the checkout)
-BENCH_JSON_DEFAULT = "BENCH_serve.json"
+#: default output file, anchored to the *repo root* (this file's parent's
+#: parent) rather than the process working directory — pytest invoked from
+#: anywhere (CI working-directory overrides, `pytest benchmarks/...` from
+#: a subdir, IDE runners) must land the artifact where CI uploads it from
+BENCH_JSON_DEFAULT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_serve.json")
 
 _GIT_SHA = None
 
@@ -75,6 +80,13 @@ def bench_json(section, data, path=None):
     artifact pulled off CI months later still says which code produced
     which number. A merged section keeps the *latest* stamp: mixed-commit
     sections surface as a changed ``git_sha``, not silently.
+
+    Stale sections are *pruned* on every write: a dict section whose
+    ``git_sha`` no longer matches the current HEAD was measured by dead
+    code — append-merge used to keep such sections forever, so the
+    artifact read as an ever-growing union of every commit's numbers.
+    Unstamped (non-dict) sections are kept; with an unknown HEAD (no git)
+    nothing is pruned.
     """
     path = path or os.environ.get(BENCH_JSON_ENV, BENCH_JSON_DEFAULT)
     try:
@@ -84,6 +96,12 @@ def bench_json(section, data, path=None):
             payload = {}
     except (OSError, ValueError):
         payload = {}
+    head = git_sha()
+    if head != "unknown":
+        payload = {
+            name: sec for name, sec in payload.items()
+            if not (isinstance(sec, dict)
+                    and sec.get("git_sha", head) != head)}
     if isinstance(data, dict):
         data = dict(data)
         data["git_sha"] = git_sha()

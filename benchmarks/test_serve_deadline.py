@@ -1,0 +1,181 @@
+"""Deadline-aware scheduling benchmark: the ISSUE 7 acceptance numbers.
+
+The scenario is the paper's two-model fleet under its most adversarial
+asymmetry: the HEP classifier is a latency-critical *trickle* (a couple of
+requests per second, judged against a tight SLO) sharing two replicas with
+a climate-segmenter scan stream whose single forward costs ~140x an HEP
+event. Nobody is overloaded — the pool has capacity for both — and yet the
+count-based FIFO scheduler breaks the HEP tail:
+
+- **head-of-line blocking**: HEP arrives too slowly to fill a 16-batch
+  during one climate service block, so its lane is always *partial*; the
+  FIFO cross-lane rule launches full batches first, and under a busy
+  replica a deep climate lane re-fills to a full batch by the time each
+  block ends — so the partial HEP lane loses the launch tie again and
+  again, riding out several consecutive ~6 s climate blocks against a
+  ~7 s SLO;
+- **count-blind routing**: a replica with two queued climate scans
+  (~1 s of work each) *looks* emptier than one holding a dozen
+  sub-millisecond HEP events, so least-loaded-by-count routes new HEP
+  traffic straight into the climate queues.
+
+Deadline-aware scheduling fixes both sides at the same fleet size: EDF
+launch ordering lets the tight-SLO HEP lane win the launch tie against a
+full climate batch, cost-aware routing weighs a queued scan at its
+estimated seconds, and a per-model climate policy (``max_batch=8`` —
+the climate batch curve is flat to 8, so the smaller batch costs ~23%
+climate capacity but bounds one block at 3.9 s instead of 6.1 s).
+
+The ablation rows are part of the record because the levers only work
+*together*: the small climate batch alone makes FIFO strictly worse (more
+full-batch blocks to lose ties against), and cost-aware routing alone
+hovers at the target. EDF is the main lever; the others compound it.
+"""
+
+import json
+import os
+
+import pytest
+
+from bench_report import BENCH_JSON_DEFAULT, bench_json, git_sha, report
+from repro.serve import (
+    BatchingPolicy,
+    ModelMix,
+    ModelProfile,
+    ServingSimulator,
+)
+
+#: shared batching policy (the climate lane overrides it per model in the
+#: deadline configuration)
+POLICY = BatchingPolicy(max_batch=16, max_wait=3.0)
+#: climate's per-model policy under deadline-aware scheduling: batch 8 is
+#: the last point of its flat batch-time curve — ~23% capacity for a 36%
+#: shorter head-of-line block
+CLIMATE_POLICY = BatchingPolicy(max_batch=8, max_wait=3.0)
+TARGET = 0.95
+N_REQUESTS = 8000
+SEED = 0
+N_REPLICAS = 2
+#: the HEP trickle: slow enough that one climate block outlasts its
+#: batch-fill, so its lane is partial exactly when the tie-break matters
+RATE_HEP = 2.0
+#: climate at 1.4x one replica's saturation — well inside the two-replica
+#: pool even at ``CLIMATE_POLICY``'s reduced capacity (no overload; the
+#: baseline's failure is pure scheduling, not capacity)
+CLIMATE_LOAD = 1.4
+SLO_CLIMATE = 45.0
+
+
+@pytest.fixture(scope="module")
+def setup(hep_wl, climate_wl):
+    hep_sim = ServingSimulator(hep_wl, n_replicas=1, policy=POLICY)
+    cli_sim = ServingSimulator(climate_wl, n_replicas=1, policy=POLICY)
+    # HEP's SLO budgets its own healthy serving plus ONE small-batch
+    # climate block — the honest price of sharing under deadline-aware
+    # scheduling. The baseline is judged against the same number.
+    slo_hep = (hep_sim.default_slo()
+               + cli_sim.service.batch_time(CLIMATE_POLICY.max_batch))
+    return hep_sim, cli_sim, slo_hep
+
+
+class TestDeadlineAwareBeatsFifo:
+    def _joint(self, hep_wl, climate_wl, slo_hep, cli_sim, *,
+               order, cost_aware, cli_policy):
+        rate_cli = CLIMATE_LOAD * cli_sim.saturation_rate()
+        rho = RATE_HEP + rate_cli
+        mix = ModelMix((RATE_HEP / rho, rate_cli / rho))
+        profiles = [
+            ModelProfile("hep", hep_wl, slo=slo_hep),
+            ModelProfile("climate", climate_wl, slo=SLO_CLIMATE,
+                         policy=cli_policy)]
+        sim = ServingSimulator(models=profiles, model_mix=mix,
+                               n_replicas=N_REPLICAS, policy=POLICY,
+                               max_queue=256, order=order,
+                               cost_aware=cost_aware)
+        s = sim.run(rho, n_requests=N_REQUESTS, process="poisson",
+                    seed=SEED)
+        return {m.name: m.attainment for m in s.models}
+
+    def test_joint_attainment_at_equal_fleet_size(self, hep_wl,
+                                                  climate_wl, setup):
+        """Acceptance: on the identical mixed trace and fleet, the
+        deadline-aware scheduler meets the joint (min per-model) target
+        that FIFO per-model lanes miss."""
+        hep_sim, cli_sim, slo_hep = setup
+
+        def run(**kw):
+            att = self._joint(hep_wl, climate_wl, slo_hep, cli_sim, **kw)
+            return att, min(att.values())
+
+        fifo, fifo_joint = run(order="fifo", cost_aware=False,
+                               cli_policy=None)
+        edf, edf_joint = run(order="edf", cost_aware=True,
+                             cli_policy=CLIMATE_POLICY)
+        # Ablations: each lever alone, to attribute the win honestly.
+        _, edf_only = run(order="edf", cost_aware=False, cli_policy=None)
+        _, cost_only = run(order="fifo", cost_aware=True, cli_policy=None)
+        _, pol_only = run(order="fifo", cost_aware=False,
+                          cli_policy=CLIMATE_POLICY)
+
+        report("Deadline-aware vs FIFO lanes: joint attainment, "
+               f"{N_REPLICAS} replicas (target >= {TARGET})", [
+                   ("offered rate (req/s, hep+climate)", "--",
+                    f"{RATE_HEP:.1f}+"
+                    f"{CLIMATE_LOAD * cli_sim.saturation_rate():.2f}"),
+                   ("per-model SLOs (s, hep/climate)", "--",
+                    f"{slo_hep:.2f}/{SLO_CLIMATE:.0f}"),
+                   ("fifo joint (hep/climate)", f"< {TARGET}",
+                    f"{fifo_joint:.3f} ({fifo['hep']:.3f}/"
+                    f"{fifo['climate']:.3f})"),
+                   ("deadline-aware joint", f">= {TARGET}",
+                    f"{edf_joint:.3f} ({edf['hep']:.3f}/"
+                    f"{edf['climate']:.3f})"),
+                   ("ablation: edf ordering alone", "--",
+                    f"{edf_only:.3f}"),
+                   ("ablation: cost-aware routing alone", "--",
+                    f"{cost_only:.3f}"),
+                   ("ablation: small climate batch alone", "worse",
+                    f"{pol_only:.3f}"),
+               ])
+        bench_json("deadline_vs_fifo", {
+            "rate_hep": RATE_HEP,
+            "rate_climate": CLIMATE_LOAD * cli_sim.saturation_rate(),
+            "slo_hep": slo_hep, "slo_climate": SLO_CLIMATE,
+            "target": TARGET, "n_replicas": N_REPLICAS,
+            "fifo_joint": fifo_joint, "deadline_joint": edf_joint,
+            "fifo_attainment": fifo, "deadline_attainment": edf,
+            "ablation_edf_only": edf_only,
+            "ablation_cost_only": cost_only,
+            "ablation_policy_only": pol_only,
+        })
+
+        # Acceptance: deadline-aware beats FIFO on joint attainment at
+        # equal fleet size — and clears the target FIFO misses.
+        assert fifo_joint < TARGET
+        assert edf_joint >= TARGET
+        assert edf_joint > fifo_joint
+        # The baseline failure is the HEP tail, with climate untouched:
+        # climate meets its own loose SLO under both schedulers.
+        assert fifo["climate"] >= TARGET and edf["climate"] >= TARGET
+        # The small-batch lever really does need EDF to pay off.
+        assert pol_only < fifo_joint
+
+    def test_bench_artifact_lands_in_repo_root_stamped_with_head(self):
+        """The machine-readable record written above sits at the repo
+        root (where CI uploads it from) and carries this checkout's HEAD
+        — a section stamped with any other commit would have been pruned
+        on write."""
+        assert os.path.basename(BENCH_JSON_DEFAULT) == "BENCH_serve.json"
+        root = os.path.dirname(BENCH_JSON_DEFAULT)
+        assert os.path.isdir(os.path.join(root, "benchmarks"))
+        path = os.environ.get("BENCH_SERVE_JSON", BENCH_JSON_DEFAULT)
+        with open(path) as fh:
+            payload = json.load(fh)
+        section = payload["deadline_vs_fifo"]
+        head = git_sha()
+        assert head != "unknown"
+        assert section["git_sha"] == head
+        for name, sec in payload.items():
+            if isinstance(sec, dict) and "git_sha" in sec:
+                assert sec["git_sha"] == head, \
+                    f"stale section {name!r} survived the prune"

@@ -92,6 +92,7 @@ from repro.serve.cache import (  # noqa: F401
 )
 from repro.serve.batching import (  # noqa: F401
     BATCHING_MODES,
+    LAUNCH_ORDERS,
     Batch,
     BatchExecutor,
     BatchingPolicy,
@@ -141,6 +142,7 @@ __all__ = [
     "ARRIVAL_PROCESSES",
     "BATCHING_MODES",
     "CACHE_POLICIES",
+    "LAUNCH_ORDERS",
     "POPULARITY_KINDS",
     "Autoscaler",
     "AutoscalePolicy",

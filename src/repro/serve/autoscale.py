@@ -242,7 +242,9 @@ class AutoscalingSimulator(ServingSimulator):
                  cache_policy: str = "lru",
                  models=None, model_mix=None,
                  service_models: Optional[Sequence] = None,
-                 coalesce: bool = False) -> None:
+                 coalesce: bool = False,
+                 order: str = "fifo",
+                 cost_aware: bool = False) -> None:
         self.autoscale = autoscale or AutoscalePolicy()
         initial = (self.autoscale.min_replicas if n_replicas is None
                    else n_replicas)
@@ -260,7 +262,8 @@ class AutoscalingSimulator(ServingSimulator):
                          strategy=strategy, service_model=service_model,
                          cache_size=cache_size, cache_policy=cache_policy,
                          models=models, model_mix=model_mix,
-                         service_models=service_models, coalesce=coalesce)
+                         service_models=service_models, coalesce=coalesce,
+                         order=order, cost_aware=cost_aware)
         if failures is not None and failure_events is not None:
             raise ValueError(
                 "pass either a FailureModel or explicit failure_events, "
@@ -413,12 +416,34 @@ class AutoscalingSimulator(ServingSimulator):
         # Launch order doesn't matter for the occupancy mean, so iterate
         # the per-replica lists directly — no need for router.batches()'s
         # merge-and-sort here.
-        sizes = [b.size for r in router.replicas + router.retired
-                 for b in r.queue.batches
-                 if t_start < b.start <= t_end or b.start == on_start]
-        mean_batch = float(np.mean(sizes)) if sizes else float("nan")
-        occupancy = (mean_batch / self.policy.max_batch if sizes
-                     else float("nan"))
+        pols = self.model_policies()
+        if pols is None:
+            sizes = [b.size for r in router.replicas + router.retired
+                     for b in r.queue.batches
+                     if t_start < b.start <= t_end or b.start == on_start]
+            mean_batch = float(np.mean(sizes)) if sizes else float("nan")
+            occupancy = (mean_batch / self.policy.max_batch if sizes
+                         else float("nan"))
+        else:
+            # Per-model policies: a full batch of a small-max_batch model
+            # must read as full, so occupancy is the mean of each batch's
+            # fill fraction against *its own* model's max_batch.
+            epoch_batches = [
+                b for r in router.replicas + router.retired
+                for b in r.queue.batches
+                if t_start < b.start <= t_end or b.start == on_start]
+            sizes = [b.size for b in epoch_batches]
+            mean_batch = float(np.mean(sizes)) if sizes else float("nan")
+            occupancy = (float(np.mean(
+                [b.size / pols[b.model].max_batch for b in epoch_batches]))
+                if epoch_batches else float("nan"))
+        # Cost-aware routers expose fleet backlog in estimated service
+        # seconds — the leading queue-pressure signal for heterogeneous
+        # traffic, where a short queue of scans outweighs a long one of
+        # cheap events. NaN on count-based runs (no honest conversion).
+        queue_seconds = (router.total_backlog(t_end)
+                         if router.model_costs is not None
+                         else float("nan"))
         tot_completed, tot_ok = sum(n_completed), sum(n_ok)
         tot_doomed = sum(n_doomed)
         if tot_completed or tot_doomed or n_shed:
@@ -442,6 +467,7 @@ class AutoscalingSimulator(ServingSimulator):
                            attainment=attainment,
                            mean_batch_size=mean_batch, occupancy=occupancy,
                            queue_depth=queue_depth,
+                           queue_seconds=queue_seconds,
                            model_attainment=model_attainment)
 
     def _drive(self, arrivals: np.ndarray, router: Router,
@@ -457,9 +483,13 @@ class AutoscalingSimulator(ServingSimulator):
         controller = Autoscaler(cfg, initial=router.n_replicas,
                                 tracer=tracer)
         rtts = self._request_rtts()
-        svcs = [self.service] if self.models is None else list(self.services)
-        floors = [svc.batch_time(1) + rtts[m]
-                  for m, svc in enumerate(svcs)]
+        # Doomed-request floors come from the service-cost API: no
+        # scheduler can answer below a batch-of-one service time plus
+        # transport, whatever the launch order or admission unit.
+        if self.models is None:
+            floors = [self.service.batch_time(1) + rtts[0]]
+        else:
+            floors = self.services.min_request_seconds(rtts)
         n_models = len(slos)
         t0, t_end = float(arrivals[0]), float(arrivals[-1])
         failures = self._failure_schedule(t0, t_end)

@@ -43,6 +43,18 @@ from repro.serve.cache import ResultCache, content_key
 
 BATCHING_MODES = ("windowed", "continuous")
 
+#: how a multi-lane replica orders launch-ready batches across lanes:
+#:
+#: - ``"fifo"`` — strictly by launch instant, ties broken full batch
+#:   first then lowest model index (the pre-deadline scheduler);
+#: - ``"edf"`` — earliest deadline first: ties at one launch instant go
+#:   to the lane whose *oldest queued request* has the earliest deadline
+#:   (its arrival plus its model's SLO);
+#: - ``"slack"`` — minimum slack first: like EDF but the tie-break is
+#:   ``deadline - estimated completion``, so of two equally urgent lanes
+#:   the one whose batch costs more service time launches first.
+LAUNCH_ORDERS = ("fifo", "edf", "slack")
+
 
 @dataclass(frozen=True)
 class BatchingPolicy:
@@ -110,11 +122,21 @@ class ReplicaBatchQueue:
 
     The replica is one shared execution resource: every lane's batches
     serialize on the same ``free_at`` timeline. Launch order across lanes
-    is strictly by launch instant — each :meth:`advance` step commits the
-    lane with the globally earliest launch key — with ties broken full
-    batch first, then lowest model index. With a single lane this reduces
-    exactly to the classic max-batch/max-wait schedule — the single-model
-    differential tests pin that bit for bit.
+    is by launch instant — each :meth:`advance` step commits the lane
+    with the globally earliest launch key. How ties (and near-ties) break
+    is the ``order`` knob (:data:`LAUNCH_ORDERS`): ``"fifo"`` (default)
+    breaks full batch first then lowest model index — the pre-deadline
+    scheduler, bit for bit; ``"edf"``/``"slack"`` break by each lane
+    head's *deadline* (its arrival plus its model's SLO, from ``slos``),
+    so a tight-SLO model's batch launches ahead of a loose-SLO one that
+    became ready at the same instant. With a single lane every order
+    reduces exactly to the classic max-batch/max-wait schedule — the
+    single-model differential tests pin that bit for bit.
+
+    ``policies`` (one :class:`BatchingPolicy` per model index) overrides
+    ``policy`` per lane: each model batches under its own ``max_batch``/
+    ``max_wait``, so a slow scan model can run short batches (bounding
+    the head-of-line block it inflicts) while a fast one fills deep ones.
     """
 
     def __init__(self, policy: BatchingPolicy,
@@ -123,7 +145,10 @@ class ReplicaBatchQueue:
                  on_commit: Optional[Callable[[Batch], None]] = None,
                  service_times: Optional[
                      Sequence[Callable[[int], float]]] = None,
-                 tracer=None, replica: Optional[int] = None) -> None:
+                 tracer=None, replica: Optional[int] = None,
+                 policies: Optional[Sequence[BatchingPolicy]] = None,
+                 order: str = "fifo",
+                 slos: Optional[Sequence[float]] = None) -> None:
         self.policy = policy
         #: opt-in :class:`repro.serve.obs.Tracer` (duck-typed; ``None``
         #: keeps every push/launch on the exact pre-trace instruction path)
@@ -135,6 +160,29 @@ class ReplicaBatchQueue:
         #: ``service_time`` — the single-model case)
         self.service_times = (None if service_times is None
                               else list(service_times))
+        if order not in LAUNCH_ORDERS:
+            raise ValueError(f"unknown launch order {order!r}; "
+                             f"have {LAUNCH_ORDERS}")
+        if order != "fifo" and slos is None:
+            raise ValueError(
+                f"order={order!r} needs per-model slos (each lane head's "
+                f"deadline is its arrival + its model's SLO)")
+        #: cross-lane launch ordering (see :data:`LAUNCH_ORDERS`)
+        self.order = order
+        #: per-model SLOs — the deadline source for edf/slack ordering
+        self.slos = None if slos is None else [float(s) for s in slos]
+        if self.slos is not None and any(
+                not s > 0 for s in self.slos):
+            raise ValueError(f"slos must be positive, got {self.slos}")
+        #: per-model batching policies (None: every lane uses ``policy``)
+        self.policies = None if policies is None else list(policies)
+        for seq, what in ((self.policies, "policies"),
+                          (self.slos, "slos")):
+            if seq is not None and self.service_times is not None \
+                    and len(seq) != len(self.service_times):
+                raise ValueError(
+                    f"{len(seq)} {what} for "
+                    f"{len(self.service_times)} service models")
         self.free_at = free_at
         #: called with each :class:`Batch` the instant it is committed —
         #: the router's event feed (backlog decrements, cache fills)
@@ -153,6 +201,12 @@ class ReplicaBatchQueue:
         if self.service_times is not None:
             return self.service_times[model](size)
         return self.service_time(size)
+
+    def _policy(self, model: int) -> BatchingPolicy:
+        """Model ``model``'s batching policy (the shared one by default)."""
+        if self.policies is not None:
+            return self.policies[model]
+        return self.policy
 
     # -- state ---------------------------------------------------------------
     @property
@@ -176,16 +230,35 @@ class ReplicaBatchQueue:
         return self.outstanding(t)
 
     def _lane_key(self, model: int,
-                  lane: List[Tuple[float, int]]) -> Tuple[float, int, int]:
-        """Launch-order key of one nonempty lane: (launch instant, partial?,
-        model). Full batches sort before partial ones at the same instant
-        (their membership is determined; a held partial is still waiting),
-        and model index breaks exact ties deterministically."""
-        B = self.policy.max_batch
+                  lane: List[Tuple[float, int]]
+                  ) -> Tuple[float, float, int, int]:
+        """Launch-order key of one nonempty lane:
+        ``(launch instant, urgency, partial?, model)``.
+
+        ``urgency`` is the deadline-scheduling axis: ``0.0`` under
+        ``"fifo"`` (a constant — ordering falls through to the classic
+        full-before-partial, then model-index tie-breaks, exactly the
+        pre-deadline key), the lane head's deadline under ``"edf"``
+        (arrival of the oldest queued request plus its model's SLO), and
+        the head's *slack* — deadline minus the batch's estimated
+        completion — under ``"slack"`` (of two equally urgent lanes, the
+        costlier batch goes first; a full batch's bigger service time
+        automatically outranks a partial's at the same deadline)."""
+        pol = self.policies[model] if self.policies is not None \
+            else self.policy
+        B = pol.max_batch
         if len(lane) >= B:
-            return (max(self.free_at, lane[B - 1][0]), 0, model)
-        return (max(self.free_at, lane[0][0] + self.policy.launch_wait),
-                1, model)
+            launch, partial, take = max(self.free_at, lane[B - 1][0]), 0, B
+        else:
+            launch = max(self.free_at, lane[0][0] + pol.launch_wait)
+            partial, take = 1, len(lane)
+        if self.order == "fifo":
+            return (launch, 0.0, partial, model)
+        deadline = lane[0][0] + self.slos[model]
+        if self.order == "edf":
+            return (launch, deadline, partial, model)
+        return (launch, deadline - launch - self._svc(model, take),
+                partial, model)
 
     def next_launch(self) -> float:
         """Launch instant of the next uncommitted batch (+inf if none).
@@ -240,7 +313,7 @@ class ReplicaBatchQueue:
         out of order).
         """
         while True:
-            best: Optional[Tuple[float, int, int]] = None
+            best: Optional[Tuple[float, float, int, int]] = None
             for model, lane in self.lanes.items():
                 if lane:
                     key = self._lane_key(model, lane)
@@ -248,11 +321,12 @@ class ReplicaBatchQueue:
                         best = key
             if best is None:
                 return
-            launch, partial, model = best
+            launch, _, partial, model = best
             if partial and launch >= until:
                 return
             self._launch(model,
-                         min(self.policy.max_batch, len(self.lanes[model])),
+                         min(self._policy(model).max_batch,
+                             len(self.lanes[model])),
                          launch)
 
     def _launch(self, model: int, take: int, launch: float) -> None:
@@ -276,8 +350,12 @@ class ReplicaBatchQueue:
             # The lane slice carries each member's (enqueue_t, rid) —
             # the tracer synthesizes their enqueue/complete events from
             # it lazily, so commit stores one tuple, not 3x batch size.
+            info = None
+            if self.slos is not None:
+                deadline = members[0][0] + self.slos[model]
+                info = (deadline, deadline - completion)
             self.tracer.batch_launch(launch, self.replica, model,
-                                     completion, members)
+                                     completion, members, info)
         if self.on_commit is not None:
             self.on_commit(batch)
 
@@ -348,17 +426,22 @@ class ReplicaBatchQueue:
         silently vanish from :attr:`completions`. Once the stream has ended
         no future arrival can top the batch up, so fire the remainder as
         soon as the replica frees — held lanes in head-arrival order (ties
-        to the lowest model index).
+        to the lowest model index), or by head deadline under ``"edf"``/
+        ``"slack"`` ordering.
         """
         self.advance(math.inf)
         while True:
-            held = [(lane[0][0], model) for model, lane in self.lanes.items()
-                    if lane]
+            if self.order == "fifo":
+                held = [(lane[0][0], model)
+                        for model, lane in self.lanes.items() if lane]
+            else:
+                held = [(lane[0][0] + self.slos[model], model)
+                        for model, lane in self.lanes.items() if lane]
             if not held:
                 return
             _, model = min(held)
             lane = self.lanes[model]
-            take = min(self.policy.max_batch, len(lane))
+            take = min(self._policy(model).max_batch, len(lane))
             self._launch(model, take, max(self.free_at, lane[take - 1][0]))
 
 

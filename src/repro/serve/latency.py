@@ -95,6 +95,16 @@ class ServiceTimeModel:
         """Requests/second of one replica running full batches back to back."""
         return max_batch / self.batch_time(max_batch)
 
+    def est_request_cost(self, max_batch: int) -> float:
+        """Estimated service seconds one queued request represents:
+        amortized full-batch time, ``batch_time(max_batch) / max_batch``.
+
+        This is the unit the cost-aware router weighs backlogs in — an
+        optimistic (steady-state, full batches) estimate, so relative
+        cost across models (the ~140x HEP/climate gap) is what matters,
+        not the absolute value."""
+        return self.batch_time(max_batch) / max_batch
+
 
 class PerModelServiceTime:
     """Service-time models of a multi-model fleet, indexed by model.
@@ -144,3 +154,18 @@ class PerModelServiceTime:
 
     def peak_throughput(self, model: int, max_batch: int) -> float:
         return self.models[model].peak_throughput(max_batch)
+
+    def est_request_costs(self, max_batches) -> list:
+        """Per-model estimated seconds per queued request (the router's
+        ``model_costs``), each at its own policy's ``max_batch``.
+        ``max_batches`` is one int per model."""
+        return [m.batch_time(b) / b
+                for m, b in zip(self.models, max_batches)]
+
+    def min_request_seconds(self, rtts=None) -> list:
+        """Per-model floor on end-to-end latency: a batch-of-one service
+        time plus the request's transport RTT (when given). No scheduler
+        can answer below this — the autoscaler's doomed-request test."""
+        if rtts is None:
+            rtts = [0.0] * len(self.models)
+        return [m.batch_time(1) + r for m, r in zip(self.models, rtts)]

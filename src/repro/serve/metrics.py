@@ -126,6 +126,11 @@ class EpochRecord:
     mean_batch_size: float  # mean size of the epoch's launches (NaN if none)
     occupancy: float        # mean_batch_size / max_batch (NaN if none)
     queue_depth: int        # outstanding requests at t_end
+    #: outstanding work at ``t_end`` in *estimated service seconds* —
+    #: the cost-aware router's backlog unit, where one queued climate
+    #: scan outweighs many HEP events. NaN on count-based runs: a
+    #: request count has no honest seconds conversion after the fact.
+    queue_seconds: float = float("nan")
     #: per-model attainment against each model's own SLO (None on
     #: single-model runs — the aggregate IS the one model's signal)
     model_attainment: Optional[Tuple[float, ...]] = None
@@ -152,7 +157,25 @@ class EpochRecord:
 class _LatencySample:
     """Shared latency-sample accessors for :class:`LatencyStats` and its
     per-model slices — one implementation of the percentile and hit-rate
-    arithmetic, so the aggregate and the slices can never diverge."""
+    arithmetic, so the aggregate and the slices can never diverge.
+
+    **Degenerate-run contract** (pinned by ``tests/test_serve_metrics``):
+    every accessor returns a documented value instead of raising on
+    zero-completion, all-shed, or single-request runs —
+
+    - undefined *statistics* are ``NaN``: ``percentile``/``p50``/``p99``
+      and ``mean`` with an empty latency sample, ``mean_batch_size``
+      with no recorded batches (you cannot summarize what never
+      happened);
+    - undefined *rates* are ``0.0``: ``hit_rate``/``drop_rate`` with
+      nothing offered, ``throughput``/``deflected_load`` with a
+      non-positive horizon (nothing happened per unit of nothing);
+    - ``attainment`` with nothing offered is vacuously ``1.0`` (no
+      request missed its SLO); an all-shed run is ``0.0`` (every offered
+      request counts as a violation).
+
+    A single completed request is a full sample: every percentile is
+    that one latency, never an interpolation artifact."""
 
     @property
     def n_completed(self) -> int:
@@ -173,6 +196,11 @@ class _LatencySample:
     @property
     def p99(self) -> float:
         return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        return float(self.latencies.mean()) if self.latencies.size else float(
+            "nan")
 
     @property
     def hit_rate(self) -> float:
@@ -296,11 +324,6 @@ class LatencyStats(_LatencySample):
     @property
     def drop_rate(self) -> float:
         return self.n_dropped / self.n_offered if self.n_offered else 0.0
-
-    @property
-    def mean(self) -> float:
-        return float(self.latencies.mean()) if self.latencies.size else float(
-            "nan")
 
     @property
     def throughput(self) -> float:

@@ -222,6 +222,13 @@ def explain(tracer, request_id: int) -> str:
         elif ev.kind == "batch_launch":
             note = (f"batch x{ev.data['size']} launched on replica "
                     f"{ev.replica}")
+            if "work" in ev.data:
+                note += f", est work {ev.data['work'] * 1e3:.3f} ms"
+            if "slack" in ev.data:
+                # why this batch won the launch: its lane head's slack
+                # (deadline minus estimated completion) at commit
+                note += (f", slack {ev.data['slack'] * 1e3:+.3f} ms to "
+                         f"deadline t={ev.data['deadline']:.6f}s")
         elif ev.kind == "batch_abort":
             note = f"batch struck by node death on replica {ev.replica}"
         elif ev.kind == "complete":

@@ -227,7 +227,8 @@ class Tracer:
 
     def batch_launch(self, time: float, replica: int, model: int,
                      completion: float,
-                     members: Tuple[Tuple[float, int], ...]) -> None:
+                     members: Tuple[Tuple[float, int], ...],
+                     info: Optional[Tuple[float, float]] = None) -> None:
         """One committed micro-batch. ``members`` is the lane slice the
         queue launched — ``(enqueue_time, request_id)`` pairs it built
         anyway — and the per-member ``enqueue`` and ``complete`` events
@@ -239,12 +240,24 @@ class Tracer:
         untracks those after one pass, keeping collection cost (the
         dominant tracing overhead at 100k-request scale) off the traced
         run. Stream position is right here, at commit: emission order
-        is commit order, not time order."""
+        is commit order, not time order.
+
+        ``info`` (from a deadline-aware queue) is the ``(deadline,
+        slack)`` pair of the lane head that won the launch: its arrival
+        plus its model's SLO, and how many seconds of margin the batch
+        had left at commit. Materialized events then carry
+        ``data["deadline"]``/``data["slack"]`` alongside the estimated
+        ``data["work"]`` (completion minus launch), so ``explain`` can
+        say *why* the batch launched when it did."""
         # tuple(): a stored list would stay GC-tracked forever; a tuple
         # of pair-tuples is untracked after one pass (no-op if already
         # a tuple)
+        if info is None:
+            payload = (completion, tuple(members))
+        else:
+            payload = (completion, tuple(members), info)
         self._raw.append((time, "batch_launch", None, replica, model,
-                          (completion, tuple(members))))
+                          payload))
         # each member materializes an enqueue and a complete; the batch
         # event itself stands in for the raw slot
         self._n_members += 2 * len(members)
@@ -278,15 +291,18 @@ class Tracer:
                             0 if models is None else int(models[i])))
                     continue
                 if k == "batch_launch":
-                    comp, members = d
+                    comp, members = d[0], d[1]
                     for te, member in members:
                         append(TraceEvent(time=te, kind="enqueue",
                                           request_id=member, replica=rep,
                                           model=m))
+                    data = {"completion": comp, "size": len(members),
+                            "request_ids": tuple(r for _, r in members),
+                            "work": comp - t}
+                    if len(d) > 2:
+                        data["deadline"], data["slack"] = d[2]
                     append(TraceEvent(
-                        time=t, kind=k, replica=rep, model=m,
-                        data={"completion": comp, "size": len(members),
-                              "request_ids": tuple(r for _, r in members)}))
+                        time=t, kind=k, replica=rep, model=m, data=data))
                     for _, member in members:
                         append(TraceEvent(time=comp, kind="complete",
                                           request_id=member, replica=rep,

@@ -36,12 +36,24 @@ class ModelProfile:
     (higher weight = shed later under overload; see
     :class:`~repro.serve.router.Router`). ``slo=None`` lets the simulator
     derive the model's default target from its own batch service time.
+
+    ``policy`` (optional) gives the model its *own*
+    :class:`~repro.serve.batching.BatchingPolicy` — a slow scan model can
+    cap ``max_batch`` low to bound the head-of-line block it inflicts on
+    the shared replica, while a fast model fills deep batches. ``None``
+    inherits the simulator-wide policy.
+
+    ``weight`` must be strictly positive: a zero weight would give the
+    model an admission limit of zero — every request shed even at an
+    empty queue — which is a misconfiguration, not a policy, so it is
+    rejected here (and again at :class:`~repro.serve.router.Router`).
     """
 
     name: str
     workload: object                    # repro.sim.workload.Workload
     slo: Optional[float] = None
     weight: float = 1.0
+    policy: Optional[object] = None     # repro.serve.batching.BatchingPolicy
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -50,6 +62,9 @@ class ModelProfile:
             raise ValueError(f"slo must be positive, got {self.slo}")
         if not self.weight > 0:
             raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.policy is not None and not hasattr(self.policy, "max_batch"):
+            raise ValueError(
+                f"policy must be a BatchingPolicy, got {self.policy!r}")
 
 
 def _state_spec(net) -> Dict[str, Tuple[int, ...]]:
@@ -138,6 +153,7 @@ class ModelRegistry:
         self._workloads: Dict[str, object] = {}
         self._weights: Dict[str, float] = {}
         self._slos: Dict[str, Optional[float]] = {}
+        self._policies: Dict[str, Optional[object]] = {}
         #: called with (name, new_version) after every successful publish —
         #: rollout machinery (e.g. result-cache invalidation) hangs off it
         self._publish_hooks: List[Callable[[str, int], None]] = []
@@ -151,12 +167,14 @@ class ModelRegistry:
                  input_shape: Tuple[int, ...],
                  workload: Optional[object] = None,
                  slo: Optional[float] = None,
-                 weight: float = 1.0) -> None:
+                 weight: float = 1.0,
+                 policy: Optional[object] = None) -> None:
         """Associate ``name`` with a zero-arg net factory and its per-sample
         input shape.
 
-        ``workload``/``slo``/``weight`` are the serving-simulator face of
-        the model (see :class:`ModelProfile`): registering them here is
+        ``workload``/``slo``/``weight``/``policy`` are the
+        serving-simulator face of the model (see :class:`ModelProfile`):
+        registering them here is
         what lets one registry describe the whole multi-model fleet —
         :meth:`profiles` hands the set straight to
         :class:`~repro.serve.slo_sim.ServingSimulator(models=...)`.
@@ -170,7 +188,7 @@ class ModelRegistry:
         # Validate everything (eagerly, even without a workload) BEFORE
         # touching any dict — a failed register must leave no trace, or
         # the corrected retry hits "already registered" forever.
-        ModelProfile(name, workload, slo=slo, weight=weight)
+        ModelProfile(name, workload, slo=slo, weight=weight, policy=policy)
         shape = tuple(input_shape)
         self._builders[name] = builder
         self._input_shapes[name] = shape
@@ -178,6 +196,7 @@ class ModelRegistry:
             self._workloads[name] = workload
         self._slos[name] = slo
         self._weights[name] = float(weight)
+        self._policies[name] = policy
 
     def names(self) -> List[str]:
         return sorted(self._builders)
@@ -192,7 +211,8 @@ class ModelRegistry:
                 f"model {name!r} was registered without a workload; the "
                 f"simulator needs one for its service-time curve")
         return ModelProfile(name, self._workloads[name],
-                            slo=self._slos[name], weight=self._weights[name])
+                            slo=self._slos[name], weight=self._weights[name],
+                            policy=self._policies.get(name))
 
     def profiles(self,
                  names: Optional[List[str]] = None) -> List[ModelProfile]:

@@ -83,6 +83,22 @@ class Router:
       models route and fail over only within their set, via a dedicated
       per-model load heap. Affinity pins replicas, so it is only valid on
       a fixed fleet (``add_replica``/``remove_replica`` refuse).
+
+    **Cost-aware mode** (``model_costs``, per-model estimated seconds per
+    request): the load value routed and admitted on becomes *estimated
+    service seconds* instead of a request count — a queued climate scan
+    (~140x an HEP event) weighs what it actually costs, so least-loaded
+    becomes shortest-expected-work. The ledger stays integer per-model
+    counts per replica; every published load value is recomputed as the
+    dot product of counts and costs (never accumulated in floats), so
+    load values are exact and replica ordering is deterministic. With
+    ``max_queue_seconds``, admission limits are seconds too:
+    ``max_queue_seconds * w_m / max(w)`` — any positive limit admits at
+    an empty queue, so no model can be starved by its weight.
+    ``policies`` / ``order`` / ``model_slos`` are handed down to every
+    replica queue for per-model batching and EDF/slack launch ordering
+    (:class:`~repro.serve.batching.ReplicaBatchQueue`). All of these
+    default off, preserving the count-based scheduler bit for bit.
     """
 
     def __init__(self, machine: Optional[CoriMachine], n_replicas: int,
@@ -95,7 +111,12 @@ class Router:
                      List[Callable[[int], float]]] = None,
                  model_weights: Optional[List[float]] = None,
                  affinity: Optional[Dict[int, Tuple[int, ...]]] = None,
-                 tracer=None) -> None:
+                 tracer=None,
+                 policies: Optional[List[BatchingPolicy]] = None,
+                 order: str = "fifo",
+                 model_slos: Optional[List[float]] = None,
+                 model_costs: Optional[List[float]] = None,
+                 max_queue_seconds: Optional[float] = None) -> None:
         if n_replicas <= 0:
             raise ValueError(
                 f"n_replicas must be positive, got {n_replicas}")
@@ -127,9 +148,40 @@ class Router:
         self.model_weights = (None if model_weights is None
                               else [float(w) for w in model_weights])
         self.max_queue = max_queue
+        self._n_models = n_models
+        for seq, what in ((policies, "batching policies"),
+                          (model_slos, "model SLOs"),
+                          (model_costs, "model costs")):
+            if seq is not None and len(seq) != n_models:
+                raise ValueError(
+                    f"{len(seq)} {what} for {n_models} model(s)")
+        #: per-model batching policies handed to every replica queue
+        self.policies = None if policies is None else list(policies)
+        #: cross-lane launch ordering on every replica queue
+        self.order = order
+        #: per-model SLOs — deadline source for edf/slack queue ordering
+        self.model_slos = (None if model_slos is None
+                           else [float(s) for s in model_slos])
+        if model_costs is not None and any(not c > 0 for c in model_costs):
+            raise ValueError(
+                f"model costs must be positive seconds, got {model_costs}")
+        #: per-model estimated seconds per request; set => cost-aware mode
+        self.model_costs = (None if model_costs is None
+                            else [float(c) for c in model_costs])
+        if max_queue_seconds is not None:
+            if self.model_costs is None:
+                raise ValueError(
+                    "max_queue_seconds needs model_costs (the seconds "
+                    "ledger admission is judged against)")
+            if not max_queue_seconds > 0:
+                raise ValueError(f"max_queue_seconds must be positive, "
+                                 f"got {max_queue_seconds}")
+        self.max_queue_seconds = max_queue_seconds
         #: per-model admission limit: the weighted share of ``max_queue``
-        #: (highest-weight model gets the full queue; see class docstring)
-        self._limits: List[Optional[int]] = self._admission_limits(n_models)
+        #: requests (or ``max_queue_seconds`` seconds of estimated work;
+        #: highest-weight model gets the full queue — see class docstring)
+        self._limits: List[Optional[float]] = self._admission_limits(
+            n_models)
         self.strategy = strategy
         self.on_commit = on_commit
         #: opt-in :class:`repro.serve.obs.Tracer` (duck-typed), handed down
@@ -155,11 +207,17 @@ class Router:
         self.dropped_by_model: Dict[int, int] = {}
         # Incremental event state (see module docstring).
         self._backlog: Dict[int, int] = {}
+        #: cost-aware ledger: replica index -> per-model outstanding
+        #: request counts. Load values are recomputed from these integers
+        #: on every publish (dot with model_costs) — floats are never
+        #: accumulated, so equal states always produce equal load values.
+        self._counts: Dict[int, List[int]] = {}
         self._live: Dict[int, ReplicaHandle] = {}
-        self._load_heap: List[Tuple[int, int]] = []
-        self._model_heaps: Dict[int, List[Tuple[int, int]]] = {
+        self._load_heap: List[Tuple[float, int]] = []
+        self._model_heaps: Dict[int, List[Tuple[float, int]]] = {
             m: [] for m in self.affinity}
-        self._completion_events: List[Tuple[float, int, int]] = []
+        #: (completion, replica, model, size) — one decrement per batch
+        self._completion_events: List[Tuple[float, int, int, int]] = []
         self._launch_events: List[Tuple[float, int]] = []
         # One contiguous allocation, one node per replica (Fig 3 ideal).
         placement = self.machine.topology.place(n_replicas, 1)
@@ -187,8 +245,8 @@ class Router:
     def node_ids(self) -> List[int]:
         return [r.node_id for r in self.replicas]
 
-    def _admission_limits(self, n_models: int) -> List[Optional[int]]:
-        """Per-model admission limit on a replica's outstanding requests.
+    def _admission_limits(self, n_models: int) -> List[Optional[float]]:
+        """Per-model admission limit on a replica's outstanding work.
 
         Without weights every model shares ``max_queue`` — the unweighted
         (single-model) behavior, unchanged. With weights, model ``m`` is
@@ -196,11 +254,30 @@ class Router:
         ``ceil(max_queue * w_m / max(w))``: the highest-weight model keeps
         the whole queue, lower-weight ones are shed progressively earlier
         as backlog builds, so overload evicts cheap traffic first.
+
+        Every limit is floored at one request: weights are validated
+        positive (here and at ``register()``), but even an arbitrarily
+        tiny weight must admit at an empty queue — a zero limit would
+        shed a model's every request unconditionally, which is a
+        misconfiguration, not a policy. (The floor also makes the
+        weight-0 corner — ``ceil(0) == 0`` — structurally impossible
+        should validation ever be bypassed.)
+
+        With ``max_queue_seconds`` the limits are *seconds of estimated
+        work* (``max_queue_seconds * w_m / max(w)``) judged against the
+        replica's cost-weighted backlog; any positive limit admits at an
+        empty queue, so the floor is inherent.
         """
+        if self.max_queue_seconds is not None:
+            if self.model_weights is None:
+                return [self.max_queue_seconds] * n_models
+            w_max = max(self.model_weights)
+            return [self.max_queue_seconds * w / w_max
+                    for w in self.model_weights]
         if self.model_weights is None or self.max_queue is None:
             return [self.max_queue] * n_models
         w_max = max(self.model_weights)
-        return [int(math.ceil(self.max_queue * w / w_max))
+        return [max(1, int(math.ceil(self.max_queue * w / w_max)))
                 for w in self.model_weights]
 
     # -- incremental event state ----------------------------------------------
@@ -210,12 +287,27 @@ class Router:
             self.policy, self.service_time, free_at=free_at,
             on_commit=lambda batch, i=index: self._commit(i, batch),
             service_times=self.service_times,
-            tracer=self.tracer, replica=index)
+            tracer=self.tracer, replica=index,
+            policies=self.policies, order=self.order,
+            slos=self.model_slos)
         handle = ReplicaHandle(index, node_id, queue)
         self._live[index] = handle
         self._backlog[index] = 0
-        self._push_load(index, 0)
+        if self.model_costs is not None:
+            self._counts[index] = [0] * self._n_models
+        self._push_load(index, self._value(index))
         return handle
+
+    def _value(self, index: int):
+        """The load value published for one replica: its request count, or
+        — cost-aware mode — its backlog in estimated service seconds,
+        recomputed as the dot product of the integer per-model counts and
+        ``model_costs`` (fixed summation order, so the same counts always
+        yield the identical float)."""
+        if self.model_costs is None:
+            return self._backlog[index]
+        return sum(c * w for c, w in
+                   zip(self._counts[index], self.model_costs))
 
     def _push_load(self, index: int, backlog: int) -> None:
         """Publish a replica's new backlog to the load heap(s): the global
@@ -230,7 +322,7 @@ class Router:
         """A batch was committed on replica ``index``: its backlog drops by
         the batch size once the completion time passes."""
         heapq.heappush(self._completion_events,
-                       (batch.completion, index, batch.size))
+                       (batch.completion, index, batch.model, batch.size))
         if self.on_commit is not None:
             self.on_commit(index, batch)
 
@@ -257,19 +349,21 @@ class Router:
                 self._schedule_launch(handle)
         ce = self._completion_events
         while ce and ce[0][0] <= t:
-            _, idx, size = heapq.heappop(ce)
+            _, idx, model, size = heapq.heappop(ce)
             if idx in self._live:
-                b = self._backlog[idx] - size
-                self._backlog[idx] = b
-                self._push_load(idx, b)
+                self._backlog[idx] -= size
+                if self.model_costs is not None:
+                    self._counts[idx][model] -= size
+                self._push_load(idx, self._value(idx))
 
     def _assign(self, handle: ReplicaHandle, t: float, request_id: int,
                 model: int = 0) -> None:
         """Push one request and keep counters and launch events current."""
         handle.queue.push(t, request_id, model)
-        b = self._backlog[handle.index] + 1
-        self._backlog[handle.index] = b
-        self._push_load(handle.index, b)
+        self._backlog[handle.index] += 1
+        if self.model_costs is not None:
+            self._counts[handle.index][model] += 1
+        self._push_load(handle.index, self._value(handle.index))
         self._schedule_launch(handle)
 
     def _least_loaded(self, model: int = 0) -> Optional[ReplicaHandle]:
@@ -283,7 +377,7 @@ class Router:
         while heap:
             backlog, idx = heap[0]
             handle = self._live.get(idx)
-            if handle is None or self._backlog[idx] != backlog:
+            if handle is None or self._value(idx) != backlog:
                 heapq.heappop(heap)      # stale entry: retired or restated
                 continue
             return handle
@@ -314,7 +408,20 @@ class Router:
 
     def _full(self, handle: ReplicaHandle, model: int = 0) -> bool:
         limit = self._limits[model]
-        return limit is not None and self._backlog[handle.index] >= limit
+        if limit is None:
+            return False
+        if self.max_queue_seconds is not None:
+            # seconds-based admission: cost-weighted backlog vs a seconds
+            # limit — an empty replica (0.0) always clears a positive one
+            return self._value(handle.index) >= limit
+        return self._backlog[handle.index] >= limit
+
+    def total_backlog(self, t: float) -> float:
+        """Fleet-wide outstanding work at ``t``: estimated service seconds
+        in cost-aware mode, a plain request count otherwise — the queue
+        pressure signal the autoscaler records per epoch."""
+        self._sync(t)
+        return float(sum(self._value(r.index) for r in self.replicas))
 
     def _shed(self, t: float, request_id: int, model: int) -> bool:
         self.n_dropped += 1

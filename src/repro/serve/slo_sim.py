@@ -55,7 +55,7 @@ from repro.serve.arrivals import (
     make_contents,
     make_model_ids,
 )
-from repro.serve.batching import Batch, BatchingPolicy
+from repro.serve.batching import LAUNCH_ORDERS, Batch, BatchingPolicy
 from repro.serve.cache import CACHE_POLICIES, ResultCache
 from repro.serve.latency import PerModelServiceTime, ServiceTimeModel
 from repro.serve.metrics import (
@@ -126,6 +126,24 @@ class ServingSimulator:
     request whose content key is already being forwarded waits for that
     forward instead of consuming another replica slot, completing at the
     leader's finish plus transport (``n_coalesced`` in the stats).
+
+    **Deadline-aware scheduling** (both knobs default off — the exact
+    count-based scheduler, bit for bit):
+
+    - ``order`` (:data:`~repro.serve.batching.LAUNCH_ORDERS`) sets the
+      cross-lane launch ordering on every replica: ``"edf"`` launches the
+      lane whose oldest request has the earliest deadline (arrival + its
+      model's SLO), ``"slack"`` the least slack to its deadline;
+    - ``cost_aware=True`` switches routing and admission from request
+      counts to *estimated service seconds* (each model's amortized
+      full-batch time per request): least-loaded becomes
+      shortest-expected-work, and ``max_queue`` requests become the
+      equivalent mix-weighted seconds budget, so one queued climate scan
+      counts for what it costs (~140x an HEP event) instead of 1.
+
+    A profile's ``policy`` gives that model its own per-model
+    ``max_batch``/``max_wait`` on the shared replicas (capacity,
+    default SLOs, and cost estimates all follow it).
     """
 
     def __init__(self, workload: Optional[Workload] = None,
@@ -141,15 +159,22 @@ class ServingSimulator:
                  model_mix: MixLike = None,
                  affinity: Optional[dict] = None,
                  service_models: Optional[Sequence] = None,
-                 coalesce: bool = False) -> None:
+                 coalesce: bool = False,
+                 order: str = "fifo",
+                 cost_aware: bool = False) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         if cache_policy not in CACHE_POLICIES:
             raise ValueError(f"unknown cache policy {cache_policy!r}; "
                              f"have {CACHE_POLICIES}")
+        if order not in LAUNCH_ORDERS:
+            raise ValueError(f"unknown launch order {order!r}; "
+                             f"have {LAUNCH_ORDERS}")
         self.machine = machine or cori(seed=0, jitter=False)
         self.n_replicas = n_replicas
         self.policy = policy or BatchingPolicy()
+        self.order = order
+        self.cost_aware = bool(cost_aware)
         self.max_queue = max_queue
         self.strategy = strategy
         self.models: Optional[List[ModelProfile]] = None
@@ -221,6 +246,21 @@ class ServingSimulator:
         self._prof = None
 
     # -- capacity ------------------------------------------------------------
+    def model_policies(self) -> Optional[List[BatchingPolicy]]:
+        """Per-model batching policies, or ``None`` when every profile
+        inherits the shared one (the pre-refactor wiring, untouched)."""
+        if self.models is None or all(p.policy is None
+                                      for p in self.models):
+            return None
+        return [p.policy if p.policy is not None else self.policy
+                for p in self.models]
+
+    def _policy_of(self, m: int) -> BatchingPolicy:
+        """Model ``m``'s effective batching policy."""
+        if self.models is not None and self.models[m].policy is not None:
+            return self.models[m].policy
+        return self.policy
+
     def saturation_rate(self) -> float:
         """Offered rate (req/s) at which full-batch replicas are 100% busy.
 
@@ -228,19 +268,33 @@ class ServingSimulator:
         ``r * share_m`` on model ``m``, each request of which costs
         ``1 / peak_m`` replica-seconds, so the fleet saturates at
         ``R / sum_m(share_m / peak_m)`` (one model's reciprocal throughput
-        with one profile).
+        with one profile). Each model runs at its own policy's
+        ``max_batch`` when per-model policies are set.
         """
-        B = self.policy.max_batch
         if self.models is None:
-            return self.n_replicas * self.service.peak_throughput(B)
+            return self.n_replicas * self.service.peak_throughput(
+                self.policy.max_batch)
         shares = self.model_mix.shares
-        denom = sum(float(s) / self.services.peak_throughput(m, B)
-                    for m, s in enumerate(shares))
+        denom = sum(
+            float(s) / self.services.peak_throughput(
+                m, self._policy_of(m).max_batch)
+            for m, s in enumerate(shares))
         return self.n_replicas / denom
+
+    def model_costs(self) -> List[float]:
+        """Per-model estimated service seconds one queued request
+        represents (amortized full-batch time at the model's own
+        ``max_batch``) — the cost-aware router's backlog unit."""
+        if self.models is None:
+            return [self.service.est_request_cost(self.policy.max_batch)]
+        return self.services.est_request_costs(
+            [self._policy_of(m).max_batch
+             for m in range(len(self.models))])
 
     def model_slos(self) -> List[float]:
         """Each model's latency target: its profile ``slo`` or, by
-        default, the single-model formula on its own service curve."""
+        default, the single-model formula on its own service curve (and
+        its own batching policy, when it has one)."""
         if self.models is None:
             return [self.default_slo()]
         out = []
@@ -249,8 +303,9 @@ class ServingSimulator:
                 out.append(float(p.slo))
             else:
                 svc = self.services[m]
-                out.append(3.0 * svc.batch_time(self.policy.max_batch)
-                           + self.policy.launch_wait + svc.request_rtt())
+                pol = self._policy_of(m)
+                out.append(3.0 * svc.batch_time(pol.max_batch)
+                           + pol.launch_wait + svc.request_rtt())
         return out
 
     def default_slo(self) -> float:
@@ -269,6 +324,31 @@ class ServingSimulator:
                   seed: SeedLike) -> np.ndarray:
         return make_arrivals(process, rate, n_requests, seed=seed)
 
+    def _scheduling_kwargs(self) -> dict:
+        """Deadline/cost scheduling knobs for the router — every value
+        defaults to the router's own default when the knob is off, so a
+        fifo, count-based simulator constructs the exact legacy router."""
+        kw = {"policies": self.model_policies(), "order": self.order,
+              "model_slos": None, "model_costs": None,
+              "max_queue_seconds": None}
+        if self.order != "fifo":
+            kw["model_slos"] = self.model_slos()
+        if self.cost_aware:
+            costs = self.model_costs()
+            kw["model_costs"] = costs
+            if self.max_queue is not None:
+                # the seconds equivalent of `max_queue` queued requests:
+                # the mix-weighted mean cost of one — same expected queue
+                # bound, now denominated in work
+                if self.models is None:
+                    mean_cost = costs[0]
+                else:
+                    mean_cost = sum(
+                        float(s) * c
+                        for s, c in zip(self.model_mix.shares, costs))
+                kw["max_queue_seconds"] = self.max_queue * mean_cost
+        return kw
+
     def _make_router(self, on_commit=None) -> Router:
         """Router factory — the reference (pre-PR) simulator overrides this
         to route with the O(R) linear scans for the differential tests."""
@@ -279,11 +359,12 @@ class ServingSimulator:
                           strategy=self.strategy, on_commit=on_commit,
                           service_times=self.services.batch_time_fns(),
                           model_weights=[p.weight for p in self.models],
-                          affinity=self.affinity, tracer=self._tracer)
+                          affinity=self.affinity, tracer=self._tracer,
+                          **self._scheduling_kwargs())
         return Router(self.machine, self.n_replicas, self.policy,
                       self.service.batch_time, max_queue=self.max_queue,
                       strategy=self.strategy, on_commit=on_commit,
-                      tracer=self._tracer)
+                      tracer=self._tracer, **self._scheduling_kwargs())
 
     def _make_cache_run(self, n_requests: int, popularity: PopularityLike,
                         seed: SeedLike) -> Optional[_CacheRun]:
@@ -342,6 +423,12 @@ class ServingSimulator:
                 "n_replicas": self.n_replicas,
                 "max_batch": self.policy.max_batch,
                 "batching_mode": self.policy.mode,
+                "order": self.order,
+                "cost_aware": self.cost_aware,
+                "model_max_batch": [self._policy_of(m).max_batch
+                                    for m in range(
+                                        1 if self.models is None
+                                        else len(self.models))],
                 "cache_size": self.cache_size,
                 "coalesce": self.coalesce,
                 "models": names,
