@@ -1,0 +1,106 @@
+"""Fast simulator core: the million-request benchmark.
+
+The acceptance bar for the array engine (``ServingSimulator(
+engine="array")``, :mod:`repro.serve.fast_core`): at 10^6 requests on a
+64-replica fleet it must produce *bit-identical* :class:`LatencyStats`
+to the object event loop while running >= 10x faster wall-clock. The PR 4
+frozen oracle (:class:`repro.serve.reference.LinearServingSimulator`) is
+additionally timed on a 100k slice of the same configuration, pinning the
+full chain — O(R)-scan oracle -> heap event loop -> flat array core — in
+one artifact section.
+
+Non-blocking in CI like every tier-2 benchmark; the measured numbers land
+in ``BENCH_serve.json`` under ``fast_core``.
+"""
+
+from time import perf_counter
+
+import numpy as np
+
+from bench_report import bench_json, report
+from repro.serve import BatchingPolicy, ServingSimulator
+from repro.serve.reference import LinearServingSimulator
+
+N_REQUESTS = 1_000_000
+N_REPLICAS = 64
+ORACLE_N = 100_000
+SEED = 7
+LOAD = 1.05        # just past saturation: shedding + full-batch pressure
+SPEEDUP_FLOOR = 10.0
+
+
+class TestFastCoreMillionRequests:
+    def _sim(self, wl, engine):
+        return ServingSimulator(wl, n_replicas=N_REPLICAS,
+                                policy=BatchingPolicy(max_batch=32),
+                                max_queue=128, engine=engine)
+
+    def test_million_request_speedup_and_bit_identity(self, hep_wl):
+        event = self._sim(hep_wl, "event")
+        rate = LOAD * event.saturation_rate()
+
+        t0 = perf_counter()
+        ev = event.run(rate, N_REQUESTS, "poisson", seed=SEED)
+        t_event = perf_counter() - t0
+
+        array = self._sim(hep_wl, "array")
+        t0 = perf_counter()
+        ar = array.run(rate, N_REQUESTS, "poisson", seed=SEED)
+        t_array = perf_counter() - t0
+        assert array.last_run_engine == "array"
+
+        # Bit-identical on the full 10^6-request trace: every latency,
+        # every batch, every counter — not a statistical match.
+        assert np.array_equal(ev.latencies, ar.latencies)
+        assert np.array_equal(ev.batch_sizes, ar.batch_sizes)
+        assert ev.n_dropped == ar.n_dropped
+        assert ev.n_offered == ar.n_offered
+        assert ev.horizon == ar.horizon
+
+        # The PR 4 frozen oracle on a 100k slice of the same config (1M
+        # through the O(R) linear scans would take minutes) — differential
+        # plus the second speedup ratio for the artifact.
+        oracle = LinearServingSimulator(hep_wl, n_replicas=N_REPLICAS,
+                                        policy=BatchingPolicy(max_batch=32),
+                                        max_queue=128)
+        slice_sim = self._sim(hep_wl, "array")
+        t0 = perf_counter()
+        os_ = oracle.run(rate, ORACLE_N, "poisson", seed=SEED)
+        t_oracle = perf_counter() - t0
+        t0 = perf_counter()
+        as_ = slice_sim.run(rate, ORACLE_N, "poisson", seed=SEED)
+        t_slice = perf_counter() - t0
+        assert np.array_equal(os_.latencies, as_.latencies)
+        assert np.array_equal(os_.batch_sizes, as_.batch_sizes)
+        assert os_.n_dropped == as_.n_dropped
+
+        speedup = t_event / t_array
+        oracle_speedup = t_oracle / t_slice
+        report(f"Fast simulator core: {N_REQUESTS:,} requests, "
+               f"{N_REPLICAS} replicas at {LOAD:.2f}x saturation", [
+                   ("event engine (s)", "--", f"{t_event:.2f}"),
+                   ("array engine (s)", "--", f"{t_array:.2f}"),
+                   ("speedup vs event loop", f">= {SPEEDUP_FLOOR:.0f}x",
+                    f"{speedup:.1f}x"),
+                   (f"PR 4 oracle, {ORACLE_N:,} reqs (s)", "--",
+                    f"{t_oracle:.2f}"),
+                   ("speedup vs PR 4 oracle", "--",
+                    f"{oracle_speedup:.1f}x"),
+                   ("bit-identical stats", "yes", "yes"),
+                   ("requests shed", "--", f"{ev.n_dropped:,}"),
+               ])
+        bench_json("fast_core", {
+            "n_requests": N_REQUESTS, "n_replicas": N_REPLICAS,
+            "load_fraction": LOAD, "process": "poisson", "seed": SEED,
+            "event_seconds": t_event, "array_seconds": t_array,
+            "speedup_vs_event": speedup,
+            "oracle_n_requests": ORACLE_N,
+            "oracle_seconds": t_oracle,
+            "oracle_slice_array_seconds": t_slice,
+            "speedup_vs_oracle_at_100k": oracle_speedup,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "bit_identical": True,
+        })
+        # The acceptance floor (non-blocking at the CI job level, like
+        # every tier-2 perf assertion).
+        assert speedup >= SPEEDUP_FLOOR

@@ -33,6 +33,9 @@ accounting:
   SLO-attainment curves for capacity planning; multi-model shared pools
   (``models=[ModelProfile(...), ...]``) with per-model SLOs, weighted
   admission, optional replica affinity, and in-flight request coalescing;
+- :mod:`repro.serve.fast_core` — the flat struct-of-arrays drive loop
+  behind ``ServingSimulator(engine="array")``: bit-identical to the event
+  loop on its supported class, ~10x faster at 10^6 requests;
 - :mod:`repro.serve.autoscale` — burst-aware replica autoscaling: a
   discrete-time controller that scales out on broken SLO attainment and in
   on sustained idle occupancy, contending with node failures from
@@ -131,8 +134,10 @@ from repro.serve.registry import (  # noqa: F401
     ModelRegistry,
     ServableModel,
 )
+from repro.serve.fast_core import FastRun  # noqa: F401
 from repro.serve.router import ReplicaHandle, Router  # noqa: F401
 from repro.serve.slo_sim import (  # noqa: F401
+    ENGINES,
     ServingSimulator,
     compare_batching_modes,
     sweep_cache_sizes,

@@ -219,8 +219,16 @@ class AutoscalingSimulator(ServingSimulator):
     :class:`FailureModel` sampled over ``max_replicas`` slots for the span
     of the arrival stream; an event's ``node_id`` maps onto the current
     fleet as ``node_id % n_replicas``, so the failure process stays
-    meaningful while the fleet resizes. ``degrade`` events are ignored — a
-    degraded node still answers; modeling its slowdown is future work.
+    meaningful while the fleet resizes. ``degrade`` events slow the mapped
+    replica: every batch it commits from the event on serves
+    ``slow_factor`` times longer (repeat degrades compound, and there is
+    no repair — the slowdown persists until the replica leaves the
+    fleet). A degraded node keeps routing weight, so its backlog drains
+    slower, completions arrive later, and the controller sees the damage
+    through the same attainment/doomed signals as any other capacity
+    loss — each event is recorded as a ``delta == 0`` ``"degrade"``
+    :class:`ScaleEvent` and the epoch records count the currently slow
+    replicas in ``n_degraded``.
 
     The returned :class:`LatencyStats` carries ``epochs``,
     ``scale_events``, and ``mean_replicas`` (time-averaged fleet over the
@@ -244,7 +252,9 @@ class AutoscalingSimulator(ServingSimulator):
                  service_models: Optional[Sequence] = None,
                  coalesce: bool = False,
                  order: str = "fifo",
-                 cost_aware: bool = False) -> None:
+                 cost_aware: bool = False,
+                 max_queue_seconds: Optional[float] = None,
+                 engine: str = "event") -> None:
         self.autoscale = autoscale or AutoscalePolicy()
         initial = (self.autoscale.min_replicas if n_replicas is None
                    else n_replicas)
@@ -263,7 +273,9 @@ class AutoscalingSimulator(ServingSimulator):
                          cache_size=cache_size, cache_policy=cache_policy,
                          models=models, model_mix=model_mix,
                          service_models=service_models, coalesce=coalesce,
-                         order=order, cost_aware=cost_aware)
+                         order=order, cost_aware=cost_aware,
+                         max_queue_seconds=max_queue_seconds,
+                         engine=engine)
         if failures is not None and failure_events is not None:
             raise ValueError(
                 "pass either a FailureModel or explicit failure_events, "
@@ -323,23 +335,23 @@ class AutoscalingSimulator(ServingSimulator):
     # -- the control loop -----------------------------------------------------
     def _failure_schedule(self, t0: float,
                           t_end: float) -> List[FailureEvent]:
-        """Fail-stop events inside the controlled window, time-ordered.
+        """Failure events inside the controlled window, time-ordered —
+        both kinds: ``"fail"`` (fail-stop node death) and ``"degrade"``
+        (the node slows by ``slow_factor`` but keeps serving).
 
         Only the arrival span is exposed to failures: once the stream ends
         there is no controller awake to repair, so a post-stream death
         would just punch an unattributable hole in the drain.
         """
         if self.failure_events is not None:
-            events = [e for e in self.failure_events
-                      if t0 < e.time <= t_end]
-        elif self.failures is not None:
-            events = [FailureEvent(e.time + t0, e.node_id, e.kind,
-                                   e.slow_factor)
-                      for e in self.failures.sample_events(
-                          self.autoscale.max_replicas, t_end - t0)]
-        else:
-            return []
-        return [e for e in events if e.kind == "fail"]
+            return [e for e in self.failure_events
+                    if t0 < e.time <= t_end]
+        if self.failures is not None:
+            return [FailureEvent(e.time + t0, e.node_id, e.kind,
+                                 e.slow_factor)
+                    for e in self.failures.sample_events(
+                        self.autoscale.max_replicas, t_end - t0)]
+        return []
 
     def _observe(self, router: Router, admitted: dict, t_start: float,
                  t_end: float, index: int, slos: List[float],
@@ -367,6 +379,17 @@ class AutoscalingSimulator(ServingSimulator):
         Everything here is knowable at ``t_end``; nothing peeks at future
         arrivals.
 
+        Degraded nodes feed the doomed signal: when *every* live replica
+        is serving slowed (``n_degraded == n_replicas``), the best
+        possible remaining service is the healthy floor's service part
+        times the fleet's smallest slow factor — queued requests cross
+        the doomed threshold earlier, so the controller reacts to a
+        fleet-wide slowdown an epoch or two sooner. With any healthy
+        replica left the floors stand: a queued request *could* still be
+        served at full speed, and the doomed count must stay a sound
+        lower bound on violations (the slowdown then shows up through
+        late completions instead).
+
         Windows are half-open ``(t_start, t_end]`` so consecutive epochs
         partition the timeline — except epoch 0, whose start is the first
         arrival itself and therefore closed, so that arrival (and a batch
@@ -387,6 +410,20 @@ class AutoscalingSimulator(ServingSimulator):
         to invalidate — is not worth its complexity yet.
         """
         on_start = t_start if index == 0 else math.inf
+        n_degraded = 0
+        slow_min = math.inf
+        for r in router.replicas:
+            f = r.queue.slow_factor
+            if f != 1.0:
+                n_degraded += 1
+            if f < slow_min:
+                slow_min = f
+        if n_degraded and slow_min != 1.0:
+            # Every live replica is slow: raise the doomed floors (the
+            # guard keeps degrade-free runs off this arithmetic entirely,
+            # preserving their bit-identical floors).
+            floors = [(fl - rtt) * slow_min + rtt
+                      for fl, rtt in zip(floors, rtts)]
         completions = router.completions()
         mids = self._mids
         M = len(slos)
@@ -468,10 +505,14 @@ class AutoscalingSimulator(ServingSimulator):
                            mean_batch_size=mean_batch, occupancy=occupancy,
                            queue_depth=queue_depth,
                            queue_seconds=queue_seconds,
-                           model_attainment=model_attainment)
+                           model_attainment=model_attainment,
+                           n_degraded=n_degraded)
 
     def _drive(self, arrivals: np.ndarray, router: Router,
                admitted: dict) -> None:
+        # The control loop is object-event only: fleets change size, so
+        # the flat array core (fixed-fleet by construction) never applies.
+        self.last_run_engine = "event"
         slo = getattr(self, "_run_slo", None) or self.default_slo()
         if self.models is None:
             slos = [slo]
@@ -538,7 +579,8 @@ class AutoscalingSimulator(ServingSimulator):
                           "attainment": rec.attainment,
                           "control_attainment": rec.control_attainment,
                           "occupancy": rec.occupancy,
-                          "queue_depth": rec.queue_depth})
+                          "queue_depth": rec.queue_depth,
+                          "n_degraded": rec.n_degraded})
             decision = controller.decide(rec)
             if decision.delta > 0:
                 for _ in range(decision.delta):
@@ -565,6 +607,27 @@ class AutoscalingSimulator(ServingSimulator):
 
         def apply_failure(ev: FailureEvent) -> None:
             if router.n_replicas == 0:
+                return
+            if ev.kind == "degrade":
+                # Capacity loss without a fleet-size change: no area
+                # breakpoint needed, the replica stays in rotation.
+                slowed = router.degrade_replica(
+                    ev.time, ev.node_id % router.n_replicas, ev.slow_factor)
+                reason = ScaleReason(
+                    "node_degrade",
+                    detail=f"node {slowed.node_id} degraded, batches "
+                           f"{ev.slow_factor:g}x slower")
+                events.append(ScaleEvent(
+                    time=ev.time, epoch=epoch_idx, action="degrade",
+                    delta=0, n_replicas=router.n_replicas, reason=reason))
+                if tracer is not None:
+                    tracer.emit(
+                        "scale", ev.time,
+                        data={"epoch": epoch_idx, "action": "degrade",
+                              "delta": 0, "n_replicas": router.n_replicas,
+                              "node_id": slowed.node_id,
+                              "slow_factor": float(ev.slow_factor),
+                              **reason.signals()})
                 return
             advance_area(ev.time)
             dead, lost = router.fail_replica(

@@ -196,11 +196,29 @@ class ReplicaBatchQueue:
         # Tracks the last push time only — arrivals may well precede
         # free_at (requests queuing while the replica is still busy).
         self._clock = -math.inf
+        #: batch-time multiplier of a degraded node (1.0 = healthy). The
+        #: ``!= 1.0`` guard keeps the healthy path's float ops untouched,
+        #: so undegraded runs stay bit-identical to the pre-degrade code.
+        self.slow_factor = 1.0
+
+    def degrade(self, slow_factor: float) -> None:
+        """Slow every batch committed from now on by ``slow_factor`` >= 1
+        (a throttled or half-broken node, not a dead one). Repeat degrades
+        compound multiplicatively; there is no repair — a degraded node
+        stays slow until the autoscaler retires it."""
+        if not slow_factor >= 1.0:
+            raise ValueError(
+                f"slow_factor must be >= 1.0, got {slow_factor}")
+        self.slow_factor = self.slow_factor * float(slow_factor)
 
     def _svc(self, model: int, size: int) -> float:
         if self.service_times is not None:
-            return self.service_times[model](size)
-        return self.service_time(size)
+            base = self.service_times[model](size)
+        else:
+            base = self.service_time(size)
+        if self.slow_factor != 1.0:
+            return base * self.slow_factor
+        return base
 
     def _policy(self, model: int) -> BatchingPolicy:
         """Model ``model``'s batching policy (the shared one by default)."""

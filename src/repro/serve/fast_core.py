@@ -1,0 +1,346 @@
+"""Flat struct-of-arrays serving core: the million-request drive loop.
+
+The object event loop (:class:`~repro.serve.slo_sim.ServingSimulator` +
+:class:`~repro.serve.router.Router` + per-replica
+:class:`~repro.serve.batching.ReplicaBatchQueue` lanes) is the *semantic*
+definition of the simulator, but at 10^6 requests its per-arrival costs —
+method dispatch through ``submit``/``_sync``/``advance``, tuple churn on
+three heaps, a dict lookup per counter — dominate wall clock. This module
+is the same discrete-event computation restructured as one fused loop over
+preallocated arrays and flat lists:
+
+- per-request state is two preallocated arrays (completion time, shed
+  flag) plus append-only per-replica assignment lists with head pointers
+  (no ``del lane[:take]`` churn — a "lane" is a window into an
+  append-only list);
+- the load heap holds *int-encoded* keys ``backlog << shift | replica``
+  (one machine int instead of a tuple; staleness is one int compare
+  against the replica's current key);
+- launch/completion heaps are consulted through cached "next event time"
+  scalars, so the common no-event-due arrival costs two float compares;
+- per-request completion times are written once at the end with a single
+  ``np.repeat`` fancy assignment from the per-batch record.
+
+**Equivalence, not approximation.** Every float produced here is computed
+by the same IEEE-754 operations in the same order as the event loop:
+launch instants as two-way ``max`` of the same operands, completions as
+``launch + service[take]`` from the same memoized service table, latencies
+as ``(completion - arrival) + rtt``. The engine differential suite
+(``tests/test_serve_fastcore.py``) pins bit-identical
+:class:`~repro.serve.metrics.LatencyStats` against both the event engine
+and the PR 4 frozen oracle (:mod:`repro.serve.reference`), and
+``benchmarks/test_serve_fastcore.py`` re-pins it at the full million
+requests while asserting the speedup floor.
+
+**Scope.** The array core natively covers the plain single-model class:
+one model, fixed fleet, least-loaded routing, count-based admission
+(``max_queue`` or ``None``), fifo launch order, windowed or continuous
+batching, no cache, no coalescing, no tracer/profiler. Everything else —
+multi-model lanes, cost-aware/EDF scheduling, result caches, autoscaled
+fleets — keeps the object event loop: those paths are control-heavy, not
+arrival-heavy, and their semantics live in the router/queue objects.
+``ServingSimulator(engine="array")`` consults :func:`unsupported_reason`
+and falls back transparently, so callers opt into the fast core per
+simulator, not per config.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from heapq import heappop, heappush, heapify
+from typing import List, Optional
+
+import numpy as np
+
+from repro.serve.metrics import LatencyStats
+
+_INF = math.inf
+
+
+def unsupported_reason(sim) -> Optional[str]:
+    """Why ``sim``'s current configuration cannot run on the array core
+    (``None``: it can). The predicate is explicit and exhaustive — the
+    ``engine="array"`` differential tests assert it, so a config silently
+    landing on the wrong path fails loudly there."""
+    if sim.models is not None:
+        return "multi-model runs batch per-model lanes on the event loop"
+    if sim.strategy != "least_loaded":
+        return f"strategy {sim.strategy!r} is event-loop only"
+    if sim.cost_aware:
+        return "cost-aware routing/admission is event-loop only"
+    if sim.order != "fifo":
+        return f"launch order {sim.order!r} is event-loop only"
+    if sim.cache_size > 0 or sim.coalesce:
+        return "result cache / coalescing is event-loop only"
+    if sim._tracer is not None or sim._prof is not None:
+        return "tracing/profiling hooks instrument the event loop"
+    return None
+
+
+@dataclass
+class FastRun:
+    """One finished array-core drive, pre-:class:`LatencyStats`.
+
+    ``complete_t[i]`` is request ``i``'s completion time (NaN when shed —
+    ``shed[i]`` is the mask); the ``b*`` lists are per-replica batch
+    records in launch order, the raw form of ``LatencyStats.batch_sizes``.
+    """
+
+    complete_t: np.ndarray
+    shed: np.ndarray
+    bstart: List[List[float]]
+    bcomp: List[List[float]]
+    bsize: List[List[int]]
+    n_dropped: int
+
+
+def drive(sim, arrivals: np.ndarray) -> FastRun:
+    """Run one supported-class arrival stream through the array core."""
+    policy = sim.policy
+    B = policy.max_batch
+    # The same memoized service table the replica queues read — index b
+    # is the batched-forward time of a size-b launch.
+    svc = [0.0] + [sim.service.batch_time(b) for b in range(1, B + 1)]
+    Q = _INF if sim.max_queue is None else sim.max_queue
+    return _drive_flat(arrivals.astype(np.float64).tolist(),
+                       sim.n_replicas, B, policy.launch_wait, svc, Q,
+                       int(arrivals.size))
+
+
+def collect(run: FastRun, arrivals: np.ndarray, rtt: float) -> LatencyStats:
+    """Assemble :class:`LatencyStats` from a :class:`FastRun` — the array
+    form of ``ServingSimulator._collect``, producing bit-identical fields:
+    latencies in request-id order as ``(completion - arrival) + rtt``,
+    horizon from the last completion plus the transport leg, batch sizes
+    stable-sorted by ``(start, completion)`` exactly like
+    ``Router.batches()``."""
+    mask = ~run.shed
+    latencies = (run.complete_t[mask] - arrivals[mask]) + rtt
+    R = len(run.bstart)
+    starts = [s for r in range(R) for s in run.bstart[r]]
+    comps = [c for r in range(R) for c in run.bcomp[r]]
+    sizes = [s for r in range(R) for s in run.bsize[r]]
+    order = sorted(range(len(starts)), key=lambda i: (starts[i], comps[i]))
+    batch_sizes = np.array([sizes[i] for i in order], dtype=int)
+    horizon = 0.0
+    if comps:
+        horizon = max(comps) + rtt - float(arrivals[0])
+    return LatencyStats(latencies=latencies,
+                        n_offered=int(arrivals.size),
+                        n_dropped=run.n_dropped, horizon=horizon,
+                        batch_sizes=batch_sizes)
+
+
+def _drive_flat(arrivals: List[float], R: int, B: int, wait: float,
+                svc: List[float], Q: float, n: int) -> FastRun:
+    """The fused drive/drain loop. One iteration per arrival:
+
+    1. play launch events due by ``t`` (commit every batch whose launch
+       instant is determined and before ``t``; full batches commit on any
+       touch, even past ``t`` — their membership cannot change);
+    2. play completion events due by ``t`` (backlog decrements);
+    3. read the least-loaded replica off the lazy int-keyed heap;
+    4. admit (append to the replica's lane, maybe commit a displaced full
+       batch inline) or shed at the ``Q`` backlog limit.
+
+    The launch/completion rules are the event loop's, verbatim: a full
+    batch launches at ``max(free_at, arrival of its B-th member)``, a
+    partial one at ``max(free_at, head arrival + launch_wait)`` and only
+    once that instant is strictly before the current sync horizon; the
+    end-of-stream drain flushes full batches first and the final partial
+    at its head-deadline launch instant.
+    """
+    complete_np = np.full(n, np.nan)
+    shed_np = np.zeros(n, dtype=bool)
+    # Deferred completion writes: member ids, one completion + size per
+    # batch; expanded into complete_np once, at the end, via np.repeat.
+    m_rid: List[int] = []
+    m_ext = m_rid.extend
+    m_comp: List[float] = []
+    m_take: List[int] = []
+
+    # Load-heap keys are ints: backlog << shift | replica. A key is live
+    # iff it equals cur[r]; Q*stride is the shed threshold in key space.
+    shift = max(1, (R - 1).bit_length())
+    mask = (1 << shift) - 1
+    stride = 1 << shift
+    Qtop = _INF if Q == _INF else int(Q) * stride
+
+    free_at = [0.0] * R
+    asg: List[List[int]] = [[] for _ in range(R)]   # append-only lanes
+    head = [0] * R                # first un-launched index into asg[r]
+    qn = [0] * R                  # queued (un-launched) count per replica
+    cur = list(range(R))          # live load key per replica
+    load = list(range(R))
+    heapify(load)
+    launch_ev: List = []          # (launch time, replica)
+    sched = [_INF] * R            # scheduled launch event per replica
+    comp_ev: List = []            # (completion, replica, size)
+    nle = _INF                    # cached next launch event time
+    nce = _INF                    # cached next completion event time
+    n_dropped = 0
+    bstart: List[List[float]] = [[] for _ in range(R)]
+    bcomp: List[List[float]] = [[] for _ in range(R)]
+    bsize: List[List[int]] = [[] for _ in range(R)]
+    svcB = svc[B]
+
+    push = heappush
+    pop = heappop
+
+    for rid, t in enumerate(arrivals):
+        # -- sync: launch events due by t --------------------------------
+        if nle <= t:
+            while True:
+                r = pop(launch_ev)[1]
+                sched[r] = _INF
+                a = asg[r]
+                h = head[r]
+                nq = qn[r]
+                while nq:
+                    fa = free_at[r]
+                    if nq >= B:
+                        tb = arrivals[a[h + B - 1]]
+                        launch = fa if fa > tb else tb
+                        take = B
+                    else:
+                        hd = arrivals[a[h]] + wait
+                        launch = fa if fa > hd else hd
+                        if launch >= t:
+                            break       # partial: the next arrival may join
+                        take = nq
+                    comp = launch + svc[take]
+                    free_at[r] = comp
+                    m_ext(a[h:h + take])
+                    m_comp.append(comp)
+                    m_take.append(take)
+                    h += take
+                    nq -= take
+                    bstart[r].append(launch)
+                    bcomp[r].append(comp)
+                    bsize[r].append(take)
+                    push(comp_ev, (comp, r, take))
+                    if comp < nce:
+                        nce = comp
+                head[r] = h
+                qn[r] = nq
+                if nq:
+                    fa = free_at[r]
+                    if nq >= B:
+                        tb = arrivals[a[h + B - 1]]
+                        nl = fa if fa > tb else tb
+                    else:
+                        hd = arrivals[a[h]] + wait
+                        nl = fa if fa > hd else hd
+                    if nl < sched[r]:
+                        push(launch_ev, (nl, r))
+                        sched[r] = nl
+                if launch_ev:
+                    nle = launch_ev[0][0]
+                    if nle <= t:
+                        continue
+                else:
+                    nle = _INF
+                break
+        # -- sync: completion events due by t ----------------------------
+        if nce <= t:
+            while True:
+                ev = pop(comp_ev)
+                r = ev[1]
+                nk = cur[r] - ev[2] * stride
+                cur[r] = nk
+                push(load, nk)
+                if comp_ev:
+                    nce = comp_ev[0][0]
+                    if nce <= t:
+                        continue
+                else:
+                    nce = _INF
+                break
+        # -- pick least-loaded (lazy heap: skim stale keys) --------------
+        k = load[0]
+        r = k & mask
+        while cur[r] != k:
+            pop(load)
+            k = load[0]
+            r = k & mask
+        if k >= Qtop:
+            n_dropped += 1
+            shed_np[rid] = True
+            continue
+        # -- admit -------------------------------------------------------
+        a = asg[r]
+        nq = qn[r]
+        if nq >= B:
+            # The lane already holds a determined full batch (exactly B by
+            # invariant): it commits on touch, like queue.push -> advance.
+            h = head[r]
+            fa = free_at[r]
+            tb = arrivals[a[h + B - 1]]
+            launch = fa if fa > tb else tb
+            comp = launch + svcB
+            free_at[r] = comp
+            m_ext(a[h:])
+            m_comp.append(comp)
+            m_take.append(B)
+            head[r] = h + B
+            nq = 0
+            bstart[r].append(launch)
+            bcomp[r].append(comp)
+            bsize[r].append(B)
+            push(comp_ev, (comp, r, B))
+            if comp < nce:
+                nce = comp
+        a.append(rid)
+        nq += 1
+        qn[r] = nq
+        nk = k + stride
+        cur[r] = nk
+        push(load, nk)
+        # The lane's launch instant only changes when it gains a head
+        # (nq == 1) or fills (nq == B); anything between is shadowed by
+        # the already-scheduled earlier event.
+        if nq == 1 or nq == B:
+            fa = free_at[r]
+            if nq == B:
+                nl = fa if fa > t else t
+            else:
+                hd = t + wait
+                nl = fa if fa > hd else hd
+            if nl < sched[r]:
+                push(launch_ev, (nl, r))
+                sched[r] = nl
+                if nl < nle:
+                    nle = nl
+    # -- drain: flush every lane, full batches then the final partial ----
+    for r in range(R):
+        a = asg[r]
+        h = head[r]
+        nq = qn[r]
+        while nq:
+            fa = free_at[r]
+            if nq >= B:
+                take = B
+                tb = arrivals[a[h + B - 1]]
+                launch = fa if fa > tb else tb
+            else:
+                take = nq
+                hd = arrivals[a[h]] + wait
+                launch = fa if fa > hd else hd
+            comp = launch + svc[take]
+            free_at[r] = comp
+            m_ext(a[h:h + take])
+            m_comp.append(comp)
+            m_take.append(take)
+            h += take
+            nq -= take
+            bstart[r].append(launch)
+            bcomp[r].append(comp)
+            bsize[r].append(take)
+        head[r] = h
+        qn[r] = 0
+    if m_rid:
+        complete_np[np.array(m_rid, dtype=np.intp)] = np.repeat(
+            np.array(m_comp), np.array(m_take, dtype=np.intp))
+    return FastRun(complete_t=complete_np, shed=shed_np, bstart=bstart,
+                   bcomp=bcomp, bsize=bsize, n_dropped=n_dropped)

@@ -24,10 +24,12 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-#: every way the serving fleet can change size mid-run
-SCALE_ACTIONS = ("scale_out", "scale_in", "failure", "repair")
+#: every way the serving fleet can change mid-run (``"degrade"`` is the
+#: one action that changes *capacity* without changing the replica count:
+#: a slow node stays in rotation, so its event carries ``delta == 0``)
+SCALE_ACTIONS = ("scale_out", "scale_in", "failure", "repair", "degrade")
 
-#: every trigger a :class:`ScaleReason` can name. The first four justify
+#: every trigger a :class:`ScaleReason` can name. The first five justify
 #: fleet changes (one per :data:`SCALE_ACTIONS` entry); the last two
 #: justify holds (:class:`~repro.serve.autoscale.ScaleDecision` carries a
 #: reason even when the fleet does not move).
@@ -36,6 +38,7 @@ SCALE_CAUSES = (
     "sustained_idle",           # scale_in: occupancy low for idle_epochs
     "node_death",               # failure: a replica's node fail-stopped
     "replace_failed",           # repair: actual fleet < desired fleet
+    "node_degrade",             # degrade: a replica's node slowed down
     "cooldown",                 # hold: inside post-decision cooldown
     "steady",                   # hold: no signal crossed a threshold
 )
@@ -77,12 +80,16 @@ class ScaleReason:
 
 @dataclass(frozen=True)
 class ScaleEvent:
-    """One fleet-size change during an autoscaled run."""
+    """One fleet change during an autoscaled run.
+
+    Every action changes the replica count except ``"degrade"``, which
+    changes capacity instead (a slow node keeps serving): a degrade event
+    must carry ``delta == 0``, every other action must not."""
 
     time: float          # virtual time of the change (s)
     epoch: int           # control epoch it happened in
     action: str          # one of SCALE_ACTIONS
-    delta: int           # signed replica-count change
+    delta: int           # signed replica-count change (0 for degrades)
     n_replicas: int      # fleet size after the change
     #: controller's trigger and observed signals (None: not recorded)
     reason: Optional[ScaleReason] = None
@@ -91,7 +98,11 @@ class ScaleEvent:
         if self.action not in SCALE_ACTIONS:
             raise ValueError(f"unknown scale action {self.action!r}; "
                              f"have {SCALE_ACTIONS}")
-        if self.delta == 0:
+        if self.action == "degrade":
+            if self.delta != 0:
+                raise ValueError(
+                    "a degrade event keeps the fleet size (delta must be 0)")
+        elif self.delta == 0:
             raise ValueError("a scale event must change the fleet size")
         if self.n_replicas < 0:
             raise ValueError("n_replicas cannot go negative")
@@ -134,6 +145,9 @@ class EpochRecord:
     #: per-model attainment against each model's own SLO (None on
     #: single-model runs — the aggregate IS the one model's signal)
     model_attainment: Optional[Tuple[float, ...]] = None
+    #: live replicas serving slower than healthy at ``t_end`` (degraded
+    #: nodes — see :meth:`repro.serve.router.Router.degrade_replica`)
+    n_degraded: int = 0
 
     def __post_init__(self) -> None:
         if self.t_end <= self.t_start:
@@ -175,7 +189,13 @@ class _LatencySample:
       request counts as a violation).
 
     A single completed request is a full sample: every percentile is
-    that one latency, never an interpolation artifact."""
+    that one latency, never an interpolation artifact.
+
+    The contract is engine-independent: stats assembled by the flat
+    array core (``ServingSimulator(engine="array")``, see
+    :mod:`repro.serve.fast_core`) hit the same degenerate cases —
+    all-shed runs, empty streams — and must satisfy the same table bit
+    for bit, which the engine differential suite pins."""
 
     @property
     def n_completed(self) -> int:

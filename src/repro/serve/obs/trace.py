@@ -8,9 +8,9 @@ A :class:`Tracer` is threaded (opt-in) through
 :class:`~repro.serve.autoscale.Autoscaler`. Each emits typed events at the
 request lifecycle transitions — arrival, admission or shed, cache hit or
 coalesce, enqueue onto a replica, batch launch, completion or failure —
-plus fleet events (scale out/in, node death, repair, drain) carrying the
-controller's observed signals, so a trace answers *why* the fleet changed,
-not just *that* it did.
+plus fleet events (scale out/in, node death, degrade, repair, drain)
+carrying the controller's observed signals, so a trace answers *why* the
+fleet changed, not just *that* it did.
 
 Design constraints, in order:
 
@@ -61,8 +61,9 @@ BATCH_EVENT_KINDS = (
 FLEET_EVENT_KINDS = (
     "epoch",        # one controller observation window
     "decision",     # one controller verdict (including holds)
-    "scale",        # an applied fleet change (out/in/failure/repair)
+    "scale",        # an applied fleet change (out/in/failure/repair/degrade)
     "replica_fail",  # a node death as the router saw it
+    "replica_degrade",  # a node slowdown (slow_factor batch multiplier)
     "drain",        # a graceful replica removal (queued work re-routed)
 )
 #: run bracketing and cache internals

@@ -32,9 +32,10 @@ replica on the next free machine node mid-stream, :meth:`remove_replica`
 gracefully drains one (unlaunched requests re-route to the survivors,
 in-flight batches finish where they started, nothing is dropped), and
 :meth:`fail_replica` models a node death (in-flight and queued requests
-are lost and counted in :attr:`Router.n_failed`). The autoscaler in
-:mod:`repro.serve.autoscale` drives all three; a fixed-fleet simulation
-simply never calls them.
+are lost and counted in :attr:`Router.n_failed`), and
+:meth:`degrade_replica` a slow node (still answering, every batch a
+constant factor slower). The autoscaler in :mod:`repro.serve.autoscale`
+drives all four; a fixed-fleet simulation simply never calls them.
 """
 
 from __future__ import annotations
@@ -116,7 +117,9 @@ class Router:
                  order: str = "fifo",
                  model_slos: Optional[List[float]] = None,
                  model_costs: Optional[List[float]] = None,
-                 max_queue_seconds: Optional[float] = None) -> None:
+                 max_queue_seconds: Optional[float] = None,
+                 admission_floor_seconds: Optional[List[float]] = None
+                 ) -> None:
         if n_replicas <= 0:
             raise ValueError(
                 f"n_replicas must be positive, got {n_replicas}")
@@ -177,6 +180,24 @@ class Router:
                 raise ValueError(f"max_queue_seconds must be positive, "
                                  f"got {max_queue_seconds}")
         self.max_queue_seconds = max_queue_seconds
+        if admission_floor_seconds is not None:
+            if max_queue_seconds is None:
+                raise ValueError(
+                    "admission_floor_seconds only applies to seconds-based "
+                    "admission (set max_queue_seconds)")
+            if len(admission_floor_seconds) != n_models:
+                raise ValueError(
+                    f"{len(admission_floor_seconds)} admission floors for "
+                    f"{n_models} model(s)")
+            if any(f < 0 for f in admission_floor_seconds):
+                raise ValueError(
+                    "admission floors must be non-negative seconds, got "
+                    f"{admission_floor_seconds}")
+        #: per-model lower bound on the seconds admission limit — see
+        #: :meth:`_admission_limits` for why a weighted share can starve
+        self.admission_floor_seconds = (
+            None if admission_floor_seconds is None
+            else [float(f) for f in admission_floor_seconds])
         #: per-model admission limit: the weighted share of ``max_queue``
         #: requests (or ``max_queue_seconds`` seconds of estimated work;
         #: highest-weight model gets the full queue — see class docstring)
@@ -266,14 +287,29 @@ class Router:
         With ``max_queue_seconds`` the limits are *seconds of estimated
         work* (``max_queue_seconds * w_m / max(w)``) judged against the
         replica's cost-weighted backlog; any positive limit admits at an
-        empty queue, so the floor is inherent.
+        empty queue, so the floor is inherent — *at an empty replica*.
+        But the seconds limit is judged against the replica's **total**
+        cost-weighted backlog, all models included: a low-weight model
+        whose per-request cost exceeds its seconds share is admitted only
+        while the replica is (nearly) idle, and under sustained cheap
+        traffic that never happens — the model starves even though its own
+        lane is empty. ``admission_floor_seconds`` guards that mode: model
+        ``m``'s limit is raised to at least ``floor_m`` (the serving
+        simulator derives one max-size batch of the model's own work, so a
+        skewed mix can always get a batch in). Floors are opt-in; an
+        explicit ``max_queue_seconds`` with no floors is taken verbatim.
         """
         if self.max_queue_seconds is not None:
             if self.model_weights is None:
-                return [self.max_queue_seconds] * n_models
-            w_max = max(self.model_weights)
-            return [self.max_queue_seconds * w / w_max
-                    for w in self.model_weights]
+                base = [self.max_queue_seconds] * n_models
+            else:
+                w_max = max(self.model_weights)
+                base = [self.max_queue_seconds * w / w_max
+                        for w in self.model_weights]
+            if self.admission_floor_seconds is None:
+                return base
+            return [b if b > f else f
+                    for b, f in zip(base, self.admission_floor_seconds)]
         if self.model_weights is None or self.max_queue is None:
             return [self.max_queue] * n_models
         w_max = max(self.model_weights)
@@ -549,6 +585,33 @@ class Router:
                                  replica=replica.index)
         self.retired.append(replica)
         return replica, len(lost)
+
+    def degrade_replica(self, t: float, pos: int,
+                        slow_factor: float) -> ReplicaHandle:
+        """Node slowdown at ``t``: the replica at ``pos`` stays in rotation
+        but every batch it commits after ``t`` serves ``slow_factor`` times
+        slower (thermal throttling, a failing DIMM, a noisy neighbor — the
+        paper's "degraded" nodes, as opposed to fail-stop deaths).
+
+        Events due by ``t`` are played first, so batches already committed
+        — including full batches whose membership and launch instant were
+        already determined — keep their healthy timing; the multiplier
+        applies from the next commit on and persists for the replica's
+        lifetime (repeat degrades compound). Routing is unaffected: the
+        load ledger still counts healthy-estimate seconds, so a degraded
+        node keeps receiving its share of traffic and its backlog drains
+        slower — exactly the doomed-request pressure the autoscaler's
+        attainment signal is built to notice.
+        """
+        if not self.replicas:
+            raise ValueError("no replicas left to degrade")
+        self._sync(t)
+        replica = self.replicas[pos % len(self.replicas)]
+        replica.queue.degrade(slow_factor)
+        if self.tracer is not None:
+            self.tracer.emit("replica_degrade", t, replica=replica.index,
+                             data={"slow_factor": float(slow_factor)})
+        return replica
 
     def drain(self) -> None:
         """Flush all replica queues (end of the arrival stream)."""

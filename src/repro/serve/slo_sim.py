@@ -67,11 +67,16 @@ from repro.serve.metrics import (
 )
 from repro.serve.registry import ModelProfile
 from repro.serve.router import Router
+from repro.serve import fast_core
 from repro.sim.workload import Workload
 from repro.utils.rng import SeedLike, spawn_rngs
 
 #: default sweep points as fractions of the saturation rate
 DEFAULT_LOAD_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0)
+
+#: drive-loop implementations: the object event loop and the flat
+#: struct-of-arrays core (bit-identical; see repro.serve.fast_core)
+ENGINES = ("event", "array")
 
 #: shared no-op context for unprofiled runs (contextlib.nullcontext is
 #: reusable and reentrant, so one instance serves every span site)
@@ -141,6 +146,24 @@ class ServingSimulator:
       equivalent mix-weighted seconds budget, so one queued climate scan
       counts for what it costs (~140x an HEP event) instead of 1.
 
+    On multi-model cost-aware runs the derived per-model seconds budget
+    is floored at each model's single max-batch cost
+    (``cost_m x max_batch_m``): a skewed mix would otherwise hand a
+    tiny-share expensive model a budget smaller than one of its own
+    requests, shedding it forever while the replicas idle. Passing
+    ``max_queue_seconds`` explicitly is the escape hatch — it reaches the
+    router verbatim (no mix-derived mean, *no floors*), for operators who
+    want an exact seconds budget even where it can starve a model.
+
+    ``engine`` selects the drive loop: ``"event"`` (default) is the
+    object event loop above; ``"array"`` swaps in the flat
+    struct-of-arrays core (:mod:`repro.serve.fast_core`) when the config
+    is in its supported class — single model, fixed fleet, least-loaded,
+    count admission, fifo, no cache/coalesce, no tracer/profiler — and
+    transparently falls back to the event loop otherwise
+    (``last_run_engine`` records which one ran). The two engines are
+    bit-identical, pinned by the engine differential suite.
+
     A profile's ``policy`` gives that model its own per-model
     ``max_batch``/``max_wait`` on the shared replicas (capacity,
     default SLOs, and cost estimates all follow it).
@@ -161,7 +184,9 @@ class ServingSimulator:
                  service_models: Optional[Sequence] = None,
                  coalesce: bool = False,
                  order: str = "fifo",
-                 cost_aware: bool = False) -> None:
+                 cost_aware: bool = False,
+                 max_queue_seconds: Optional[float] = None,
+                 engine: str = "event") -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         if cache_policy not in CACHE_POLICIES:
@@ -170,11 +195,23 @@ class ServingSimulator:
         if order not in LAUNCH_ORDERS:
             raise ValueError(f"unknown launch order {order!r}; "
                              f"have {LAUNCH_ORDERS}")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
+        if max_queue_seconds is not None:
+            if not cost_aware:
+                raise ValueError(
+                    "max_queue_seconds is a seconds admission budget; it "
+                    "requires cost_aware=True")
+            if not max_queue_seconds > 0:
+                raise ValueError(f"max_queue_seconds must be > 0, "
+                                 f"got {max_queue_seconds}")
         self.machine = machine or cori(seed=0, jitter=False)
         self.n_replicas = n_replicas
         self.policy = policy or BatchingPolicy()
         self.order = order
         self.cost_aware = bool(cost_aware)
+        self.max_queue_seconds = max_queue_seconds
+        self.engine = engine
         self.max_queue = max_queue
         self.strategy = strategy
         self.models: Optional[List[ModelProfile]] = None
@@ -244,6 +281,11 @@ class ServingSimulator:
         # instruction stream, pinned bit-identical by the obs tests.
         self._tracer = None
         self._prof = None
+        # Array-core handoff: _drive parks the FastRun here for _collect
+        # when the native path ran; which loop actually drove the last
+        # run() is recorded for callers (and the differential tests).
+        self._fast: Optional[fast_core.FastRun] = None
+        self.last_run_engine: Optional[str] = None
 
     # -- capacity ------------------------------------------------------------
     def model_policies(self) -> Optional[List[BatchingPolicy]]:
@@ -330,13 +372,17 @@ class ServingSimulator:
         fifo, count-based simulator constructs the exact legacy router."""
         kw = {"policies": self.model_policies(), "order": self.order,
               "model_slos": None, "model_costs": None,
-              "max_queue_seconds": None}
+              "max_queue_seconds": None, "admission_floor_seconds": None}
         if self.order != "fifo":
             kw["model_slos"] = self.model_slos()
         if self.cost_aware:
             costs = self.model_costs()
             kw["model_costs"] = costs
-            if self.max_queue is not None:
+            if self.max_queue_seconds is not None:
+                # the escape hatch: an operator-pinned budget reaches the
+                # router verbatim — no derived mean, no per-model floors
+                kw["max_queue_seconds"] = float(self.max_queue_seconds)
+            elif self.max_queue is not None:
                 # the seconds equivalent of `max_queue` queued requests:
                 # the mix-weighted mean cost of one — same expected queue
                 # bound, now denominated in work
@@ -346,6 +392,16 @@ class ServingSimulator:
                     mean_cost = sum(
                         float(s) * c
                         for s, c in zip(self.model_mix.shares, costs))
+                    # Floor each model's share of the derived budget at
+                    # one of its own max batches: a skewed mix hands a
+                    # tiny-share expensive model a weighted budget below
+                    # a single request's cost, and because the seconds
+                    # limit is judged against a replica's *total*
+                    # cost-weighted backlog, cheap traffic keeps it
+                    # pinned above that sliver forever — 100% shed.
+                    kw["admission_floor_seconds"] = [
+                        c * self._policy_of(m).max_batch
+                        for m, c in enumerate(costs)]
                 kw["max_queue_seconds"] = self.max_queue * mean_cost
         return kw
 
@@ -511,6 +567,7 @@ class ServingSimulator:
             self._mids = None
             self._tracer = None
             self._prof = None
+            self._fast = None
 
     def _offer(self, router: Router, admitted: dict, t: float,
                request_id: int) -> None:
@@ -593,7 +650,18 @@ class ServingSimulator:
         meaningful. The one-shot ``tolist`` converts the whole stream to
         native floats up front — per-arrival ``float(np_scalar)`` was a
         measurable slice of the pre-PR hot path.
+
+        ``engine="array"`` hands supported configs to the flat
+        struct-of-arrays core instead (the router never sees a request;
+        ``_collect`` reads the parked :class:`~repro.serve.fast_core.\
+FastRun`), falling back to this loop — bit-identically — otherwise.
         """
+        if self.engine == "array" \
+                and fast_core.unsupported_reason(self) is None:
+            self.last_run_engine = "array"
+            self._fast = fast_core.drive(self, arrivals)
+            return
+        self.last_run_engine = "event"
         offer = self._offer
         for i, t in enumerate(arrivals.astype(np.float64).tolist()):
             offer(router, admitted, t, i)
@@ -623,7 +691,16 @@ class ServingSimulator:
         (:class:`PerModelStats`), each judged with its own transport cost
         and against its own SLO; conservation holds per model and in
         aggregate.
+
+        When the array core drove the run, the parked
+        :class:`~repro.serve.fast_core.FastRun` is assembled instead —
+        same fields, same floats (``fast_core.collect`` documents the
+        bit-identity).
         """
+        if self._fast is not None:
+            run, self._fast = self._fast, None
+            return fast_core.collect(run, arrivals,
+                                     self.service.request_rtt())
         cstate = self._cstate
         hits = cstate.hits if cstate is not None else {}
         coalesced = cstate.coalesced if cstate is not None else {}

@@ -344,10 +344,70 @@ class TestFailureRecovery:
         # Overall: the failure costs a bounded slice, not the SLO story.
         assert wounded.attainment(slo) >= healthy.attainment(slo) - 0.05
 
-    def test_degrade_events_are_ignored(self):
-        stats = self._run([FailureEvent(0.5, 0, "degrade", 2.5)])
-        assert stats.scale_events == []
-        assert stats.n_failed == 0
+    # -- degrade events (these used to be silently dropped: the event
+    # schedule filtered on kind == "fail", so a degraded node kept healthy
+    # service times and left no trace in the run record) -----------------
+
+    def test_degrade_slows_batches_and_is_surfaced(self):
+        healthy = self._run([])
+        slowed = self._run([FailureEvent(0.5, 0, "degrade", 2.5),
+                            FailureEvent(0.5, 1, "degrade", 2.5)])
+        # Surfaced: one delta-0 ScaleEvent per degrade, with its cause.
+        assert [ev.action for ev in slowed.scale_events] == \
+            ["degrade", "degrade"]
+        for ev in slowed.scale_events:
+            assert ev.delta == 0 and ev.n_replicas == 2
+            assert ev.reason.cause == "node_degrade"
+        # Degraded is not dead: no request fails, the fleet keeps size.
+        assert slowed.n_failed == 0
+        # Epochs past the event observe the degraded replica count.
+        late = [r for r in slowed.epochs if r.t_start >= 0.5]
+        assert late and all(r.n_degraded == 2 for r in late)
+        assert all(r.n_degraded == 0 for r in healthy.epochs)
+        # And the slowdown is physical, not cosmetic: at the same overload
+        # the degraded fleet's tail is strictly worse.
+        assert np.percentile(slowed.latencies, 99) \
+            > np.percentile(healthy.latencies, 99)
+
+    def test_degrade_multiplies_batch_time_exactly(self):
+        pol = BatchingPolicy(max_batch=4, max_wait=0.0)
+        healthy = _router(pol, n_replicas=1)
+        slowed = _router(pol, n_replicas=1)
+        slowed.degrade_replica(0.0, 0, 2.5)
+        slowed.degrade_replica(0.0, 0, 2.0)    # compounds: now 5x
+        assert slowed.replicas[0].queue.slow_factor == 5.0
+        for i in range(4):
+            healthy.submit(0.0, i)
+            slowed.submit(0.0, i)
+        healthy.drain()
+        slowed.drain()
+        (hb,), (sb,) = healthy.batches(), slowed.batches()
+        assert sb.start == hb.start
+        assert (sb.completion - sb.start) \
+            == 5.0 * (hb.completion - hb.start)
+
+    def test_degraded_fleet_scales_out(self):
+        policy = BatchingPolicy(max_batch=8, max_wait=0.004)
+        svc = FakeService()
+        cfg = AutoscalePolicy(min_replicas=1, max_replicas=3, epoch=0.05)
+
+        def run(events):
+            sim = AutoscalingSimulator(None, autoscale=cfg, policy=policy,
+                                       service_model=svc,
+                                       failure_events=events)
+            rate = 0.6 * svc.peak_throughput(policy.max_batch)
+            return sim.run(rate, n_requests=4096, process="uniform",
+                           seed=None)
+
+        healthy = run([])
+        assert not [ev for ev in healthy.scale_events
+                    if ev.action == "scale_out"]
+        slowed = run([FailureEvent(0.05, 0, "degrade", 3.0)])
+        actions = [ev.action for ev in slowed.scale_events]
+        # The controller sees the degraded node's broken attainment and
+        # grows the fleet — the whole point of not dropping the event.
+        assert actions[0] == "degrade"
+        assert "scale_out" in actions
 
 
 class TestValidation:
@@ -393,6 +453,10 @@ class TestValidation:
             ScaleEvent(0.0, 0, "resize", 1, 2)
         with pytest.raises(ValueError, match="change the fleet"):
             ScaleEvent(0.0, 0, "scale_out", 0, 2)
+        # degrade is the one action that must NOT change the fleet
+        with pytest.raises(ValueError, match="delta must be 0"):
+            ScaleEvent(0.0, 0, "degrade", 1, 2)
+        ScaleEvent(0.0, 0, "degrade", 0, 2)    # and delta 0 is legal
 
     def test_epoch_record_validation(self):
         with pytest.raises(ValueError, match="duration"):

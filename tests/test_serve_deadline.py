@@ -361,6 +361,128 @@ class TestCostAwareRouting:
             10 * (0.5 * costs[0] + 0.5 * costs[1]))
 
 
+# -- skewed-mix starvation (the derived-seconds-budget bugfix) -----------------
+
+class TestSkewedMixStarvation:
+    """A multi-model cost-aware run derives ``max_queue x mix-weighted
+    mean cost`` as the seconds budget and splits it by admission weight —
+    which used to hand a tiny-share expensive model a per-model budget
+    below the cost of ONE of its own requests. The seconds limit is
+    judged against the replica's *total* cost-weighted backlog, so
+    sustained cheap traffic kept the backlog above that sliver forever:
+    the expensive model shed 100% while replicas had capacity to spare.
+    The fix floors each model's derived budget at its single max-batch
+    cost; an explicit ``max_queue_seconds`` is the documented no-floors
+    escape hatch.
+
+    The scenario: a 1%-share model whose requests cost ~100x the cheap
+    model's, with admission weights 100:1 (the shape that minimizes its
+    derived share).
+    """
+
+    def _sim(self, **kw):
+        profiles = [ModelProfile("cheap", None, weight=100.0),
+                    ModelProfile("dear", None, weight=1.0)]
+        services = [FakeService(0.004, 0.001), FakeService(0.4, 0.1)]
+        return ServingSimulator(models=profiles, service_models=services,
+                                model_mix=ModelMix((0.99, 0.01)),
+                                n_replicas=4,
+                                policy=BatchingPolicy(max_batch=8,
+                                                      max_wait=1e-3),
+                                max_queue=32, cost_aware=True, **kw)
+
+    def test_derived_budget_floors_at_one_max_batch(self):
+        sim = self._sim()
+        costs = sim.model_costs()
+        kw = sim._scheduling_kwargs()
+        # The derived budget itself is unchanged (pinned elsewhere too)…
+        assert kw["max_queue_seconds"] == pytest.approx(
+            32 * (0.99 * costs[0] + 0.01 * costs[1]))
+        # …and each model's floor is one batch of its own work.
+        assert kw["admission_floor_seconds"] == [costs[0] * 8,
+                                                 costs[1] * 8]
+        # Pre-floor, the expensive model's weighted share of the budget
+        # was below the cost of a single one of its requests.
+        assert kw["max_queue_seconds"] * (1.0 / 100.0) < costs[1]
+
+    def test_expensive_model_admits_instead_of_shedding_100pct(self):
+        sim = self._sim()
+        stats = sim.run(0.7 * sim.saturation_rate(), n_requests=4000,
+                        seed=3)
+        dear = stats.models[1]
+        assert dear.n_offered > 0
+        # The regression: before the floor this was n_dropped == n_offered
+        # (100% shed, replicas idle or serving cheap traffic only).
+        assert dear.n_dropped == 0
+
+    def test_escape_hatch_reproduces_the_tight_budget(self):
+        # An explicit max_queue_seconds equal to the derived value reaches
+        # the router verbatim — no floors — and starves the expensive
+        # model exactly as the unfixed derivation did. Deliberate: the
+        # hatch exists for operators who want the raw budget semantics.
+        probe = self._sim()
+        costs = probe.model_costs()
+        derived = 32 * (0.99 * costs[0] + 0.01 * costs[1])
+        sim = self._sim(max_queue_seconds=derived)
+        kw = sim._scheduling_kwargs()
+        assert kw["max_queue_seconds"] == derived
+        assert kw["admission_floor_seconds"] is None
+        stats = sim.run(0.7 * sim.saturation_rate(), n_requests=4000,
+                        seed=3)
+        dear = stats.models[1]
+        assert dear.n_offered > 0
+        assert dear.n_dropped == dear.n_offered     # starved: 100% shed
+
+    def test_router_floors_derived_limits(self):
+        cheap, dear = FakeService(0.004, 0.001), FakeService(0.4, 0.1)
+        r = Router(None, 1, BatchingPolicy(max_batch=8, max_wait=1e-3),
+                   cheap.batch_time, service_times=_svc_fns(cheap, dear),
+                   model_costs=[cheap.est_request_cost(8),
+                                dear.est_request_cost(8)],
+                   model_weights=[100.0, 1.0], max_queue=None,
+                   max_queue_seconds=0.0955,
+                   admission_floor_seconds=[0.012, 1.2])
+        # Model 0's weighted share already clears its floor and is taken
+        # verbatim; model 1's sliver (0.000955) is raised to its floor.
+        assert r._limits == [0.0955, 1.2]
+
+    def test_floor_validation(self):
+        svc = FakeService()
+        fns = _svc_fns(svc, svc)
+
+        def router(**kw):
+            return Router(None, 1, BatchingPolicy(), svc.batch_time,
+                          service_times=fns, model_costs=[1.0, 1.0], **kw)
+
+        with pytest.raises(ValueError, match="max_queue_seconds"):
+            router(admission_floor_seconds=[1.0, 1.0])
+        with pytest.raises(ValueError, match="floors for"):
+            router(max_queue_seconds=5.0,
+                   admission_floor_seconds=[1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            router(max_queue_seconds=5.0,
+                   admission_floor_seconds=[1.0, -1.0])
+
+    def test_simulator_escape_hatch_validation(self):
+        with pytest.raises(ValueError, match="cost_aware"):
+            ServingSimulator(service_model=FakeService(),
+                             max_queue_seconds=5.0)
+        with pytest.raises(ValueError, match="> 0"):
+            self._sim(max_queue_seconds=0.0)
+
+    def test_single_model_derivation_has_no_floor(self):
+        # The floor applies only where starvation can: cross-model
+        # backlog. Single-model cost_aware derivation stays floor-free,
+        # keeping the homogeneous cost_aware <-> count differential exact.
+        sim = ServingSimulator(service_model=FakeService(),
+                               policy=BatchingPolicy(max_batch=8),
+                               max_queue=4, cost_aware=True)
+        kw = sim._scheduling_kwargs()
+        assert kw["admission_floor_seconds"] is None
+        assert kw["max_queue_seconds"] == pytest.approx(
+            4 * sim.model_costs()[0])
+
+
 # -- admission-limit regressions (the satellite bugfix) ------------------------
 
 class TestAdmissionLimitRegressions:
