@@ -66,6 +66,15 @@ class ResultCache:
     or refreshes an entry, evicting per policy once ``capacity`` distinct
     keys are held. Keys are anything hashable (integer content ids in the
     simulator, :func:`content_key` digests on the real path).
+
+    The *decision* semantics here — hit answers, touch ordering (a ``put``
+    refresh counts as a use), eviction victims (LRU: least recently
+    touched; LFU: least frequent, ties to least recent) — are a contract:
+    ``repro.serve.fast_core._make_cache`` replicates them inline (plain
+    dicts, no counters, no tracer) so cached runs on the array engine make
+    bit-identical hit/miss choices, and the engine differential suite
+    pins the two against each other. Behavior changes here must land
+    there too.
     """
 
     def __init__(self, capacity: int, policy: str = "lru",

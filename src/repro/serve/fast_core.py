@@ -1,78 +1,118 @@
-"""Flat struct-of-arrays serving core: the million-request drive loop.
+"""Flat struct-of-arrays serving core: the ten-million-request drive loop.
 
 The object event loop (:class:`~repro.serve.slo_sim.ServingSimulator` +
 :class:`~repro.serve.router.Router` + per-replica
 :class:`~repro.serve.batching.ReplicaBatchQueue` lanes) is the *semantic*
-definition of the simulator, but at 10^6 requests its per-arrival costs —
-method dispatch through ``submit``/``_sync``/``advance``, tuple churn on
-three heaps, a dict lookup per counter — dominate wall clock. This module
-is the same discrete-event computation restructured as one fused loop over
-preallocated arrays and flat lists:
+definition of the simulator, but at 10^6-10^7 requests its per-arrival
+costs — method dispatch through ``submit``/``_sync``/``advance``, tuple
+churn on three heaps, a dict lookup per counter — dominate wall clock.
+This module is the same discrete-event computation restructured as fused
+loops over preallocated arrays and compact C-typed buffers:
 
 - per-request state is two preallocated arrays (completion time, shed
-  flag) plus append-only per-replica assignment lists with head pointers
-  (no ``del lane[:take]`` churn — a "lane" is a window into an
-  append-only list);
+  flag) plus append-only per-lane ``array('q')``/``array('d')`` member
+  buffers with head pointers, compacted as they are consumed (a "lane"
+  is a window into an append-only buffer, and a drained prefix is
+  reclaimed once it crosses a threshold — at 10^7 requests Python-list
+  lanes and batch records would otherwise dominate memory);
 - the load heap holds *int-encoded* keys ``backlog << shift | replica``
   (one machine int instead of a tuple; staleness is one int compare
   against the replica's current key);
 - launch/completion heaps are consulted through cached "next event time"
   scalars, so the common no-event-due arrival costs two float compares;
+- arrivals stream through the loop in fixed-size chunks (``tolist`` per
+  chunk, not per run), and each lane stores its members' arrival times
+  as C doubles, so launch instants never index a 10M-element Python
+  list;
 - per-request completion times are written once at the end with a single
   ``np.repeat`` fancy assignment from the per-batch record.
 
 **Equivalence, not approximation.** Every float produced here is computed
 by the same IEEE-754 operations in the same order as the event loop:
 launch instants as two-way ``max`` of the same operands, completions as
-``launch + service[take]`` from the same memoized service table, latencies
-as ``(completion - arrival) + rtt``. The engine differential suite
-(``tests/test_serve_fastcore.py``) pins bit-identical
+``launch + service[take]`` from the same memoized service tables,
+latencies as ``(completion - arrival) + rtt``. The engine differential
+suite (``tests/test_serve_fastcore.py``) pins bit-identical
 :class:`~repro.serve.metrics.LatencyStats` against both the event engine
 and the PR 4 frozen oracle (:mod:`repro.serve.reference`), and
 ``benchmarks/test_serve_fastcore.py`` re-pins it at the full million
-requests while asserting the speedup floor.
+requests while asserting the per-class speedup floors.
 
-**Scope.** The array core natively covers the plain single-model class:
-one model, fixed fleet, least-loaded routing, count-based admission
-(``max_queue`` or ``None``), fifo launch order, windowed or continuous
-batching, no cache, no coalescing, no tracer/profiler. Everything else —
-multi-model lanes, cost-aware/EDF scheduling, result caches, autoscaled
-fleets — keeps the object event loop: those paths are control-heavy, not
-arrival-heavy, and their semantics live in the router/queue objects.
+**Scope.** The array core natively covers every *fixed-fleet, fifo,
+count-admission, least-loaded* configuration, including:
+
+- the **plain** single-model class (windowed or continuous batching,
+  ``max_queue`` or ``None``);
+- the **cached** class (``cache_size > 0``, LRU or LFU, any popularity
+  law): content keys are precomputed vectors, the cache decision loop
+  runs inline over plain dicts — decision-identical to
+  :class:`~repro.serve.cache.ResultCache` — fed from batch completions
+  through the same ``(completion, request_ids)`` fill-heap ordering the
+  event loop's commit hook uses, and hits complete at ``request_rtt()``
+  without ever touching the load heap;
+- the **multi-model** class (``models=[...]``, per-model batching
+  policies, weighted count admission): per-model lanes are segmented
+  arrays sharing one replica ``free_at`` timeline, advanced by the same
+  globally-earliest ``(launch, partial, model)`` key rule as
+  :meth:`~repro.serve.batching.ReplicaBatchQueue.advance`, with
+  per-model service tables and SLO/stats attribution in
+  :func:`collect` — with or without the cache on top.
+
+Genuinely event-only features keep the object loop: tracing/profiling
+hooks, request coalescing, model->replica affinity, cost-aware
+routing/admission, and edf/slack launch ordering (plus round-robin
+routing). Those paths are control-heavy, not arrival-heavy, and their
+semantics live in the router/queue objects.
 ``ServingSimulator(engine="array")`` consults :func:`unsupported_reason`
 and falls back transparently, so callers opt into the fast core per
-simulator, not per config.
+simulator, not per config; the support-lattice test asserts every
+combination lands on the engine the predicate claims.
 """
 
 from __future__ import annotations
 
 import math
+from array import array
 from dataclasses import dataclass
 from heapq import heappop, heappush, heapify
 from typing import List, Optional
 
 import numpy as np
 
-from repro.serve.metrics import LatencyStats
+from repro.serve.metrics import LatencyStats, PerModelStats
 
 _INF = math.inf
+
+#: arrivals are converted to Python floats this many at a time — the
+#: 10M-request drive never holds a full boxed-float copy of the stream
+_CHUNK = 1 << 16
+#: consumed lane/batch-buffer prefixes are reclaimed past this length
+_COMPACT = 1 << 13
 
 
 def unsupported_reason(sim) -> Optional[str]:
     """Why ``sim``'s current configuration cannot run on the array core
     (``None``: it can). The predicate is explicit and exhaustive — the
-    ``engine="array"`` differential tests assert it, so a config silently
-    landing on the wrong path fails loudly there."""
-    if sim.models is not None:
-        return "multi-model runs batch per-model lanes on the event loop"
+    ``engine="array"`` support-lattice test asserts it against every
+    config combination, so a config silently landing on the wrong path
+    fails loudly there.
+
+    Supported natively: fixed-fleet single- or multi-model serving with
+    least-loaded routing, count-based (optionally weighted) admission,
+    fifo launch order, windowed or continuous batching, per-model
+    batching policies, and a result cache (LRU/LFU) in front. Event-loop
+    only: everything that instruments or reorders the control path.
+    """
     if sim.strategy != "least_loaded":
         return f"strategy {sim.strategy!r} is event-loop only"
     if sim.cost_aware:
         return "cost-aware routing/admission is event-loop only"
     if sim.order != "fifo":
         return f"launch order {sim.order!r} is event-loop only"
-    if sim.cache_size > 0 or sim.coalesce:
-        return "result cache / coalescing is event-loop only"
+    if sim.coalesce:
+        return "request coalescing is event-loop only"
+    if sim.affinity:
+        return "model->replica affinity is event-loop only"
     if sim._tracer is not None or sim._prof is not None:
         return "tracing/profiling hooks instrument the event loop"
     return None
@@ -82,59 +122,219 @@ def unsupported_reason(sim) -> Optional[str]:
 class FastRun:
     """One finished array-core drive, pre-:class:`LatencyStats`.
 
-    ``complete_t[i]`` is request ``i``'s completion time (NaN when shed —
-    ``shed[i]`` is the mask); the ``b*`` lists are per-replica batch
-    records in launch order, the raw form of ``LatencyStats.batch_sizes``.
+    ``complete_t[i]`` is request ``i``'s completion time (its arrival
+    time for cache hits, NaN when shed — ``shed``/``hit`` are the
+    masks); the ``b*`` buffers are per-replica batch records in launch
+    order (``array('d')``/``array('q')``, the raw form of
+    ``LatencyStats.batch_sizes``).
     """
 
     complete_t: np.ndarray
     shed: np.ndarray
-    bstart: List[List[float]]
-    bcomp: List[List[float]]
-    bsize: List[List[int]]
+    bstart: List[array]
+    bcomp: List[array]
+    bsize: List[array]
     n_dropped: int
+    hit: Optional[np.ndarray] = None    # bool mask: served from cache
+    n_hits: int = 0
+    last_hit_t: float = -_INF
 
 
 def drive(sim, arrivals: np.ndarray) -> FastRun:
-    """Run one supported-class arrival stream through the array core."""
+    """Run one supported-class arrival stream through the array core.
+
+    Dispatches on the configuration: multi-model runs (with or without a
+    cache) take :func:`_drive_multi`, cached single-model runs
+    :func:`_drive_cached`, and the plain class the chunked
+    :func:`_drive_flat`. All three build their service tables through
+    the same memoized ``batch_time`` calls the replica queues use, so
+    every float matches the event loop's.
+    """
+    n = int(arrivals.size)
+    arr64 = arrivals.astype(np.float64)
+    Q = _INF if sim.max_queue is None else sim.max_queue
+    cstate = sim._cstate
+    if sim.models is not None:
+        M = len(sim.models)
+        fns = sim.services.batch_time_fns()
+        Bs, waits, svcs = [], [], []
+        for m in range(M):
+            pol = sim._policy_of(m)
+            Bs.append(pol.max_batch)
+            waits.append(pol.launch_wait)
+            svcs.append([0.0] + [fns[m](b)
+                                 for b in range(1, pol.max_batch + 1)])
+        # Per-model admission limits, exactly Router._admission_limits:
+        # the weighted share of max_queue, floored at one request.
+        weights = [p.weight for p in sim.models]
+        if sim.max_queue is None:
+            limits: List[float] = [_INF] * M
+        else:
+            w_max = max(weights)
+            limits = [max(1, int(math.ceil(sim.max_queue * w / w_max)))
+                      for w in weights]
+        return _drive_multi(
+            arr64.tolist(), sim.n_replicas, M, Bs, waits, svcs, limits,
+            sim._mids, n,
+            None if cstate is None else cstate.contents,
+            sim.cache_size, sim.cache_policy)
     policy = sim.policy
     B = policy.max_batch
-    # The same memoized service table the replica queues read — index b
-    # is the batched-forward time of a size-b launch.
     svc = [0.0] + [sim.service.batch_time(b) for b in range(1, B + 1)]
-    Q = _INF if sim.max_queue is None else sim.max_queue
-    return _drive_flat(arrivals.astype(np.float64).tolist(),
-                       sim.n_replicas, B, policy.launch_wait, svc, Q,
-                       int(arrivals.size))
+    if cstate is not None:
+        return _drive_cached(arr64, sim.n_replicas, B, policy.launch_wait,
+                             svc, Q, n, cstate.contents, sim.cache_size,
+                             sim.cache_policy)
+    return _drive_flat(arr64, sim.n_replicas, B, policy.launch_wait,
+                       svc, Q, n)
 
 
-def collect(run: FastRun, arrivals: np.ndarray, rtt: float) -> LatencyStats:
+def _np_of(buf: array, dtype) -> np.ndarray:
+    """Zero-copy numpy view of an ``array`` buffer (empty-safe)."""
+    if len(buf) == 0:
+        return np.empty(0, dtype=dtype)
+    return np.frombuffer(buf, dtype=dtype)
+
+
+def collect(sim, run: FastRun, arrivals: np.ndarray) -> LatencyStats:
     """Assemble :class:`LatencyStats` from a :class:`FastRun` — the array
-    form of ``ServingSimulator._collect``, producing bit-identical fields:
-    latencies in request-id order as ``(completion - arrival) + rtt``,
-    horizon from the last completion plus the transport leg, batch sizes
-    stable-sorted by ``(start, completion)`` exactly like
-    ``Router.batches()``."""
+    form of ``ServingSimulator._collect``, producing bit-identical
+    fields: latencies in request-id order as ``(completion - arrival) +
+    rtt`` (the rtt of each request's own model on multi-model runs; a
+    cache hit's completion is its arrival, so its latency is exactly the
+    transport rtt), horizon from the last completion-or-hit plus the
+    transport leg, batch sizes stable-sorted by ``(start, completion)``
+    exactly like ``Router.batches()``, and per-model slices judged with
+    each model's own rtt and SLO."""
     mask = ~run.shed
-    latencies = (run.complete_t[mask] - arrivals[mask]) + rtt
-    R = len(run.bstart)
-    starts = [s for r in range(R) for s in run.bstart[r]]
-    comps = [c for r in range(R) for c in run.bcomp[r]]
-    sizes = [s for r in range(R) for s in run.bsize[r]]
-    order = sorted(range(len(starts)), key=lambda i: (starts[i], comps[i]))
-    batch_sizes = np.array([sizes[i] for i in order], dtype=int)
+    rtts = sim._request_rtts()
+    rtt = rtts[0]
+    mids = sim._mids
+    if mids is None:
+        latencies = (run.complete_t[mask] - arrivals[mask]) + rtt
+        mids_np = None
+    else:
+        mids_np = np.asarray(mids, dtype=np.intp)
+        rtts_np = np.asarray(rtts, dtype=np.float64)
+        latencies = ((run.complete_t[mask] - arrivals[mask])
+                     + rtts_np[mids_np[mask]])
+    starts = np.concatenate([_np_of(b, np.float64) for b in run.bstart])
+    comps = np.concatenate([_np_of(b, np.float64) for b in run.bcomp])
+    sizes = np.concatenate([_np_of(b, np.int64) for b in run.bsize])
+    # np.lexsort is stable per key, so ties on (start, completion) keep
+    # replica order — the same order sorted() leaves Router.batches() in.
+    order = np.lexsort((comps, starts))
+    batch_sizes = sizes[order]
+    last = -_INF
+    for b in run.bcomp:
+        if len(b) and b[-1] > last:   # per-replica completions ascend
+            last = b[-1]
+    if run.n_hits and run.last_hit_t > last:
+        last = run.last_hit_t
     horizon = 0.0
-    if comps:
-        horizon = max(comps) + rtt - float(arrivals[0])
-    return LatencyStats(latencies=latencies,
-                        n_offered=int(arrivals.size),
-                        n_dropped=run.n_dropped, horizon=horizon,
-                        batch_sizes=batch_sizes)
+    if last > -_INF:
+        horizon = (last + (rtt if mids is None else max(rtts))
+                   - float(arrivals[0]))
+    stats = LatencyStats(latencies=latencies,
+                         n_offered=int(arrivals.size),
+                         n_dropped=run.n_dropped, horizon=horizon,
+                         batch_sizes=batch_sizes,
+                         n_cache_hits=run.n_hits)
+    if sim.models is not None:
+        slos = sim.model_slos()
+        mm = mids_np[mask]
+        out = []
+        for m, profile in enumerate(sim.models):
+            out.append(PerModelStats(
+                name=profile.name, slo=slos[m], weight=profile.weight,
+                latencies=latencies[mm == m],
+                n_offered=int(np.count_nonzero(mids_np == m)),
+                n_dropped=int(np.count_nonzero(mids_np[run.shed] == m)),
+                n_cache_hits=0 if run.hit is None else int(
+                    np.count_nonzero(mids_np[run.hit] == m))))
+        stats.models = out
+    return stats
 
 
-def _drive_flat(arrivals: List[float], R: int, B: int, wait: float,
+def _make_cache(cap: int, policy: str):
+    """Inline ``(get, put)`` pair replicating :class:`~repro.serve.cache.
+    ResultCache`'s *decisions* — same hit answers, same touch ordering,
+    same eviction victims — with the counters, values, and method
+    dispatch stripped (the drive loop tracks hits itself and the stored
+    values are never read). LRU is one insertion-ordered dict with
+    pop-reinsert as move-to-end and first-key eviction; LFU is the same
+    O(1) freq/recency-bucket structure, plain dicts for the buckets."""
+    data: dict = {}
+    if policy == "lru":
+        def get(key):
+            if key not in data:
+                return False
+            data[key] = data.pop(key)
+            return True
+
+        def put(key):
+            if key in data:
+                data[key] = data.pop(key)
+                return
+            if len(data) >= cap:
+                del data[next(iter(data))]
+            data[key] = None
+        return get, put
+
+    freq: dict = {}
+    buckets: dict = {}
+    min_freq = [0]
+
+    def _touch(key):
+        f = freq[key]
+        bucket = buckets[f]
+        del bucket[key]
+        if not bucket:
+            del buckets[f]
+            if min_freq[0] == f:
+                min_freq[0] = f + 1
+        freq[key] = f + 1
+        buckets.setdefault(f + 1, {})[key] = None
+
+    def get(key):
+        if key not in data:
+            return False
+        _touch(key)
+        return True
+
+    def put(key):
+        if key in data:
+            _touch(key)
+            return
+        if len(data) >= cap:
+            bucket = buckets[min_freq[0]]
+            victim = next(iter(bucket))
+            del bucket[victim]
+            if not bucket:
+                del buckets[min_freq[0]]
+            del freq[victim]
+            del data[victim]
+        data[key] = None
+        freq[key] = 1
+        buckets.setdefault(1, {})[key] = None
+        min_freq[0] = 1
+    return get, put
+
+
+def _writeback(complete_np: np.ndarray, m_rid: array, m_comp: array,
+               m_take: array) -> None:
+    """Expand the per-batch record into per-request completion times with
+    one ``np.repeat`` fancy assignment (zero-copy views of the C-typed
+    buffers)."""
+    if len(m_rid):
+        complete_np[np.frombuffer(m_rid, dtype=np.int64)] = np.repeat(
+            np.frombuffer(m_comp, dtype=np.float64),
+            np.frombuffer(m_take, dtype=np.int64))
+
+
+def _drive_flat(arrivals: np.ndarray, R: int, B: int, wait: float,
                 svc: List[float], Q: float, n: int) -> FastRun:
-    """The fused drive/drain loop. One iteration per arrival:
+    """The fused plain-class drive/drain loop. One iteration per arrival:
 
     1. play launch events due by ``t`` (commit every batch whose launch
        instant is determined and before ``t``; full batches commit on any
@@ -150,15 +350,21 @@ def _drive_flat(arrivals: List[float], R: int, B: int, wait: float,
     once that instant is strictly before the current sync horizon; the
     end-of-stream drain flushes full batches first and the final partial
     at its head-deadline launch instant.
+
+    Memory: arrivals stream through in ``_CHUNK``-sized boxed-float
+    slices, each lane stores ``(rid, arrival)`` as C ints/doubles with
+    consumed prefixes reclaimed, and the deferred completion record is
+    three ``array`` buffers — the 10M-request/64-replica point runs in a
+    few hundred MB instead of multiple GB of boxed floats.
     """
     complete_np = np.full(n, np.nan)
     shed_np = np.zeros(n, dtype=bool)
     # Deferred completion writes: member ids, one completion + size per
     # batch; expanded into complete_np once, at the end, via np.repeat.
-    m_rid: List[int] = []
+    m_rid = array("q")
     m_ext = m_rid.extend
-    m_comp: List[float] = []
-    m_take: List[int] = []
+    m_comp = array("d")
+    m_take = array("q")
 
     # Load-heap keys are ints: backlog << shift | replica. A key is live
     # iff it equals cur[r]; Q*stride is the shed threshold in key space.
@@ -168,8 +374,9 @@ def _drive_flat(arrivals: List[float], R: int, B: int, wait: float,
     Qtop = _INF if Q == _INF else int(Q) * stride
 
     free_at = [0.0] * R
-    asg: List[List[int]] = [[] for _ in range(R)]   # append-only lanes
-    head = [0] * R                # first un-launched index into asg[r]
+    aq = [array("q") for _ in range(R)]   # member rids, append-only
+    aw = [array("d") for _ in range(R)]   # member arrival times, parallel
+    head = [0] * R                # first un-launched index into aq[r]
     qn = [0] * R                  # queued (un-launched) count per replica
     cur = list(range(R))          # live load key per replica
     load = list(range(R))
@@ -180,68 +387,667 @@ def _drive_flat(arrivals: List[float], R: int, B: int, wait: float,
     nle = _INF                    # cached next launch event time
     nce = _INF                    # cached next completion event time
     n_dropped = 0
-    bstart: List[List[float]] = [[] for _ in range(R)]
-    bcomp: List[List[float]] = [[] for _ in range(R)]
-    bsize: List[List[int]] = [[] for _ in range(R)]
+    bstart = [array("d") for _ in range(R)]
+    bcomp = [array("d") for _ in range(R)]
+    bsize = [array("q") for _ in range(R)]
     svcB = svc[B]
 
     push = heappush
     pop = heappop
 
+    for base in range(0, n, _CHUNK):
+        chunk = arrivals[base:base + _CHUNK].tolist()
+        for off, t in enumerate(chunk):
+            # -- sync: launch events due by t ----------------------------
+            if nle <= t:
+                while True:
+                    r = pop(launch_ev)[1]
+                    sched[r] = _INF
+                    q = aq[r]
+                    w = aw[r]
+                    h = head[r]
+                    nq = qn[r]
+                    while nq:
+                        fa = free_at[r]
+                        if nq >= B:
+                            tb = w[h + B - 1]
+                            launch = fa if fa > tb else tb
+                            take = B
+                        else:
+                            hd = w[h] + wait
+                            launch = fa if fa > hd else hd
+                            if launch >= t:
+                                break   # partial: the next arrival may join
+                            take = nq
+                        comp = launch + svc[take]
+                        free_at[r] = comp
+                        m_ext(q[h:h + take])
+                        m_comp.append(comp)
+                        m_take.append(take)
+                        h += take
+                        nq -= take
+                        bstart[r].append(launch)
+                        bcomp[r].append(comp)
+                        bsize[r].append(take)
+                        push(comp_ev, (comp, r, take))
+                        if comp < nce:
+                            nce = comp
+                    if h >= _COMPACT:
+                        del q[:h]
+                        del w[:h]
+                        h = 0
+                    head[r] = h
+                    qn[r] = nq
+                    if nq:
+                        fa = free_at[r]
+                        if nq >= B:
+                            tb = w[h + B - 1]
+                            nl = fa if fa > tb else tb
+                        else:
+                            hd = w[h] + wait
+                            nl = fa if fa > hd else hd
+                        if nl < sched[r]:
+                            push(launch_ev, (nl, r))
+                            sched[r] = nl
+                    if launch_ev:
+                        nle = launch_ev[0][0]
+                        if nle <= t:
+                            continue
+                    else:
+                        nle = _INF
+                    break
+            # -- sync: completion events due by t ------------------------
+            if nce <= t:
+                while True:
+                    ev = pop(comp_ev)
+                    r = ev[1]
+                    nk = cur[r] - ev[2] * stride
+                    cur[r] = nk
+                    push(load, nk)
+                    if comp_ev:
+                        nce = comp_ev[0][0]
+                        if nce <= t:
+                            continue
+                    else:
+                        nce = _INF
+                    break
+            # -- pick least-loaded (lazy heap: skim stale keys) ----------
+            k = load[0]
+            r = k & mask
+            while cur[r] != k:
+                pop(load)
+                k = load[0]
+                r = k & mask
+            if k >= Qtop:
+                n_dropped += 1
+                shed_np[base + off] = True
+                continue
+            # -- admit ---------------------------------------------------
+            q = aq[r]
+            w = aw[r]
+            nq = qn[r]
+            if nq >= B:
+                # The lane already holds a determined full batch (exactly
+                # B by invariant): it commits on touch, like queue.push ->
+                # advance.
+                h = head[r]
+                fa = free_at[r]
+                tb = w[h + B - 1]
+                launch = fa if fa > tb else tb
+                comp = launch + svcB
+                free_at[r] = comp
+                m_ext(q[h:])
+                m_comp.append(comp)
+                m_take.append(B)
+                h += B
+                if h >= _COMPACT:
+                    del q[:h]
+                    del w[:h]
+                    h = 0
+                head[r] = h
+                nq = 0
+                bstart[r].append(launch)
+                bcomp[r].append(comp)
+                bsize[r].append(B)
+                push(comp_ev, (comp, r, B))
+                if comp < nce:
+                    nce = comp
+            q.append(base + off)
+            w.append(t)
+            nq += 1
+            qn[r] = nq
+            nk = k + stride
+            cur[r] = nk
+            push(load, nk)
+            # The lane's launch instant only changes when it gains a head
+            # (nq == 1) or fills (nq == B); anything between is shadowed
+            # by the already-scheduled earlier event.
+            if nq == 1 or nq == B:
+                fa = free_at[r]
+                if nq == B:
+                    nl = fa if fa > t else t
+                else:
+                    hd = t + wait
+                    nl = fa if fa > hd else hd
+                if nl < sched[r]:
+                    push(launch_ev, (nl, r))
+                    sched[r] = nl
+                    if nl < nle:
+                        nle = nl
+    # -- drain: flush every lane, full batches then the final partial ----
+    for r in range(R):
+        q = aq[r]
+        w = aw[r]
+        h = head[r]
+        nq = qn[r]
+        while nq:
+            fa = free_at[r]
+            if nq >= B:
+                take = B
+                tb = w[h + B - 1]
+                launch = fa if fa > tb else tb
+            else:
+                take = nq
+                hd = w[h] + wait
+                launch = fa if fa > hd else hd
+            comp = launch + svc[take]
+            free_at[r] = comp
+            m_ext(q[h:h + take])
+            m_comp.append(comp)
+            m_take.append(take)
+            h += take
+            nq -= take
+            bstart[r].append(launch)
+            bcomp[r].append(comp)
+            bsize[r].append(take)
+        head[r] = h
+        qn[r] = 0
+    _writeback(complete_np, m_rid, m_comp, m_take)
+    return FastRun(complete_t=complete_np, shed=shed_np, bstart=bstart,
+                   bcomp=bcomp, bsize=bsize, n_dropped=n_dropped)
+
+
+def _drive_cached(arrivals: np.ndarray, R: int, B: int, wait: float,
+                  svc: List[float], Q: float, n: int, contents: List[int],
+                  cap: int, cache_policy: str) -> FastRun:
+    """The cached single-model drive loop: :func:`_drive_flat` with the
+    result cache run inline, in the event loop's exact per-arrival order
+    (``ServingSimulator._offer``):
+
+    1. drain due cache fills — every batch committed with completion
+       ``<= t`` writes its members' content keys through ``put`` in
+       member order, popped off the same ``(completion, request_ids)``
+       heap ordering the commit hook feeds;
+    2. look the arrival's key up — a hit completes at its arrival time
+       (latency = one transport rtt) and *returns before the router
+       syncs*, exactly like the event loop's early return: no launch or
+       completion events are played for a hit;
+    3. a miss runs the plain admit path; every commit additionally
+       pushes its fill event (end-of-stream drain commits don't — their
+       fills can never be consumed, matching the event loop where they
+       land in the heap after the last arrival was served).
+
+    LRU — the production policy — is specialized inline (one dict,
+    ``pop``-with-sentinel as the combined lookup/touch); LFU goes through
+    :func:`_make_cache`'s closures. Hits and sheds accumulate in C-typed
+    buffers and write back vectorized at the end — per-request numpy
+    scalar stores were a measurable slice of the loop. Fill events carry
+    the member-``array`` slice itself: heap tie-breaks compare arrays
+    lexicographically, the same ordering as the event loop's request-id
+    tuples, without boxing every member id at commit time.
+    """
+    complete_np = np.full(n, np.nan)
+    shed_np = np.zeros(n, dtype=bool)
+    hit_np = np.zeros(n, dtype=bool)
+    lru = cache_policy == "lru"
+    cdata: dict = {}              # the inline-LRU store
+    _MISS = cdata                 # sentinel no key can map to
+    if not lru:
+        cget, cput = _make_cache(cap, cache_policy)
+    fills: List = []              # (completion, member-rid array slice)
+    nfe = _INF                    # cached next fill event time
+    h_rid = array("q")            # hit request ids, in arrival order
+    h_t = array("d")              # matching hit (arrival) times
+    s_rid = array("q")            # shed request ids
+
+    m_rid = array("q")
+    m_ext = m_rid.extend
+    m_comp = array("d")
+    m_take = array("q")
+
+    shift = max(1, (R - 1).bit_length())
+    mask = (1 << shift) - 1
+    stride = 1 << shift
+    Qtop = _INF if Q == _INF else int(Q) * stride
+
+    free_at = [0.0] * R
+    aq = [array("q") for _ in range(R)]
+    aw = [array("d") for _ in range(R)]
+    head = [0] * R
+    qn = [0] * R
+    cur = list(range(R))
+    load = list(range(R))
+    heapify(load)
+    launch_ev: List = []
+    sched = [_INF] * R
+    comp_ev: List = []
+    nle = _INF
+    nce = _INF
+    bstart = [array("d") for _ in range(R)]
+    bcomp = [array("d") for _ in range(R)]
+    bsize = [array("q") for _ in range(R)]
+    svcB = svc[B]
+
+    push = heappush
+    pop = heappop
+
+    for base in range(0, n, _CHUNK):
+        chunk = arrivals[base:base + _CHUNK].tolist()
+        for off, t in enumerate(chunk):
+            # -- cache: drain due fills, then look this arrival up -------
+            if nfe <= t:
+                if lru:
+                    while fills and fills[0][0] <= t:
+                        for rid2 in pop(fills)[1]:
+                            k2 = contents[rid2]
+                            v2 = cdata.pop(k2, _MISS)
+                            if v2 is not _MISS:       # refresh = touch
+                                cdata[k2] = v2
+                            else:
+                                if len(cdata) >= cap:
+                                    del cdata[next(iter(cdata))]
+                                cdata[k2] = None
+                else:
+                    while fills and fills[0][0] <= t:
+                        for rid2 in pop(fills)[1]:
+                            cput(contents[rid2])
+                nfe = fills[0][0] if fills else _INF
+            rid = base + off
+            if lru:
+                key = contents[rid]
+                v = cdata.pop(key, _MISS)
+                if v is not _MISS:
+                    cdata[key] = v       # move-to-end
+                    h_rid.append(rid)    # latency = (t - t) + rtt = rtt
+                    h_t.append(t)
+                    continue             # hits never sync the router
+            elif cget(contents[rid]):
+                h_rid.append(rid)
+                h_t.append(t)
+                continue
+            # -- sync: launch events due by t ----------------------------
+            if nle <= t:
+                while True:
+                    r = pop(launch_ev)[1]
+                    sched[r] = _INF
+                    q = aq[r]
+                    w = aw[r]
+                    h = head[r]
+                    nq = qn[r]
+                    while nq:
+                        fa = free_at[r]
+                        if nq >= B:
+                            tb = w[h + B - 1]
+                            launch = fa if fa > tb else tb
+                            take = B
+                        else:
+                            hd = w[h] + wait
+                            launch = fa if fa > hd else hd
+                            if launch >= t:
+                                break
+                            take = nq
+                        comp = launch + svc[take]
+                        free_at[r] = comp
+                        seg = q[h:h + take]
+                        m_ext(seg)
+                        push(fills, (comp, seg))
+                        if comp < nfe:
+                            nfe = comp
+                        m_comp.append(comp)
+                        m_take.append(take)
+                        h += take
+                        nq -= take
+                        bstart[r].append(launch)
+                        bcomp[r].append(comp)
+                        bsize[r].append(take)
+                        push(comp_ev, (comp, r, take))
+                        if comp < nce:
+                            nce = comp
+                    if h >= _COMPACT:
+                        del q[:h]
+                        del w[:h]
+                        h = 0
+                    head[r] = h
+                    qn[r] = nq
+                    if nq:
+                        fa = free_at[r]
+                        if nq >= B:
+                            tb = w[h + B - 1]
+                            nl = fa if fa > tb else tb
+                        else:
+                            hd = w[h] + wait
+                            nl = fa if fa > hd else hd
+                        if nl < sched[r]:
+                            push(launch_ev, (nl, r))
+                            sched[r] = nl
+                    if launch_ev:
+                        nle = launch_ev[0][0]
+                        if nle <= t:
+                            continue
+                    else:
+                        nle = _INF
+                    break
+            # -- sync: completion events due by t ------------------------
+            if nce <= t:
+                while True:
+                    ev = pop(comp_ev)
+                    r = ev[1]
+                    nk = cur[r] - ev[2] * stride
+                    cur[r] = nk
+                    push(load, nk)
+                    if comp_ev:
+                        nce = comp_ev[0][0]
+                        if nce <= t:
+                            continue
+                    else:
+                        nce = _INF
+                    break
+            # -- pick least-loaded ---------------------------------------
+            k = load[0]
+            r = k & mask
+            while cur[r] != k:
+                pop(load)
+                k = load[0]
+                r = k & mask
+            if k >= Qtop:
+                s_rid.append(rid)
+                continue
+            # -- admit ---------------------------------------------------
+            q = aq[r]
+            w = aw[r]
+            nq = qn[r]
+            if nq >= B:
+                h = head[r]
+                fa = free_at[r]
+                tb = w[h + B - 1]
+                launch = fa if fa > tb else tb
+                comp = launch + svcB
+                free_at[r] = comp
+                seg = q[h:]
+                m_ext(seg)
+                push(fills, (comp, seg))
+                if comp < nfe:
+                    nfe = comp
+                m_comp.append(comp)
+                m_take.append(B)
+                h += B
+                if h >= _COMPACT:
+                    del q[:h]
+                    del w[:h]
+                    h = 0
+                head[r] = h
+                nq = 0
+                bstart[r].append(launch)
+                bcomp[r].append(comp)
+                bsize[r].append(B)
+                push(comp_ev, (comp, r, B))
+                if comp < nce:
+                    nce = comp
+            q.append(rid)
+            w.append(t)
+            nq += 1
+            qn[r] = nq
+            nk = k + stride
+            cur[r] = nk
+            push(load, nk)
+            if nq == 1 or nq == B:
+                fa = free_at[r]
+                if nq == B:
+                    nl = fa if fa > t else t
+                else:
+                    hd = t + wait
+                    nl = fa if fa > hd else hd
+                if nl < sched[r]:
+                    push(launch_ev, (nl, r))
+                    sched[r] = nl
+                    if nl < nle:
+                        nle = nl
+    for r in range(R):
+        q = aq[r]
+        w = aw[r]
+        h = head[r]
+        nq = qn[r]
+        while nq:
+            fa = free_at[r]
+            if nq >= B:
+                take = B
+                tb = w[h + B - 1]
+                launch = fa if fa > tb else tb
+            else:
+                take = nq
+                hd = w[h] + wait
+                launch = fa if fa > hd else hd
+            comp = launch + svc[take]
+            free_at[r] = comp
+            m_ext(q[h:h + take])
+            m_comp.append(comp)
+            m_take.append(take)
+            h += take
+            nq -= take
+            bstart[r].append(launch)
+            bcomp[r].append(comp)
+            bsize[r].append(take)
+        head[r] = h
+        qn[r] = 0
+    _writeback(complete_np, m_rid, m_comp, m_take)
+    n_hits = len(h_rid)
+    last_hit = h_t[-1] if n_hits else -_INF
+    if n_hits:
+        hidx = np.frombuffer(h_rid, dtype=np.int64)
+        complete_np[hidx] = np.frombuffer(h_t, dtype=np.float64)
+        hit_np[hidx] = True
+    if s_rid:
+        shed_np[np.frombuffer(s_rid, dtype=np.int64)] = True
+    return FastRun(complete_t=complete_np, shed=shed_np, bstart=bstart,
+                   bcomp=bcomp, bsize=bsize, n_dropped=len(s_rid),
+                   hit=hit_np, n_hits=n_hits, last_hit_t=last_hit)
+
+
+def _drive_multi(arrivals: List[float], R: int, M: int, Bs: List[int],
+                 waits: List[float], svcs: List[List[float]],
+                 limits: List[float], mids: List[int], n: int,
+                 contents: Optional[List[int]], cap: int,
+                 cache_policy: str) -> FastRun:
+    """The multi-model drive loop: per-model lanes as segmented arrays on
+    one shared per-replica ``free_at`` timeline.
+
+    Each replica holds M lanes (append-only ``(rid, arrival)`` buffers
+    with head pointers). Advancing a replica repeats the event queue's
+    rule verbatim: commit the lane holding the globally earliest
+    ``(launch instant, partial?, model)`` key — a full lane's launch is
+    ``max(free_at, B_m-th member arrival)`` and commits on any touch,
+    even past the horizon; a partial lane's is ``max(free_at, head +
+    launch_wait_m)`` and defers once it reaches the horizon (the next
+    arrival may still join it). Admission is the router's weighted count
+    rule: model ``m`` sheds when the least-loaded replica's *total*
+    backlog has reached ``max(1, ceil(max_queue * w_m / max(w)))``,
+    checked in int-key space. With ``contents`` the result cache runs
+    inline on ``(model, content)`` keys, same order as
+    :func:`_drive_cached`.
+    """
+    complete_np = np.full(n, np.nan)
+    shed_np = np.zeros(n, dtype=bool)
+    cached = contents is not None
+    hit_np = np.zeros(n, dtype=bool) if cached else None
+    fills: List = []
+    h_rid = array("q")            # hit request ids, in arrival order
+    h_t = array("d")              # matching hit (arrival) times
+    s_rid = array("q")            # shed request ids
+    if cached:
+        cget, cput = _make_cache(cap, cache_policy)
+        # (model, content) keys, precomputed once — what _content_key
+        # builds per lookup on the event path.
+        keys = [(m, c) for m, c in zip(mids, contents)]
+
+    m_rid = array("q")
+    m_ext = m_rid.extend
+    m_comp = array("d")
+    m_take = array("q")
+
+    shift = max(1, (R - 1).bit_length())
+    kmask = (1 << shift) - 1
+    stride = 1 << shift
+    qtop = [_INF if L == _INF else int(L) * stride for L in limits]
+
+    free_at = [0.0] * R
+    lq = [array("q") for _ in range(R * M)]   # per-(replica, model) lanes
+    lw = [array("d") for _ in range(R * M)]
+    lhead = [0] * (R * M)
+    lqn = [0] * (R * M)
+    # Lanes currently holding a full batch (lqn == B_m; appends advance
+    # first, so a lane never exceeds B_m). Admission only needs "is any
+    # lane full?" — a counter beats an M-lane scan per arrival.
+    nfull = [0] * R
+    cur = list(range(R))
+    load = list(range(R))
+    heapify(load)
+    launch_ev: List = []
+    sched = [_INF] * R
+    comp_ev: List = []
+    nle = _INF
+    nce = _INF
+    bstart = [array("d") for _ in range(R)]
+    bcomp = [array("d") for _ in range(R)]
+    bsize = [array("q") for _ in range(R)]
+
+    push = heappush
+    pop = heappop
+
+    def _advance(r: int, until: float) -> None:
+        """ReplicaBatchQueue.advance, fifo order: commit the globally
+        earliest lane key until it belongs to a deferred partial."""
+        nonlocal nce
+        bl = r * M
+        while True:
+            best_launch = _INF
+            best_partial = 1
+            best_m = -1
+            fa = free_at[r]
+            for m2 in range(M):
+                li = bl + m2
+                nq2 = lqn[li]
+                if not nq2:
+                    continue
+                B2 = Bs[m2]
+                h2 = lhead[li]
+                if nq2 >= B2:
+                    tb = lw[li][h2 + B2 - 1]
+                    launch2 = fa if fa > tb else tb
+                    partial2 = 0
+                else:
+                    hd = lw[li][h2] + waits[m2]
+                    launch2 = fa if fa > hd else hd
+                    partial2 = 1
+                # Ascending scan: at an exact tie the incumbent already
+                # has the lower model index, so the event queue's
+                # (launch, partial, model) key reduces to these two
+                # comparisons — except the first non-empty lane, which
+                # wins even at launch == inf (an indefinitely-held
+                # continuous-batching partial; it defers below exactly
+                # like the tuple rule would).
+                if best_m < 0 or launch2 < best_launch or (
+                        launch2 == best_launch
+                        and partial2 < best_partial):
+                    best_launch = launch2
+                    best_partial = partial2
+                    best_m = m2
+            if best_m < 0:
+                return
+            if best_partial and best_launch >= until:
+                return
+            li = bl + best_m
+            nq2 = lqn[li]
+            B2 = Bs[best_m]
+            if nq2 >= B2:
+                take = B2
+                nfull[r] -= 1
+            else:
+                take = nq2
+            h2 = lhead[li]
+            comp = best_launch + svcs[best_m][take]
+            free_at[r] = comp
+            seg = lq[li][h2:h2 + take]
+            m_ext(seg)
+            if cached:
+                push(fills, (comp, seg))
+            m_comp.append(comp)
+            m_take.append(take)
+            h2 += take
+            if h2 >= _COMPACT:
+                del lq[li][:h2]
+                del lw[li][:h2]
+                h2 = 0
+            lhead[li] = h2
+            lqn[li] = nq2 - take
+            bstart[r].append(best_launch)
+            bcomp[r].append(comp)
+            bsize[r].append(take)
+            push(comp_ev, (comp, r, take))
+            if comp < nce:
+                nce = comp
+
+    def _next_launch(r: int) -> float:
+        """Earliest lane launch instant on replica r (inf when idle)."""
+        bl = r * M
+        best = _INF
+        fa = free_at[r]
+        for m2 in range(M):
+            li = bl + m2
+            nq2 = lqn[li]
+            if not nq2:
+                continue
+            B2 = Bs[m2]
+            h2 = lhead[li]
+            if nq2 >= B2:
+                tb = lw[li][h2 + B2 - 1]
+                l2 = fa if fa > tb else tb
+            else:
+                hd = lw[li][h2] + waits[m2]
+                l2 = fa if fa > hd else hd
+            if l2 < best:
+                best = l2
+        return best
+
     for rid, t in enumerate(arrivals):
-        # -- sync: launch events due by t --------------------------------
+        if cached:
+            if fills and fills[0][0] <= t:
+                while fills and fills[0][0] <= t:
+                    for rid2 in pop(fills)[1]:
+                        cput(keys[rid2])
+            if cget(keys[rid]):
+                h_rid.append(rid)    # latency = (t - t) + rtt = rtt
+                h_t.append(t)
+                continue             # hits never sync the router
+        m = mids[rid]
+        # -- sync: launch events due by t (advance all due replicas,
+        #    then reschedule — the event loop's two-phase order) ---------
         if nle <= t:
+            adv: List[int] = []
             while True:
                 r = pop(launch_ev)[1]
-                sched[r] = _INF
-                a = asg[r]
-                h = head[r]
-                nq = qn[r]
-                while nq:
-                    fa = free_at[r]
-                    if nq >= B:
-                        tb = arrivals[a[h + B - 1]]
-                        launch = fa if fa > tb else tb
-                        take = B
-                    else:
-                        hd = arrivals[a[h]] + wait
-                        launch = fa if fa > hd else hd
-                        if launch >= t:
-                            break       # partial: the next arrival may join
-                        take = nq
-                    comp = launch + svc[take]
-                    free_at[r] = comp
-                    m_ext(a[h:h + take])
-                    m_comp.append(comp)
-                    m_take.append(take)
-                    h += take
-                    nq -= take
-                    bstart[r].append(launch)
-                    bcomp[r].append(comp)
-                    bsize[r].append(take)
-                    push(comp_ev, (comp, r, take))
-                    if comp < nce:
-                        nce = comp
-                head[r] = h
-                qn[r] = nq
-                if nq:
-                    fa = free_at[r]
-                    if nq >= B:
-                        tb = arrivals[a[h + B - 1]]
-                        nl = fa if fa > tb else tb
-                    else:
-                        hd = arrivals[a[h]] + wait
-                        nl = fa if fa > hd else hd
-                    if nl < sched[r]:
-                        push(launch_ev, (nl, r))
-                        sched[r] = nl
-                if launch_ev:
-                    nle = launch_ev[0][0]
-                    if nle <= t:
-                        continue
-                else:
-                    nle = _INF
+                if not adv or adv[-1] != r:
+                    _advance(r, t)
+                    adv.append(r)
+                if launch_ev and launch_ev[0][0] <= t:
+                    continue
                 break
+            for r in adv:
+                sched[r] = _INF
+                nl = _next_launch(r)
+                if nl < _INF:
+                    push(launch_ev, (nl, r))
+                    sched[r] = nl
+            nle = launch_ev[0][0] if launch_ev else _INF
         # -- sync: completion events due by t ----------------------------
         if nce <= t:
             while True:
@@ -257,90 +1063,104 @@ def _drive_flat(arrivals: List[float], R: int, B: int, wait: float,
                 else:
                     nce = _INF
                 break
-        # -- pick least-loaded (lazy heap: skim stale keys) --------------
+        # -- pick least-loaded, weighted admission -----------------------
         k = load[0]
-        r = k & mask
+        r = k & kmask
         while cur[r] != k:
             pop(load)
             k = load[0]
-            r = k & mask
-        if k >= Qtop:
-            n_dropped += 1
-            shed_np[rid] = True
+            r = k & kmask
+        if k >= qtop[m]:
+            s_rid.append(rid)
             continue
-        # -- admit -------------------------------------------------------
-        a = asg[r]
-        nq = qn[r]
-        if nq >= B:
-            # The lane already holds a determined full batch (exactly B by
-            # invariant): it commits on touch, like queue.push -> advance.
-            h = head[r]
-            fa = free_at[r]
-            tb = arrivals[a[h + B - 1]]
-            launch = fa if fa > tb else tb
-            comp = launch + svcB
-            free_at[r] = comp
-            m_ext(a[h:])
-            m_comp.append(comp)
-            m_take.append(B)
-            head[r] = h + B
-            nq = 0
-            bstart[r].append(launch)
-            bcomp[r].append(comp)
-            bsize[r].append(B)
-            push(comp_ev, (comp, r, B))
-            if comp < nce:
-                nce = comp
-        a.append(rid)
-        nq += 1
-        qn[r] = nq
+        # -- admit: queue.push advances first (commit-on-touch for any
+        #    determined full lane), then appends --------------------------
+        advanced = nfull[r]
+        if advanced:
+            _advance(r, t)
+        li = r * M + m
+        lq[li].append(rid)
+        lw[li].append(t)
+        nql = lqn[li] + 1
+        lqn[li] = nql
         nk = k + stride
         cur[r] = nk
         push(load, nk)
-        # The lane's launch instant only changes when it gains a head
-        # (nq == 1) or fills (nq == B); anything between is shadowed by
-        # the already-scheduled earlier event.
-        if nq == 1 or nq == B:
-            fa = free_at[r]
-            if nq == B:
-                nl = fa if fa > t else t
-            else:
-                hd = t + wait
-                nl = fa if fa > hd else hd
+        # Reschedule the replica's launch event. When no lane committed,
+        # only lane m's candidate can have changed, and only on the
+        # empty->head and (B_m-1)->full transitions — every other append
+        # leaves the head element, free_at, and the other lanes' keys
+        # untouched, so the scheduled event is already at (or before) the
+        # true minimum and a full M-lane rescan would find nothing new.
+        if advanced:
+            if nql == Bs[m]:
+                nfull[r] += 1
+            nl = _next_launch(r)
             if nl < sched[r]:
                 push(launch_ev, (nl, r))
                 sched[r] = nl
                 if nl < nle:
                     nle = nl
-    # -- drain: flush every lane, full batches then the final partial ----
-    for r in range(R):
-        a = asg[r]
-        h = head[r]
-        nq = qn[r]
-        while nq:
+        elif nql == Bs[m]:
+            nfull[r] += 1
             fa = free_at[r]
-            if nq >= B:
-                take = B
-                tb = arrivals[a[h + B - 1]]
-                launch = fa if fa > tb else tb
-            else:
-                take = nq
-                hd = arrivals[a[h]] + wait
-                launch = fa if fa > hd else hd
-            comp = launch + svc[take]
+            nl = fa if fa > t else t
+            if nl < sched[r]:
+                push(launch_ev, (nl, r))
+                sched[r] = nl
+                if nl < nle:
+                    nle = nl
+        elif nql == 1:
+            fa = free_at[r]
+            hd = t + waits[m]
+            nl = fa if fa > hd else hd
+            if nl < sched[r]:
+                push(launch_ev, (nl, r))
+                sched[r] = nl
+                if nl < nle:
+                    nle = nl
+    # -- drain: advance to infinity, then fire held lanes in
+    #    head-arrival order (ties to the lowest model index) -------------
+    for r in range(R):
+        _advance(r, _INF)
+        bl = r * M
+        while True:
+            best_t = _INF
+            best_m = -1
+            for m2 in range(M):
+                li = bl + m2
+                if lqn[li] and (best_m < 0 or lw[li][lhead[li]] < best_t):
+                    best_t = lw[li][lhead[li]]
+                    best_m = m2
+            if best_m < 0:
+                break
+            li = bl + best_m
+            nq2 = lqn[li]
+            B2 = Bs[best_m]
+            take = B2 if nq2 >= B2 else nq2
+            h2 = lhead[li]
+            fa = free_at[r]
+            tb = lw[li][h2 + take - 1]
+            launch = fa if fa > tb else tb
+            comp = launch + svcs[best_m][take]
             free_at[r] = comp
-            m_ext(a[h:h + take])
+            m_ext(lq[li][h2:h2 + take])
             m_comp.append(comp)
             m_take.append(take)
-            h += take
-            nq -= take
+            lhead[li] = h2 + take
+            lqn[li] = nq2 - take
             bstart[r].append(launch)
             bcomp[r].append(comp)
             bsize[r].append(take)
-        head[r] = h
-        qn[r] = 0
-    if m_rid:
-        complete_np[np.array(m_rid, dtype=np.intp)] = np.repeat(
-            np.array(m_comp), np.array(m_take, dtype=np.intp))
+    _writeback(complete_np, m_rid, m_comp, m_take)
+    n_hits = len(h_rid)
+    last_hit = h_t[-1] if n_hits else -_INF
+    if n_hits:
+        hidx = np.frombuffer(h_rid, dtype=np.int64)
+        complete_np[hidx] = np.frombuffer(h_t, dtype=np.float64)
+        hit_np[hidx] = True
+    if s_rid:
+        shed_np[np.frombuffer(s_rid, dtype=np.int64)] = True
     return FastRun(complete_t=complete_np, shed=shed_np, bstart=bstart,
-                   bcomp=bcomp, bsize=bsize, n_dropped=n_dropped)
+                   bcomp=bcomp, bsize=bsize, n_dropped=len(s_rid),
+                   hit=hit_np, n_hits=n_hits, last_hit_t=last_hit)

@@ -158,11 +158,14 @@ class ServingSimulator:
     ``engine`` selects the drive loop: ``"event"`` (default) is the
     object event loop above; ``"array"`` swaps in the flat
     struct-of-arrays core (:mod:`repro.serve.fast_core`) when the config
-    is in its supported class — single model, fixed fleet, least-loaded,
-    count admission, fifo, no cache/coalesce, no tracer/profiler — and
-    transparently falls back to the event loop otherwise
-    (``last_run_engine`` records which one ran). The two engines are
-    bit-identical, pinned by the engine differential suite.
+    is in its supported class — fixed fleet, least-loaded routing, count
+    admission, fifo launch order, single- or multi-model (per-model
+    policies included), with or without a result cache — and
+    transparently falls back to the event loop for the genuinely
+    event-only features (tracing/profiling, coalescing, affinity,
+    cost-aware, edf/slack, round-robin). ``last_run_engine`` records
+    which one ran. The two engines are bit-identical, pinned by the
+    engine differential suite and the full-lattice support test.
 
     A profile's ``policy`` gives that model its own per-model
     ``max_batch``/``max_wait`` on the shared replicas (capacity,
@@ -699,8 +702,7 @@ FastRun`), falling back to this loop — bit-identically — otherwise.
         """
         if self._fast is not None:
             run, self._fast = self._fast, None
-            return fast_core.collect(run, arrivals,
-                                     self.service.request_rtt())
+            return fast_core.collect(self, run, arrivals)
         cstate = self._cstate
         hits = cstate.hits if cstate is not None else {}
         coalesced = cstate.coalesced if cstate is not None else {}
@@ -835,8 +837,12 @@ FastRun`), falling back to this loop — bit-identically — otherwise.
             raise ValueError(f"slo must be positive, got {slo}")
         report = SweepReport(slo=float(slo))
         for rate in rates:
-            report.add(rate, self._run_point(rate, n_requests, process, seed,
-                                             float(slo), popularity))
+            stats = self._run_point(rate, n_requests, process, seed,
+                                    float(slo), popularity)
+            # Surface which drive loop produced each point: with
+            # engine="array" every supported point runs on the array core
+            # and benchmarks can assert no silent fallback occurred.
+            report.add(rate, stats, engine=self.last_run_engine)
         return report
 
     def _run_point(self, rate: float, n_requests: int, process: ProcessLike,
@@ -907,7 +913,8 @@ def sweep_cache_sizes(workload: Workload,
                       seed: SeedLike = None,
                       max_queue: Optional[int] = 256,
                       strategy: str = "least_loaded",
-                      cache_policy: str = "lru") -> CacheSizeSweep:
+                      cache_policy: str = "lru",
+                      engine: str = "event") -> CacheSizeSweep:
     """The hit-rate vs p99/attainment trade across cache capacities.
 
     Runs the identical trace — same arrivals, same content-id stream, same
@@ -917,6 +924,11 @@ def sweep_cache_sizes(workload: Workload,
     difference between meeting the SLO and shedding). The returned
     :class:`~repro.serve.metrics.CacheSizeSweep` holds the hit-rate, p99,
     attainment, and deflected-load curves against capacity.
+
+    ``engine="array"`` routes every point through the flat array core
+    (cached runs are natively supported there); the per-point engines that
+    actually ran are surfaced on the returned sweep so callers can assert
+    nothing silently fell back.
     """
     machine = machine or cori(seed=0, jitter=False)
     policy = policy or BatchingPolicy()
@@ -934,13 +946,15 @@ def sweep_cache_sizes(workload: Workload,
     if slo is None:
         slo = base.default_slo()
     points: List[LatencyStats] = []
+    engines: List[str] = []
     for size in sizes:
         sim = ServingSimulator(workload, machine=machine,
                                n_replicas=n_replicas, policy=policy,
                                max_queue=max_queue, strategy=strategy,
                                service_model=service, cache_size=size,
-                               cache_policy=cache_policy)
+                               cache_policy=cache_policy, engine=engine)
         points.append(sim.run(rate, n_requests=n_requests, process=process,
                               seed=seed, popularity=popularity))
+        engines.append(sim.last_run_engine)
     return CacheSizeSweep(slo=float(slo), rate=float(rate), sizes=sizes,
-                          points=points)
+                          points=points, engines=engines)

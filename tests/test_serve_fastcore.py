@@ -1,25 +1,37 @@
 """Engine differential suite: the flat array core vs the event loop.
 
 ``ServingSimulator(engine="array")`` must be a pure implementation swap —
-never a behavior change. Three layers pin that:
+never a behavior change. Four layers pin that:
 
-1. **Differential families** — the five config families of the fast-core
-   issue (plain, cached-zipf, multi-model, autoscaled+failures+degrades,
+1. **Differential families** — the config families of the fast-core
+   issues (plain; cached Zipf/LRU; cached hot-key/LFU; cached+coalesce;
+   multi-model; multi-model+cache; autoscaled+failures+degrades;
    edf+cost_aware) each run under ``engine="event"`` and
    ``engine="array"`` across 3 seeds and must produce *bit-identical*
-   :class:`LatencyStats` — latencies, batch sizes, drops, horizon, every
-   counter. The array core natively drives only the plain family; the
-   rest must fall back to the event loop transparently (also asserted —
-   a config silently landing on the wrong path is itself a failure).
-2. **Oracle differential** — the array core vs the PR 4 frozen reference
+   :class:`LatencyStats` — latencies, batch sizes, drops, hits, horizon,
+   every counter, every per-model slice. The array core natively drives
+   the plain, cached, and multi-model families; the genuinely event-only
+   ones (coalescing, autoscaling, edf/cost-aware) must fall back
+   transparently (also asserted — a config silently landing on the wrong
+   path is itself a failure).
+2. **Support lattice** — every combination of the config axes the
+   predicate reads (models x cache x coalesce x order x cost_aware x
+   strategy x affinity x tracing) actually *runs*, and each lands on
+   exactly the engine this test's own support matrix claims, so
+   ``unsupported_reason()`` can never silently drift from the dispatch.
+3. **Oracle differential** — the array core vs the PR 4 frozen reference
    (:class:`repro.serve.reference.LinearServingSimulator`), so the chain
    oracle -> event loop -> array core is pinned end to end, including at
    a full 100k-request trace.
-3. **Engine-parametrized properties** — the scheduler invariants
+4. **Engine-parametrized properties** — the scheduler invariants
    (conservation, transport floor, batch-size bounds, determinism) re-run
    against both engines via one parametrized fixture over randomized
-   configurations.
+   configurations; plus a subprocess RSS smoke test bounding the
+   10M-request drive's memory.
 """
+
+import subprocess
+import sys
 
 import numpy as np
 import pytest
@@ -29,9 +41,11 @@ from repro.serve import (
     AutoscalePolicy,
     AutoscalingSimulator,
     BatchingPolicy,
+    HotKeyPopularity,
     ModelMix,
     ModelProfile,
     ServingSimulator,
+    Tracer,
     ZipfPopularity,
 )
 from repro.serve import fast_core
@@ -74,7 +88,7 @@ def _assert_same(a, b):
     assert a.horizon == b.horizon
 
 
-# -- the five differential families --------------------------------------------
+# -- the differential families --------------------------------------------------
 
 def _plain(engine):
     return ServingSimulator(hep_workload(), n_replicas=5,
@@ -83,6 +97,25 @@ def _plain(engine):
 
 
 def _cached_zipf(engine):
+    # Native on the array core since PR 9: inline LRU fed from the same
+    # (completion, request_ids) fill ordering the commit hook uses.
+    return ServingSimulator(hep_workload(), n_replicas=4,
+                            policy=BatchingPolicy(max_batch=8),
+                            cache_size=64, engine=engine)
+
+
+def _cached_hot_lfu(engine):
+    # The other cache policy under the other popularity law, with a tight
+    # queue so shedding interleaves with hits.
+    return ServingSimulator(hep_workload(), n_replicas=3,
+                            policy=BatchingPolicy(max_batch=8),
+                            cache_size=32, cache_policy="lfu",
+                            max_queue=16, engine=engine)
+
+
+def _coalesced(engine):
+    # Request coalescing stays event-only: the in-flight ledger rides the
+    # object router's failure bookkeeping.
     return ServingSimulator(hep_workload(), n_replicas=4,
                             policy=BatchingPolicy(max_batch=8),
                             cache_size=64, coalesce=True, engine=engine)
@@ -99,6 +132,19 @@ def _multi_model(engine):
                         FakeService(0.08, 0.02)],
         model_mix=ModelMix((0.9, 0.1)), n_replicas=4,
         policy=BatchingPolicy(max_batch=8), engine=engine)
+
+
+def _multi_model_cached(engine):
+    # Both native extensions stacked: (model, content) cache keys over
+    # per-model lanes, plus a per-model policy for the expensive model.
+    return ServingSimulator(
+        models=[ModelProfile("cheap", None, weight=4.0),
+                ModelProfile("dear", None, weight=1.0,
+                             policy=BatchingPolicy(max_batch=4))],
+        service_models=[FakeService(0.004, 0.001),
+                        FakeService(0.08, 0.02)],
+        model_mix=ModelMix((0.8, 0.2)), n_replicas=4, max_queue=32,
+        policy=BatchingPolicy(max_batch=8), cache_size=48, engine=engine)
 
 
 def _autoscaled(engine):
@@ -126,11 +172,18 @@ def _edf_cost_aware(engine):
 #: family -> (builder, the engine the array request must actually run on)
 FAMILIES = {
     "plain": (_plain, "array"),
-    "cached-zipf": (_cached_zipf, "event"),
-    "multi-model": (_multi_model, "event"),
+    "cached-zipf": (_cached_zipf, "array"),
+    "cached-hot-lfu": (_cached_hot_lfu, "array"),
+    "cached-coalesce": (_coalesced, "event"),
+    "multi-model": (_multi_model, "array"),
+    "multi-model-cached": (_multi_model_cached, "array"),
     "autoscaled-failures": (_autoscaled, "event"),
     "edf-cost-aware": (_edf_cost_aware, "event"),
 }
+
+#: families whose run holds a live result cache
+CACHED_FAMILIES = ("cached-zipf", "cached-hot-lfu", "cached-coalesce",
+                   "multi-model-cached")
 
 
 @pytest.mark.parametrize("seed", SEEDS)
@@ -140,8 +193,11 @@ class TestEngineDifferential:
         build, _ = FAMILIES[family]
         sim = build(engine)
         rate = 0.9 * sim.saturation_rate()
-        if family == "cached-zipf":
-            kw["popularity"] = ZipfPopularity(alpha=1.1, n_keys=256)
+        if family in CACHED_FAMILIES:
+            kw["popularity"] = (
+                HotKeyPopularity(n_keys=256, hot_keys=8)
+                if family == "cached-hot-lfu"
+                else ZipfPopularity(alpha=1.1, n_keys=256))
         process = "mmpp" if family == "plain" else "poisson"
         stats = sim.run(rate, n_requests=2500, process=process, seed=seed,
                         **kw)
@@ -155,8 +211,10 @@ class TestEngineDifferential:
             assert ar.models is not None
             for a, b in zip(ev.models, ar.models):
                 assert np.array_equal(a.latencies, b.latencies)
-                assert (a.n_offered, a.n_dropped, a.n_failed) \
-                    == (b.n_offered, b.n_dropped, b.n_failed)
+                assert (a.n_offered, a.n_dropped, a.n_failed,
+                        a.n_cache_hits, a.n_coalesced) \
+                    == (b.n_offered, b.n_dropped, b.n_failed,
+                        b.n_cache_hits, b.n_coalesced)
 
     def test_runs_on_the_expected_path(self, family, seed):
         sim, _ = self._run(family, "array", seed)
@@ -166,6 +224,128 @@ class TestEngineDifferential:
         elif not isinstance(sim, AutoscalingSimulator):
             # fixed-fleet fallbacks must name their reason
             assert fast_core.unsupported_reason(sim) is not None
+
+    def test_conservation_and_hit_identities(self, family, seed):
+        if family not in CACHED_FAMILIES or family == "cached-coalesce":
+            pytest.skip("native cached families only")
+        sim, ar = self._run(family, "array", seed)
+        assert sim.last_run_engine == "array"
+        _, ev = self._run(family, "event", seed)
+        # The cache must actually bite (a trivially-cold run would pin
+        # nothing), and the hit ledger must agree exactly.
+        assert ar.n_cache_hits > 0
+        assert ar.n_cache_hits == ev.n_cache_hits
+        assert ar.hit_rate == ev.hit_rate
+        # Conservation: every offer completes or sheds; batch membership
+        # covers exactly the completions that were not served from cache.
+        assert len(ar.latencies) + ar.n_dropped == ar.n_offered
+        assert int(ar.batch_sizes.sum()) \
+            == len(ar.latencies) - ar.n_cache_hits
+
+
+# -- the support lattice: dispatch can never drift from the predicate ----------
+
+class TestSupportLattice:
+    """Every combination of the config axes ``unsupported_reason`` reads
+    must *run* on exactly the engine this test's own matrix claims."""
+
+    AXES = [(models, cache, coalesce, order, cost_aware, strategy,
+             affinity, traced)
+            for models in (False, True)
+            for cache in (0, 16)
+            for coalesce in (False, True)
+            for order in ("fifo", "edf")
+            for cost_aware in (False, True)
+            for strategy in ("least_loaded", "round_robin")
+            for affinity in (False, True)
+            for traced in (False, True)
+            # hard placement needs models to pin, and only exists on the
+            # least-loaded strategy (constructor-enforced)
+            if not (affinity and (not models
+                                  or strategy != "least_loaded"))]
+
+    @staticmethod
+    def _expected(models, cache, coalesce, order, cost_aware, strategy,
+                  affinity, traced):
+        # The test's independent support matrix: multi-model and cached
+        # runs are native; only these features force the event loop.
+        if (coalesce or order != "fifo" or cost_aware
+                or strategy != "least_loaded" or affinity or traced):
+            return "event"
+        return "array"
+
+    @staticmethod
+    def _build(models, cache, coalesce, order, cost_aware, strategy,
+               affinity):
+        kw = dict(policy=BatchingPolicy(max_batch=4), n_replicas=2,
+                  max_queue=8, cache_size=cache, coalesce=coalesce,
+                  order=order, cost_aware=cost_aware, strategy=strategy,
+                  engine="array")
+        if models:
+            return ServingSimulator(
+                models=[ModelProfile("a", None, weight=2.0),
+                        ModelProfile("b", None)],
+                service_models=[FakeService(), FakeService(0.02, 0.004)],
+                model_mix=ModelMix((0.7, 0.3)),
+                affinity={1: (0,)} if affinity else None, **kw)
+        assert not affinity
+        return ServingSimulator(None, service_model=FakeService(), **kw)
+
+    def test_every_combination_lands_where_claimed(self):
+        assert len(self.AXES) > 100   # the lattice is genuinely full
+        for axes in self.AXES:
+            (models, cache, coalesce, order, cost_aware, strategy,
+             affinity, traced) = axes
+            sim = self._build(models, cache, coalesce, order, cost_aware,
+                              strategy, affinity)
+            # Pre-run, the predicate must agree with the matrix for every
+            # run-independent axis (tracing is run-scoped, checked below).
+            reason = fast_core.unsupported_reason(sim)
+            if self._expected(*axes[:-1], traced=False) == "array":
+                assert reason is None, axes
+            else:
+                assert reason is not None, axes
+            sim.run(0.8 * sim.saturation_rate(), n_requests=60,
+                    process="poisson", seed=3,
+                    popularity="zipf" if cache else None,
+                    tracer=Tracer() if traced else None)
+            assert sim.last_run_engine == self._expected(*axes), axes
+
+    def test_event_engine_request_is_honored(self):
+        # engine="event" never opts in, even for a fully supported config
+        sim = ServingSimulator(None, service_model=FakeService(),
+                               n_replicas=2, engine="event")
+        sim.run(100.0, n_requests=50, seed=0)
+        assert sim.last_run_engine == "event"
+        assert fast_core.unsupported_reason(sim) is None
+
+
+# -- sweeps surface which engine drove each point ------------------------------
+
+class TestSweepEngineRouting:
+    def test_rate_sweep_surfaces_per_point_engine(self):
+        for engine in ("event", "array"):
+            sim = ServingSimulator(None, service_model=FakeService(),
+                                   n_replicas=2, cache_size=8,
+                                   engine=engine)
+            rep = sim.sweep(n_requests=80, seed=1, popularity="zipf")
+            assert len(rep.engines) == len(rep.points)
+            assert rep.engines == [engine] * len(rep.points)
+            for p in rep.points:
+                assert p.engine == engine
+
+    def test_cache_size_sweep_routes_through_array_engine(self):
+        from repro.serve import sweep_cache_sizes
+        for engine in ("event", "array"):
+            sweep = sweep_cache_sizes(hep_workload(), sizes=[0, 8, 32],
+                                      n_replicas=2, n_requests=300,
+                                      process="poisson", seed=2,
+                                      engine=engine)
+            # size 0 is in the supported class too (it's just the plain
+            # path); every point must run where asked, none silently fall
+            # back to the event loop.
+            assert sweep.engines == [engine] * 3
+            assert len(sweep.hit_rate_curve) == 3
 
 
 # -- oracle differential: array core vs the PR 4 frozen reference --------------
@@ -185,6 +365,30 @@ class TestOracleDifferential:
             rate = 1.1 * ref.saturation_rate()   # overload: sheds too
             _assert_same(ref.run(rate, 2500, "poisson", seed),
                          fast.run(rate, 2500, "poisson", seed))
+            assert fast.last_run_engine == "array"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cached_class_at_scale(self, seed):
+        # The PR 4 oracle predates the result cache (it refuses
+        # cache_size != 0), so the cached chain is pinned event-vs-array
+        # at a 20k trace instead — an order of magnitude past the family
+        # runs, enough for thousands of evictions under both policies.
+        for policy in ("lru", "lfu"):
+            kw = dict(n_replicas=8, policy=BatchingPolicy(max_batch=16),
+                      max_queue=64, cache_size=32, cache_policy=policy)
+            event = ServingSimulator(hep_workload(), engine="event", **kw)
+            fast = ServingSimulator(hep_workload(), engine="array", **kw)
+            # well past saturation, with a cache much smaller than the
+            # catalog: the head still deflects roughly half the load, so
+            # 4x is what it takes for shedding to coexist with hits (and
+            # the 64:1 key:slot ratio keeps evictions churning)
+            rate = 4.0 * event.saturation_rate()
+            pop = ZipfPopularity(alpha=1.1, n_keys=2048)
+            a = event.run(rate, 20_000, "mmpp", seed, popularity=pop)
+            b = fast.run(rate, 20_000, "mmpp", seed, popularity=pop)
+            _assert_same(a, b)
+            assert b.n_cache_hits > 0
+            assert b.n_dropped > 0
             assert fast.last_run_engine == "array"
 
     def test_full_100k_trace(self):
@@ -243,6 +447,7 @@ class TestEngineProperties:
             if len(stats.latencies):
                 floor = sim.service.batch_time(1) + sim.service.request_rtt()
                 assert stats.latencies.min() >= floor - 1e-12
+            assert sim.last_run_engine == engine
 
     def test_deterministic_rerun(self, engine, seed):
         rng = as_rng(seed)
@@ -250,3 +455,51 @@ class TestEngineProperties:
         a = sim.run(rate, n, process, seed=seed)
         b = sim.run(rate, n, process, seed=seed)
         _assert_same(a, b)
+
+
+# -- memory bound: the 10M-request drive must stay compact ---------------------
+
+#: peak-RSS budget for a 10M-request / 64-replica array drive, measured
+#: ~480 MB (arrivals + per-request numpy arrays + C-typed lane/batch
+#: buffers); a regression to boxed-float lanes or Python-list batch
+#: records blows past 2 GB. Subprocess-isolated so the parent's
+#: allocations don't count toward the peak.
+TEN_MILLION_RSS_BUDGET_MB = 1024
+
+_RSS_SCRIPT = """
+import resource, sys
+import numpy as np
+from repro.serve import BatchingPolicy, ServingSimulator
+
+class FakeService:
+    def batch_time(self, b):
+        return 0.004 + 0.001 * b
+    def request_rtt(self):
+        return 1e-4
+    def peak_throughput(self, max_batch):
+        return max_batch / self.batch_time(max_batch)
+    def est_request_cost(self, max_batch):
+        return self.batch_time(max_batch) / max_batch
+
+sim = ServingSimulator(None, service_model=FakeService(), n_replicas=64,
+                       policy=BatchingPolicy(max_batch=32), max_queue=128,
+                       engine="array")
+stats = sim.run(1.05 * sim.saturation_rate(), n_requests=10_000_000,
+                process="poisson", seed=7)
+assert sim.last_run_engine == "array"
+assert stats.n_offered == 10_000_000
+assert len(stats.latencies) + stats.n_dropped == 10_000_000
+print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+
+@pytest.mark.slow
+def test_ten_million_request_drive_stays_within_rss_budget():
+    out = subprocess.run([sys.executable, "-c", _RSS_SCRIPT],
+                         capture_output=True, text=True, timeout=600)
+    assert out.returncode == 0, out.stderr
+    peak_kb = int(out.stdout.strip().splitlines()[-1])
+    peak_mb = peak_kb / 1024.0
+    assert peak_mb <= TEN_MILLION_RSS_BUDGET_MB, (
+        f"10M-request drive peaked at {peak_mb:.0f} MB "
+        f"(budget {TEN_MILLION_RSS_BUDGET_MB} MB)")
