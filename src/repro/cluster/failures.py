@@ -26,20 +26,25 @@ from repro.utils.rng import SeedLike, as_rng
 
 @dataclass(frozen=True)
 class FailureEvent:
-    """A node fails (fail-stop) or degrades at ``time`` seconds into the run."""
+    """A node fails (fail-stop), degrades, or is repaired at ``time``
+    seconds into the run (``"repair"`` undoes a prior degrade: the node's
+    compounded slow factor resets to healthy speed)."""
 
     time: float
     node_id: int
-    kind: str                 # "fail" | "degrade"
+    kind: str                 # "fail" | "degrade" | "repair"
     slow_factor: float = 1.0  # for "degrade": compute-time multiplier
 
     def __post_init__(self) -> None:
-        if self.kind not in ("fail", "degrade"):
+        if self.kind not in ("fail", "degrade", "repair"):
             raise ValueError(f"unknown failure kind {self.kind!r}")
         if self.time < 0:
             raise ValueError(f"time must be non-negative, got {self.time}")
         if self.kind == "degrade" and self.slow_factor < 1.0:
             raise ValueError("degrade events must slow the node down")
+        if self.kind == "repair" and self.slow_factor != 1.0:
+            raise ValueError(
+                "a repair restores full speed; slow_factor must stay 1.0")
 
 
 @dataclass

@@ -1,4 +1,4 @@
-"""Winograd F(2x2, 3x3) convolution (paper SVIII-A future work).
+"""Winograd F(2x2, 3x3) / F(4x4, 3x3) convolution (paper SVIII-A future work).
 
 "the state of the art in deep learning kernel implementations is rapidly
 evolving with new algorithms like Winograd [43] and FFT based algorithms. We
@@ -6,11 +6,18 @@ did not experiment with such algorithms in this work; studying the impact on
 per-node performance and scale out behaviour of these algorithms is a
 direction for future research."
 
-This module is that experiment. F(2x2, 3x3) computes each 2x2 output tile
-from a 4x4 input tile using 16 elementwise multiplies instead of the 36 a
-direct 3x3 convolution needs — a 2.25x multiply reduction, at the cost of
-the tile transforms (additions) and a numerically different (slightly less
-accurate in fp32) summation order.
+This module is that experiment. F(m x m, 3x3) computes each m x m output
+tile from an (m+2) x (m+2) input tile using (m+2)^2 elementwise multiplies
+instead of the 9 m^2 a direct 3x3 convolution needs — 2.25x fewer for
+m = 2 and 4x fewer for m = 4 — at the cost of the tile transforms and a
+numerically different (slightly less accurate in fp32) summation order.
+
+To make the multiply reduction pay on a BLAS backend the forward is
+structured as GEMMs, not elementwise products (Lavin & Gray 2015, sec. 5):
+both small tile transforms are applied as one (tiles, alpha^2) x
+(alpha^2, alpha^2) Kronecker-product GEMM, and the Winograd-domain product
+becomes alpha^2 batched (F, C) x (C, tiles) GEMMs — one per transform-domain
+position.
 
 The layer is a drop-in replacement for a 3x3/stride-1 :class:`Conv2D`:
 identical parameters, identical gradients (backward uses the standard
@@ -20,7 +27,7 @@ a forward pass that agrees with the direct computation to fp32 tolerance.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +35,7 @@ from repro.core.initializers import he_normal, zeros
 from repro.core.module import Module
 from repro.core.parameter import Parameter
 from repro.nn.im2col import col2im, im2col
+from repro.nn.kernel_cache import PackedWeightCache
 
 # Winograd F(2x2, 3x3) transform matrices (Lavin & Gray 2015, sec. 4.1).
 _BT = np.array([[1, 0, -1, 0],
@@ -40,6 +48,42 @@ _G = np.array([[1.0, 0.0, 0.0],
                [0.0, 0.0, 1.0]], dtype=np.float32)
 _AT = np.array([[1, 1, 1, 0],
                 [0, 1, -1, -1]], dtype=np.float32)
+
+# Winograd F(4x4, 3x3) transform matrices (interpolation points
+# {0, +-1, +-2}; the standard choice used by e.g. cuDNN and NNPACK).
+_BT4 = np.array([[4, 0, -5, 0, 1, 0],
+                 [0, -4, -4, 1, 1, 0],
+                 [0, 4, -4, -1, 1, 0],
+                 [0, -2, -1, 2, 1, 0],
+                 [0, 2, -1, -2, 1, 0],
+                 [0, 4, 0, -5, 0, 1]], dtype=np.float32)
+_G4 = np.array([[1 / 4, 0, 0],
+                [-1 / 6, -1 / 6, -1 / 6],
+                [-1 / 6, 1 / 6, -1 / 6],
+                [1 / 24, 1 / 12, 1 / 6],
+                [1 / 24, -1 / 12, 1 / 6],
+                [0, 0, 1]], dtype=np.float32)
+_AT4 = np.array([[1, 1, 1, 1, 1, 0],
+                 [0, 1, -1, 2, -2, 0],
+                 [0, 1, 1, 4, 4, 0],
+                 [0, 1, -1, 8, -8, 1]], dtype=np.float32)
+
+_TRANSFORMS: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {
+    2: (_BT, _G, _AT),
+    4: (_BT4, _G4, _AT4),
+}
+
+# Kronecker-lifted transforms: applying S y S^T to every trailing 2-D tile
+# equals one GEMM with kron(S, S) on the flattened tiles. Built lazily and
+# cached per tile size.
+_KRON: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def _kron_transforms(tile: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    if tile not in _KRON:
+        bt, g, at = _TRANSFORMS[tile]
+        _KRON[tile] = (np.kron(bt, bt), np.kron(g, g), np.kron(at, at))
+    return _KRON[tile]
 
 
 def transform_filters(weight: np.ndarray) -> np.ndarray:
@@ -75,38 +119,48 @@ def direct_multiplies(batch: int, out_channels: int, in_channels: int,
 
 
 def winograd_multiplies(batch: int, out_channels: int, in_channels: int,
-                        oh: int, ow: int) -> int:
-    """Elementwise multiplies of F(2x2, 3x3): 16 per (2x2-tile, F, C) pair.
+                        oh: int, ow: int, tile: int = 2) -> int:
+    """Elementwise multiplies of F(m x m, 3x3): (m+2)^2 per (tile, F, C).
 
-    The ratio direct/winograd tends to 36/16 = 2.25 for even output sizes.
+    The ratio direct/winograd tends to 36/16 = 2.25 for ``tile=2`` and
+    144/36 = 4 for ``tile=4`` when the tile grid divides the output evenly.
     """
-    th = (oh + 1) // 2
-    tw = (ow + 1) // 2
-    return batch * out_channels * in_channels * th * tw * 16
+    th = (oh + tile - 1) // tile
+    tw = (ow + tile - 1) // tile
+    return batch * out_channels * in_channels * th * tw * (tile + 2) ** 2
 
 
 class WinogradConv2D(Module):
-    """3x3/stride-1 convolution computed with Winograd F(2x2, 3x3).
+    """3x3/stride-1 convolution computed with Winograd F(m x m, 3x3).
 
     Same weight layout and gradients as :class:`~repro.nn.conv.Conv2D`
     restricted to ``kernel_size=3, stride=1``; only the forward arithmetic
-    differs. ``flops(batch)`` reports the *mathematical* conv FLOPs (what an
-    SDE-style counter attributes to the layer); ``multiply_reduction()``
-    reports the algorithmic saving.
+    differs. ``tile_size=2`` (default) is the conservative F(2x2, 3x3);
+    ``tile_size=4`` is F(4x4, 3x3) — 4x fewer multiplies but a wider
+    transform, so it wins at larger tile counts and loses accuracy headroom
+    (still well within fp32 tolerance of the direct conv). ``flops(batch)``
+    reports the *mathematical* conv FLOPs (what an SDE-style counter
+    attributes to the layer); ``multiply_reduction()`` reports the
+    algorithmic saving.
     """
 
     kind = "conv"  # same performance-model class as a direct conv
 
     def __init__(self, in_channels: int, out_channels: int,
                  pad: Optional[int] = None, name: Optional[str] = None,
-                 rng=None) -> None:
+                 rng=None, tile_size: int = 2) -> None:
         super().__init__(name=name or "wconv")
         if in_channels <= 0 or out_channels <= 0:
             raise ValueError("channels must be positive")
+        if tile_size not in _TRANSFORMS:
+            raise ValueError(
+                f"tile_size must be one of {sorted(_TRANSFORMS)}, "
+                f"got {tile_size}")
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = 3
         self.stride = 1
+        self.tile_size = tile_size
         self.pad = 1 if pad is None else pad
         if self.pad < 0:
             raise ValueError(f"pad must be non-negative, got {self.pad}")
@@ -116,6 +170,19 @@ class WinogradConv2D(Module):
             name="weight")
         self.bias = Parameter(zeros(out_channels), name="bias")
         self._cache: Optional[Tuple] = None
+        self._upack = PackedWeightCache()
+
+    def _transformed_filters(self) -> np.ndarray:
+        """``(a^2, F, C)`` transform-domain filters, cached while frozen."""
+        _bt, kg, _ka = _kron_transforms(self.tile_size)
+        a2 = (self.tile_size + 2) ** 2
+
+        def build(wd: np.ndarray) -> np.ndarray:
+            u = (wd.reshape(-1, 9) @ kg.T) \
+                .reshape(self.out_channels, self.in_channels, a2)
+            return np.ascontiguousarray(u.transpose(2, 0, 1))
+
+        return self._upack.get(self.weight.data, build)
 
     # -- computation -------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -124,29 +191,37 @@ class WinogradConv2D(Module):
             raise ValueError(
                 f"{self.name}: expected {self.in_channels} input channels, "
                 f"got {c}")
-        p = self.pad
+        p, m = self.pad, self.tile_size
+        a = m + 2                                     # input tile edge
         oh, ow = h + 2 * p - 2, w + 2 * p - 2
         if oh <= 0 or ow <= 0:
             raise ValueError(
                 f"{self.name}: input {h}x{w} with pad {p} yields empty output")
-        th, tw = (oh + 1) // 2, (ow + 1) // 2
-        # Pad for "same"-style borders plus up to one extra row/column so the
-        # tile grid covers the (possibly odd) output exactly.
-        ph = 2 * th + 2 - h
-        pw = 2 * tw + 2 - w
-        xp = np.pad(x, ((0, 0), (0, 0), (p, ph - p), (p, pw - p)))
-        # Overlapping 4x4 input tiles with stride 2: (N, C, th, tw, 4, 4).
+        th, tw = (oh + m - 1) // m, (ow + m - 1) // m
+        kb, kg, ka = _kron_transforms(m)
+        # Pad for "same"-style borders plus whatever extra rows/columns the
+        # tile grid needs to cover the output exactly. Channel goes first so
+        # the flattened tile axis factors as (C, N*th*tw) with no transpose.
+        ph = m * th + 2 - h
+        pw = m * tw + 2 - w
+        xp = np.pad(x.transpose(1, 0, 2, 3),
+                    ((0, 0), (0, 0), (p, ph - p), (p, pw - p)))
+        # Overlapping a x a input tiles with stride m: (C, N, th, tw, a, a).
         tiles = np.lib.stride_tricks.sliding_window_view(
-            xp, (4, 4), axis=(2, 3))[:, :, ::2, ::2]
-        v = transform_input_tiles(tiles)              # (N, C, th, tw, 4, 4)
-        u = transform_filters(self.weight.data)       # (F, C, 4, 4)
-        # The Winograd elementwise-product stage: for each of the 16 (i, j)
-        # positions this is an (F, C) x (C, N*th*tw) GEMM.
-        m = np.einsum("fcij,nctuij->nftuij", u, v)
-        y = inverse_transform(m)                      # (N, F, th, tw, 2, 2)
-        out = y.transpose(0, 1, 2, 4, 3, 5).reshape(n, self.out_channels,
-                                                    2 * th, 2 * tw)
-        out = out[:, :, :oh, :ow] + self.bias.data[None, :, None, None]
+            xp, (a, a), axis=(2, 3))[:, :, ::m, ::m]
+        tiles = np.ascontiguousarray(tiles).reshape(-1, a * a)
+        # Both tile transforms are single GEMMs against the Kronecker-lifted
+        # matrices; the Winograd-domain product is a^2 batched (F, C) x
+        # (C, N*th*tw) GEMMs — one per transform-domain position.
+        nt = n * th * tw
+        v = (kb @ tiles.T).reshape(a * a, c, nt)
+        u = self._transformed_filters()
+        prod = np.matmul(u, v)                        # (a^2, F, N*th*tw)
+        y = ka @ prod.reshape(a * a, -1)              # (m^2, F*N*th*tw)
+        y = y.reshape(m, m, self.out_channels, n, th, tw) \
+            .transpose(3, 2, 4, 0, 5, 1) \
+            .reshape(n, self.out_channels, m * th, m * tw)
+        out = y[:, :, :oh, :ow] + self.bias.data[None, :, None, None]
         self._cache = (x,) if self.training else None
         return np.ascontiguousarray(out.astype(np.float32))
 
@@ -192,4 +267,5 @@ class WinogradConv2D(Module):
         return (direct_multiplies(batch, self.out_channels, self.in_channels,
                                   oh, ow)
                 / winograd_multiplies(batch, self.out_channels,
-                                      self.in_channels, oh, ow))
+                                      self.in_channels, oh, ow,
+                                      tile=self.tile_size))

@@ -142,6 +142,15 @@ from repro.serve.slo_sim import (  # noqa: F401
     compare_batching_modes,
     sweep_cache_sizes,
 )
+from repro.serve.variants import (  # noqa: F401
+    KernelChoiceCache,
+    VariantPolicy,
+    VariantProfile,
+    compile_kernel_selected,
+    compile_quantized,
+    default_kernel_cache,
+    measure_profile,
+)
 
 __all__ = [
     "ARRIVAL_PROCESSES",
@@ -158,6 +167,7 @@ __all__ = [
     "CacheSizeSweep",
     "EpochRecord",
     "HotKeyPopularity",
+    "KernelChoiceCache",
     "LatencyStats",
     "MMPP",
     "MetricsRegistry",
@@ -184,13 +194,19 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "UniformPopularity",
+    "VariantPolicy",
+    "VariantProfile",
     "ZipfPopularity",
     "compare_batching_modes",
+    "compile_kernel_selected",
+    "compile_quantized",
     "content_key",
+    "default_kernel_cache",
     "explain",
     "make_arrivals",
     "make_contents",
     "make_model_ids",
+    "measure_profile",
     "plan_batches",
     "poisson_arrivals",
     "reconcile",

@@ -221,9 +221,11 @@ class AutoscalingSimulator(ServingSimulator):
     fleet as ``node_id % n_replicas``, so the failure process stays
     meaningful while the fleet resizes. ``degrade`` events slow the mapped
     replica: every batch it commits from the event on serves
-    ``slow_factor`` times longer (repeat degrades compound, and there is
-    no repair — the slowdown persists until the replica leaves the
-    fleet). A degraded node keeps routing weight, so its backlog drains
+    ``slow_factor`` times longer (repeat degrades compound; a later
+    ``repair`` event on the same node resets it to full speed in one
+    step — recorded as a ``delta == 0`` ``"repair"`` event with cause
+    ``"node_repair"`` and counted in the epoch's ``n_repaired``).
+    A degraded node keeps routing weight, so its backlog drains
     slower, completions arrive later, and the controller sees the damage
     through the same attainment/doomed signals as any other capacity
     loss — each event is recorded as a ``delta == 0`` ``"degrade"``
@@ -254,7 +256,8 @@ class AutoscalingSimulator(ServingSimulator):
                  order: str = "fifo",
                  cost_aware: bool = False,
                  max_queue_seconds: Optional[float] = None,
-                 engine: str = "event") -> None:
+                 engine: str = "event",
+                 variant_policy=None) -> None:
         self.autoscale = autoscale or AutoscalePolicy()
         initial = (self.autoscale.min_replicas if n_replicas is None
                    else n_replicas)
@@ -275,7 +278,7 @@ class AutoscalingSimulator(ServingSimulator):
                          service_models=service_models, coalesce=coalesce,
                          order=order, cost_aware=cost_aware,
                          max_queue_seconds=max_queue_seconds,
-                         engine=engine)
+                         engine=engine, variant_policy=variant_policy)
         if failures is not None and failure_events is not None:
             raise ValueError(
                 "pass either a FailureModel or explicit failure_events, "
@@ -336,8 +339,9 @@ class AutoscalingSimulator(ServingSimulator):
     def _failure_schedule(self, t0: float,
                           t_end: float) -> List[FailureEvent]:
         """Failure events inside the controlled window, time-ordered —
-        both kinds: ``"fail"`` (fail-stop node death) and ``"degrade"``
-        (the node slows by ``slow_factor`` but keeps serving).
+        all kinds: ``"fail"`` (fail-stop node death), ``"degrade"`` (the
+        node slows by ``slow_factor`` but keeps serving), and ``"repair"``
+        (a degraded node restored to full speed).
 
         Only the arrival span is exposed to failures: once the stream ends
         there is no controller awake to repair, so a post-stream death
@@ -356,7 +360,8 @@ class AutoscalingSimulator(ServingSimulator):
     def _observe(self, router: Router, admitted: dict, t_start: float,
                  t_end: float, index: int, slos: List[float],
                  rtts: List[float], floors: List[float], n_shed: int,
-                 shed_by_model: Optional[List[int]] = None) -> EpochRecord:
+                 shed_by_model: Optional[List[int]] = None,
+                 n_repaired: int = 0) -> EpochRecord:
         """One causal epoch observation.
 
         Completions whose (virtual) completion time falls inside the window
@@ -506,7 +511,8 @@ class AutoscalingSimulator(ServingSimulator):
                            queue_depth=queue_depth,
                            queue_seconds=queue_seconds,
                            model_attainment=model_attainment,
-                           n_degraded=n_degraded)
+                           n_degraded=n_degraded,
+                           n_repaired=n_repaired)
 
     def _drive(self, arrivals: np.ndarray, router: Router,
                admitted: dict) -> None:
@@ -550,9 +556,11 @@ class AutoscalingSimulator(ServingSimulator):
         dropped_mark = router.n_dropped
         dropped_marks = [router.dropped_by_model.get(m, 0)
                          for m in range(n_models)]
+        repaired_in_epoch = 0
 
         def close_epoch(t: float) -> None:
-            nonlocal epoch_idx, prev_epoch_t, dropped_mark
+            nonlocal epoch_idx, prev_epoch_t, dropped_mark, \
+                repaired_in_epoch
             advance_area(t)
             for r in router.replicas:
                 r.queue.advance(t)
@@ -567,7 +575,9 @@ class AutoscalingSimulator(ServingSimulator):
                     dropped_marks[m] = now
             rec = self._observe(router, admitted, prev_epoch_t, t,
                                 epoch_idx, slos, rtts, floors, n_shed,
-                                shed_by_model)
+                                shed_by_model,
+                                n_repaired=repaired_in_epoch)
+            repaired_in_epoch = 0
             if tracer is not None:
                 tracer.emit(
                     "epoch", t,
@@ -580,7 +590,9 @@ class AutoscalingSimulator(ServingSimulator):
                           "control_attainment": rec.control_attainment,
                           "occupancy": rec.occupancy,
                           "queue_depth": rec.queue_depth,
-                          "n_degraded": rec.n_degraded})
+                          "n_degraded": rec.n_degraded,
+                          "n_repaired": rec.n_repaired})
+            self._variant_attainment_tick(t, rec)
             decision = controller.decide(rec)
             if decision.delta > 0:
                 for _ in range(decision.delta):
@@ -606,7 +618,34 @@ class AutoscalingSimulator(ServingSimulator):
             epoch_idx += 1
 
         def apply_failure(ev: FailureEvent) -> None:
+            nonlocal repaired_in_epoch
             if router.n_replicas == 0:
+                return
+            if ev.kind == "repair":
+                # The undo of a degrade: same node index mapping, slow
+                # factor reset in place — capacity returns without a
+                # fleet-size change, so no area breakpoint, and the
+                # controller sees the recovery through n_degraded
+                # dropping and attainment/doomed signals easing.
+                pos = ev.node_id % router.n_replicas
+                was_slow = router.replicas[pos].queue.slow_factor != 1.0
+                fixed = router.repair_replica(ev.time, pos)
+                if was_slow:
+                    repaired_in_epoch += 1
+                reason = ScaleReason(
+                    "node_repair",
+                    detail=f"node {fixed.node_id} repaired, batches back "
+                           f"at full speed")
+                events.append(ScaleEvent(
+                    time=ev.time, epoch=epoch_idx, action="repair",
+                    delta=0, n_replicas=router.n_replicas, reason=reason))
+                if tracer is not None:
+                    tracer.emit(
+                        "scale", ev.time,
+                        data={"epoch": epoch_idx, "action": "repair",
+                              "delta": 0, "n_replicas": router.n_replicas,
+                              "node_id": fixed.node_id,
+                              **reason.signals()})
                 return
             if ev.kind == "degrade":
                 # Capacity loss without a fleet-size change: no area

@@ -204,12 +204,22 @@ class ReplicaBatchQueue:
     def degrade(self, slow_factor: float) -> None:
         """Slow every batch committed from now on by ``slow_factor`` >= 1
         (a throttled or half-broken node, not a dead one). Repeat degrades
-        compound multiplicatively; there is no repair — a degraded node
-        stays slow until the autoscaler retires it."""
+        compound multiplicatively; :meth:`repair` is the undo — until one
+        arrives the node stays slow (or the autoscaler retires it)."""
         if not slow_factor >= 1.0:
             raise ValueError(
                 f"slow_factor must be >= 1.0, got {slow_factor}")
         self.slow_factor = self.slow_factor * float(slow_factor)
+
+    def repair(self) -> float:
+        """Restore healthy speed: every batch committed from now on serves
+        at the base service time again. Returns the compounded slow factor
+        that was undone (1.0 if the node was already healthy). Batches
+        already committed keep their degraded timing — a repair is not
+        retroactive, mirroring how :meth:`degrade` spares in-flight work.
+        """
+        undone, self.slow_factor = self.slow_factor, 1.0
+        return undone
 
     def _svc(self, model: int, size: int) -> float:
         if self.service_times is not None:

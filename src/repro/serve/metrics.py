@@ -39,6 +39,7 @@ SCALE_CAUSES = (
     "node_death",               # failure: a replica's node fail-stopped
     "replace_failed",           # repair: actual fleet < desired fleet
     "node_degrade",             # degrade: a replica's node slowed down
+    "node_repair",              # repair: a degraded node restored to speed
     "cooldown",                 # hold: inside post-decision cooldown
     "steady",                   # hold: no signal crossed a threshold
 )
@@ -84,7 +85,11 @@ class ScaleEvent:
 
     Every action changes the replica count except ``"degrade"``, which
     changes capacity instead (a slow node keeps serving): a degrade event
-    must carry ``delta == 0``, every other action must not."""
+    must carry ``delta == 0``, every other action must not — with one
+    more exception: a ``"repair"`` with cause ``"node_repair"`` undoes a
+    degrade in place (same node, restored speed), so it too keeps the
+    fleet size, while a ``"repair"`` that *replaces* a dead replica
+    (cause ``"replace_failed"``) still adds one."""
 
     time: float          # virtual time of the change (s)
     epoch: int           # control epoch it happened in
@@ -102,6 +107,11 @@ class ScaleEvent:
             if self.delta != 0:
                 raise ValueError(
                     "a degrade event keeps the fleet size (delta must be 0)")
+        elif self.action == "repair":
+            if self.delta < 0:
+                raise ValueError(
+                    "a repair event cannot shrink the fleet (delta >= 0: "
+                    "0 un-degrades in place, positive replaces a death)")
         elif self.delta == 0:
             raise ValueError("a scale event must change the fleet size")
         if self.n_replicas < 0:
@@ -148,6 +158,9 @@ class EpochRecord:
     #: live replicas serving slower than healthy at ``t_end`` (degraded
     #: nodes — see :meth:`repro.serve.router.Router.degrade_replica`)
     n_degraded: int = 0
+    #: degraded replicas restored to full speed inside the epoch
+    #: (``FailureEvent(kind="repair")`` — the undo of a degrade)
+    n_repaired: int = 0
 
     def __post_init__(self) -> None:
         if self.t_end <= self.t_start:
@@ -252,13 +265,17 @@ class PerModelStats(_LatencySample):
     n_failed: int = 0
     n_cache_hits: int = 0
     n_coalesced: int = 0
+    #: requests this model admitted while downgraded onto its fast
+    #: variant (``variant_policy`` runs only; 0 otherwise)
+    n_downgraded: int = 0
 
     def __post_init__(self) -> None:
         self.latencies = np.asarray(self.latencies, dtype=np.float64)
         if self.slo <= 0:
             raise ValueError(f"slo must be positive, got {self.slo}")
         if min(self.n_offered, self.n_dropped, self.n_failed,
-               self.n_cache_hits, self.n_coalesced) < 0:
+               self.n_cache_hits, self.n_coalesced,
+               self.n_downgraded) < 0:
             raise ValueError("counts must be non-negative")
         if self.n_completed + self.n_dropped + self.n_failed \
                 > self.n_offered:
@@ -306,11 +323,17 @@ class LatencyStats(_LatencySample):
     scale_events: Optional[List[ScaleEvent]] = None
     #: per-model slices, profile order (None: single-model run)
     models: Optional[List[PerModelStats]] = None
+    #: requests admitted while their model was downgraded onto its fast
+    #: variant (``variant_policy`` runs only; 0 otherwise)
+    n_downgraded: int = 0
+    #: variant up/down switches the run made (``variant_policy`` only)
+    n_variant_switches: int = 0
 
     def __post_init__(self) -> None:
         self.latencies = np.asarray(self.latencies, dtype=np.float64)
         if min(self.n_offered, self.n_dropped, self.n_failed,
-               self.n_cache_hits, self.n_coalesced) < 0:
+               self.n_cache_hits, self.n_coalesced, self.n_downgraded,
+               self.n_variant_switches) < 0:
             raise ValueError("counts must be non-negative")
         if self.n_cache_hits + self.n_coalesced > self.n_completed:
             raise ValueError(

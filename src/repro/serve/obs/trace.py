@@ -64,7 +64,9 @@ FLEET_EVENT_KINDS = (
     "scale",        # an applied fleet change (out/in/failure/repair/degrade)
     "replica_fail",  # a node death as the router saw it
     "replica_degrade",  # a node slowdown (slow_factor batch multiplier)
+    "replica_repair",  # a degraded node restored to full speed
     "drain",        # a graceful replica removal (queued work re-routed)
+    "variant_switch",  # overload (un)downgraded serving onto a variant
 )
 #: run bracketing and cache internals
 RUN_EVENT_KINDS = (

@@ -94,9 +94,11 @@ class ServableModel:
     """
 
     def __init__(self, name: str, version: int, net,
-                 input_shape: Tuple[int, ...]) -> None:
+                 input_shape: Tuple[int, ...],
+                 variant: Optional[str] = None) -> None:
         self.name = name
         self.version = version
+        self.variant = variant
         self.input_shape = tuple(input_shape)
         net.eval()
         _freeze(net)
@@ -127,14 +129,22 @@ class ServableModel:
         across models (or across versions during a rollout) can never
         return a prediction computed by a *different* frozen net for the
         same input bytes.
+
+        Variant replicas get a scope *distinct from their base version*:
+        a quantized (or kernel-selected) prediction must never satisfy a
+        full-precision cache key for the same input — pinned by the
+        variant cache-scope regression test.
         """
-        return (self.name, self.version)
+        if self.variant is None:
+            return (self.name, self.version)
+        return (self.name, self.version, self.variant)
 
     def param_bytes(self) -> int:
         return self.net.param_bytes()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"ServableModel({self.name}:v{self.version}, "
+        tag = "" if self.variant is None else f"+{self.variant}"
+        return (f"ServableModel({self.name}:v{self.version}{tag}, "
                 f"input={self.input_shape})")
 
 
@@ -161,6 +171,11 @@ class ModelRegistry:
         #: one builder() call (publishing a 300 MiB net should not construct
         #: a second one per snapshot just to validate it)
         self._specs: Dict[str, Dict[str, Tuple[int, ...]]] = {}
+        #: name -> {kind: compiler(net) -> net} — fast-variant builders
+        #: (see repro.serve.variants); applied post-checkpoint by load()
+        self._variants: Dict[str, Dict[str, Callable]] = {}
+        #: (name, kind) -> measured VariantProfile
+        self._variant_profiles: Dict[Tuple[str, str], object] = {}
 
     # -- registration --------------------------------------------------------
     def register(self, name: str, builder: Callable[[], object],
@@ -200,6 +215,77 @@ class ModelRegistry:
 
     def names(self) -> List[str]:
         return sorted(self._builders)
+
+    # -- variants -------------------------------------------------------------
+    def register_variant(self, name: str, kind: str,
+                         compiler: Optional[Callable] = None,
+                         *, bits: int = 8, calibration=None,
+                         batch_shape: Optional[Tuple[int, ...]] = None,
+                         kernel_cache=None,
+                         profile=None) -> None:
+        """Publish a fast variant of ``name`` as a sibling of every version.
+
+        ``kind`` is one of :data:`~repro.serve.variants.VARIANT_KINDS`
+        (``"quantized"`` / ``"kernel"``); ``compiler`` is a
+        ``net -> net`` transform applied by :meth:`load` *after* the
+        checkpoint restores the base weights. Left ``None``, the default
+        compiler for the kind is built from the keyword knobs:
+        ``bits``/``calibration`` for quantized
+        (:func:`~repro.serve.variants.compile_quantized`),
+        ``batch_shape`` (default: serving batch 8 at the registered
+        per-sample shape) and ``kernel_cache`` for kernel-selected
+        (:func:`~repro.serve.variants.compile_kernel_selected`).
+
+        Variants are load-time transforms, not stored checkpoints — the
+        base version's ``.npz`` stays the single source of weights, so a
+        republish rolls every variant forward automatically. ``profile``
+        optionally attaches the measured
+        :class:`~repro.serve.variants.VariantProfile` up front
+        (:meth:`set_variant_profile` records one later).
+        """
+        from repro.serve import variants as _v
+        self._require(name)
+        if kind not in _v.VARIANT_KINDS:
+            raise ValueError(f"unknown variant kind {kind!r}; "
+                             f"have {_v.VARIANT_KINDS}")
+        kinds = self._variants.setdefault(name, {})
+        if kind in kinds:
+            raise ValueError(
+                f"variant {kind!r} of model {name!r} already registered")
+        if compiler is None:
+            if kind == "quantized":
+                def compiler(net, _bits=bits, _cal=calibration):
+                    return _v.compile_quantized(net, bits=_bits,
+                                                calibration=_cal)
+            else:
+                shape = (tuple(batch_shape) if batch_shape is not None
+                         else (8,) + self._input_shapes[name])
+                def compiler(net, _shape=shape, _cache=kernel_cache):
+                    return _v.compile_kernel_selected(net, _shape,
+                                                      cache=_cache)
+        kinds[kind] = compiler
+        if profile is not None:
+            self.set_variant_profile(name, kind, profile)
+
+    def variant_kinds(self, name: str) -> List[str]:
+        """Registered variant kinds of ``name`` (sorted; may be empty)."""
+        self._require(name)
+        return sorted(self._variants.get(name, {}))
+
+    def set_variant_profile(self, name: str, kind: str, profile) -> None:
+        """Record the measured price tag of a registered variant."""
+        if kind not in self._variants.get(name, {}):
+            raise ValueError(
+                f"model {name!r} has no registered variant {kind!r}")
+        self._variant_profiles[(name, kind)] = profile
+
+    def variant_profile(self, name: str, kind: str):
+        """The recorded :class:`~repro.serve.variants.VariantProfile`,
+        or ``None`` when the variant exists but was never measured."""
+        if kind not in self._variants.get(name, {}):
+            raise ValueError(
+                f"model {name!r} has no registered variant {kind!r}")
+        return self._variant_profiles.get((name, kind))
 
     # -- the simulator-facing model set ---------------------------------------
     def profile(self, name: str) -> ModelProfile:
@@ -326,11 +412,29 @@ class ModelRegistry:
             for v in self.versions(name):
                 if v != version:
                     cache.invalidate_scope((name, v))
+                    # Variant replicas of the superseded version are just
+                    # as dead — their scopes are distinct tuples, so each
+                    # needs its own eviction call.
+                    for kind in self._variants.get(name, {}):
+                        cache.invalidate_scope((name, v, kind))
         self.on_publish(_invalidate)
 
-    def load(self, name: str, version: Optional[int] = None) -> ServableModel:
-        """Rebuild ``name`` at ``version`` (default: latest) for serving."""
+    def load(self, name: str, version: Optional[int] = None,
+             variant: Optional[str] = None) -> ServableModel:
+        """Rebuild ``name`` at ``version`` (default: latest) for serving.
+
+        ``variant`` loads a registered fast variant instead of the base
+        net: the checkpoint restores the base weights first, then the
+        variant's compiler transforms the net (quantize / kernel-swap),
+        and the returned replica carries a variant-distinct
+        :attr:`~ServableModel.cache_scope`.
+        """
         self._require(name)
+        if variant is not None \
+                and variant not in self._variants.get(name, {}):
+            raise ValueError(
+                f"model {name!r} has no registered variant {variant!r} "
+                f"(have {self.variant_kinds(name)})")
         if version is None:
             version = self.latest(name)
         files = self._version_files(name)
@@ -340,4 +444,7 @@ class ModelRegistry:
                 f"(have {sorted(files)})")
         net = self._builders[name]()
         load_checkpoint(net, files[version])
-        return ServableModel(name, version, net, self._input_shapes[name])
+        if variant is not None:
+            net = self._variants[name][variant](net)
+        return ServableModel(name, version, net, self._input_shapes[name],
+                             variant=variant)

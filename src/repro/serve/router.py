@@ -613,6 +613,28 @@ class Router:
                              data={"slow_factor": float(slow_factor)})
         return replica
 
+    def repair_replica(self, t: float, pos: int) -> ReplicaHandle:
+        """Node repair at ``t``: the replica at ``pos`` serves at healthy
+        speed again — the undo of :meth:`degrade_replica` (the compounded
+        slow factor resets in one step; a repaired node is *fixed*, not
+        incrementally less broken).
+
+        Symmetric with degrade: events due by ``t`` are played first, so
+        batches already committed keep the degraded timing they were
+        priced at; the restored speed applies from the next commit on.
+        Repairing a healthy replica is a no-op (idempotent — a repair
+        schedule need not know whether the degrade it undoes ever fired).
+        """
+        if not self.replicas:
+            raise ValueError("no replicas left to repair")
+        self._sync(t)
+        replica = self.replicas[pos % len(self.replicas)]
+        undone = replica.queue.repair()
+        if self.tracer is not None:
+            self.tracer.emit("replica_repair", t, replica=replica.index,
+                             data={"undone_slow_factor": float(undone)})
+        return replica
+
     def drain(self) -> None:
         """Flush all replica queues (end of the arrival stream)."""
         for r in self.replicas:

@@ -1,0 +1,573 @@
+"""Model variants: quantized and kernel-selected fast replicas.
+
+Paper SVIII-A defers the per-node-performance study of "new algorithms
+like Winograd [43] and FFT based algorithms" and low-precision inference.
+This module runs that study per registered model and packages the result
+as first-class serving *variants* — siblings of the base version the
+registry can load and the simulator can downgrade to under overload:
+
+- :func:`compile_quantized` builds an intN post-training-quantized net:
+  every parameter tensor is snapped onto its own symmetric fixed-point
+  grid (:func:`repro.optim.quantize.quantize_nearest`, per-tensor scale =
+  max |w|), and, given a calibration set, every leaf layer's activations
+  are fake-quantized onto a grid scaled by the calibration maximum — the
+  standard PTQ recipe, simulated in float32.
+- :func:`compile_kernel_selected` swaps each eligible layer for its
+  fastest algorithmic equivalent **by measurement, not by rule**: 3x3 /
+  stride-1 :class:`~repro.nn.conv.Conv2D` races the F(2,3) and F(4,3)
+  :class:`~repro.nn.winograd.WinogradConv2D` forms, large-kernel convs
+  race :class:`~repro.nn.fft_conv.FFTConv2D`, and every
+  :class:`~repro.nn.deconv.Deconv2D` races its gather/tap scatter-free
+  forms — each on the layer's *real* input at the serving batch shape.
+  Winners are memoized in a shape-keyed :class:`KernelChoiceCache` so a
+  fleet of replicas pays the timing race once per (layer signature,
+  input shape), and the recorded timings double as the measured
+  crossover table the benchmarks report.
+
+:func:`measure_profile` then prices a variant against its base on real
+:class:`~repro.serve.batching.BatchExecutor` timings — the
+:class:`VariantProfile` (speedup, accuracy delta) the registry publishes
+and the :class:`~repro.serve.latency.ServiceTimeModel` mirrors as a
+per-variant batch-time scale. :class:`VariantPolicy` is the serving-side
+knob: when a model's queue-seconds or attainment crosses the threshold,
+the simulator serves the fast variant and reverts with hysteresis.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.conv import Conv2D
+from repro.nn.deconv import Deconv2D, GatherDeconv2D, TapDeconv2D
+from repro.nn.fft_conv import FFTConv2D
+from repro.nn.winograd import WinogradConv2D
+from repro.optim.quantize import quantize_nearest
+
+#: registered variant kinds
+VARIANT_KINDS = ("quantized", "kernel")
+
+#: smallest square kernel that races the FFT path (below this the
+#: transform overhead can never win on the shapes we serve)
+FFT_MIN_KERNEL = 5
+
+#: timing repeats per candidate in the kernel race (best-of; one extra
+#: untimed warmup forward packs the weight transforms first)
+DEFAULT_RACE_REPEATS = 2
+
+
+# -- module-tree helpers ----------------------------------------------------
+
+def _walk(module) -> Iterator:
+    """Every module in the tree, root first."""
+    yield module
+    for child in module.children():
+        yield from _walk(child)
+
+
+def _leaves(module) -> Iterator:
+    """Modules with no children — the layers that transform tensors."""
+    for mod in _walk(module):
+        if not mod.children():
+            yield mod
+
+
+def _replace_layer(root, old, new) -> bool:
+    """Swap ``old`` for ``new`` wherever the tree holds it (attribute or
+    container list); returns whether a site was found."""
+    for mod in _walk(root):
+        for attr, val in list(vars(mod).items()):
+            if val is old:
+                setattr(mod, attr, new)
+                return True
+            if isinstance(val, list):
+                for i, item in enumerate(val):
+                    if item is old:
+                        val[i] = new
+                        return True
+    return False
+
+
+def _record_inputs(net, x, targets) -> Dict[int, np.ndarray]:
+    """One forward of ``x`` capturing each target layer's actual input.
+
+    The race must time candidates on the tensor the layer really sees at
+    the serving batch shape — not a guess reconstructed from layer
+    hyperparameters — so the capture wraps ``forward`` per instance
+    (instance attributes shadow the class method for both ``layer(x)``
+    and the ``layer.forward(x)`` call Sequential makes).
+    """
+    recorded: Dict[int, np.ndarray] = {}
+    saved = []
+    for layer in targets:
+        prev = vars(layer).get("forward")
+        orig = layer.forward
+
+        def capture(inp, _layer=layer, _orig=orig):
+            recorded[id(_layer)] = inp
+            return _orig(inp)
+
+        layer.forward = capture
+        saved.append((layer, prev))
+    try:
+        net.forward(x)
+    finally:
+        for layer, prev in saved:
+            if prev is None:
+                del layer.forward
+            else:
+                layer.forward = prev
+    return recorded
+
+
+def _time_forward(fn: Callable[[np.ndarray], np.ndarray], x: np.ndarray,
+                  repeats: int) -> float:
+    """Best-of-``repeats`` wall seconds of ``fn(x)`` after one warmup
+    (the warmup also populates any packed-weight cache, which is the
+    steady serving state being priced)."""
+    fn(x)
+    best = math.inf
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn(x)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# -- kernel-choice cache ----------------------------------------------------
+
+class KernelChoiceCache:
+    """Shape-keyed memo of kernel-race winners.
+
+    Keys are ``(layer kind, in_ch, out_ch, kernel, stride, pad, input
+    shape)`` — everything the race outcome depends on and nothing it
+    doesn't (weights don't matter; GEMM time is value-independent) — so
+    compiling a second replica, or a second model sharing layer shapes,
+    reuses the measured winner instead of re-racing. Entries carry the
+    full timing table; :meth:`crossovers` exports it for the benchmark's
+    crossover report.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple, Dict] = {}
+
+    @staticmethod
+    def key_of(layer, input_shape: Tuple[int, ...]) -> Tuple:
+        return (layer.kind, layer.in_channels, layer.out_channels,
+                layer.kernel_size, layer.stride, layer.pad,
+                tuple(int(d) for d in input_shape))
+
+    def get(self, key: Tuple) -> Optional[Dict]:
+        return self._entries.get(key)
+
+    def put(self, key: Tuple, choice: str,
+            timings: Dict[str, float]) -> None:
+        self._entries[key] = {"choice": choice,
+                              "timings": dict(timings)}
+
+    def crossovers(self) -> List[Dict]:
+        """JSON-friendly dump: one record per raced (signature, shape)."""
+        out = []
+        for key, entry in sorted(self._entries.items(), key=repr):
+            kind, cin, cout, k, s, p, shape = key
+            out.append({"kind": kind, "in_channels": cin,
+                        "out_channels": cout, "kernel_size": k,
+                        "stride": s, "pad": p,
+                        "input_shape": list(shape),
+                        "choice": entry["choice"],
+                        "timings_ms": {n: round(t * 1e3, 3)
+                                       for n, t in
+                                       entry["timings"].items()}})
+        return out
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: process-wide default — replicas compiled anywhere in one process share
+#: the measured winners
+_DEFAULT_CACHE = KernelChoiceCache()
+
+
+def default_kernel_cache() -> KernelChoiceCache:
+    return _DEFAULT_CACHE
+
+
+# -- kernel-selected compilation --------------------------------------------
+
+def _candidate_builders(layer) -> Dict[str, Callable[[], object]]:
+    """The algorithmic equivalents ``layer`` races, by candidate name.
+
+    Exact-type checks, not isinstance: an already-swapped fast layer (or
+    a user subclass with different semantics) must not be re-raced.
+    """
+    out: Dict[str, Callable[[], object]] = {}
+    if type(layer) is Conv2D:
+        if layer.kernel_size == 3 and layer.stride == 1:
+            out["wino4"] = lambda: WinogradConv2D(
+                layer.in_channels, layer.out_channels, pad=layer.pad,
+                name=layer.name, tile_size=4)
+            out["wino2"] = lambda: WinogradConv2D(
+                layer.in_channels, layer.out_channels, pad=layer.pad,
+                name=layer.name, tile_size=2)
+        elif layer.kernel_size >= FFT_MIN_KERNEL:
+            out["fft"] = lambda: FFTConv2D(
+                layer.in_channels, layer.out_channels, layer.kernel_size,
+                stride=layer.stride, pad=layer.pad, name=layer.name)
+    elif type(layer) is Deconv2D:
+        out["tap"] = lambda: TapDeconv2D(
+            layer.in_channels, layer.out_channels, layer.kernel_size,
+            stride=layer.stride, pad=layer.pad, name=layer.name)
+        out["gather"] = lambda: GatherDeconv2D(
+            layer.in_channels, layer.out_channels, layer.kernel_size,
+            stride=layer.stride, pad=layer.pad, name=layer.name)
+    return out
+
+
+def _build_candidate(layer, build: Callable[[], object]):
+    """Construct a candidate sharing the base layer's parameters (same
+    Parameter objects — identical weights, identical checkpoint keys)."""
+    cand = build()
+    cand.weight = layer.weight
+    cand.bias = layer.bias
+    cand.eval()
+    return cand
+
+
+def compile_kernel_selected(net, batch_shape: Tuple[int, ...],
+                            repeats: int = DEFAULT_RACE_REPEATS,
+                            cache: Optional[KernelChoiceCache] = None,
+                            seed: int = 0):
+    """Deep-copy ``net`` with each eligible layer swapped for its
+    measured-fastest algorithmic equivalent at ``batch_shape``.
+
+    One capture forward (a seeded standard-normal batch) records every
+    eligible layer's real input; each layer then races its candidates on
+    that input (:data:`DEFAULT_RACE_REPEATS` best-of timing after a
+    packing warmup) and the winner — possibly the base layer itself —
+    replaces it in the copied tree. Winners come from / go to ``cache``
+    (default: the process-wide :func:`default_kernel_cache`), keyed by
+    layer signature and input shape.
+
+    The result is the "kernel" variant: same parameters (shared
+    ``Parameter`` objects), same state-dict spec, forward equal to the
+    base to fp32 tolerance (Winograd/FFT change summation order only;
+    the tap deconv is bit-identical). The chosen swaps are recorded on
+    the returned net as ``kernel_choices`` for profiling and reporting.
+    """
+    if len(batch_shape) != 4:
+        raise ValueError(
+            f"batch_shape must be (N, C, H, W), got {batch_shape}")
+    if cache is None:
+        cache = default_kernel_cache()
+    fast = copy.deepcopy(net)
+    fast.eval()
+    targets = [m for m in _walk(fast) if _candidate_builders(m)]
+    x = np.asarray(
+        np.random.default_rng(seed).standard_normal(batch_shape),
+        dtype=np.float32)
+    recorded = _record_inputs(fast, x, targets)
+    choices: List[Dict] = []
+    for layer in targets:
+        xin = recorded.get(id(layer))
+        if xin is None:
+            continue        # layer never ran at this shape
+        builders = _candidate_builders(layer)
+        key = KernelChoiceCache.key_of(layer, xin.shape)
+        entry = cache.get(key)
+        if entry is None:
+            timings = {"base": _time_forward(layer.forward, xin, repeats)}
+            for cname, build in builders.items():
+                cand = _build_candidate(layer, build)
+                timings[cname] = _time_forward(cand.forward, xin, repeats)
+            choice = min(timings, key=timings.get)
+            cache.put(key, choice, timings)
+            entry = cache.get(key)
+        choice, timings = entry["choice"], entry["timings"]
+        if choice != "base":
+            _replace_layer(fast, layer,
+                           _build_candidate(layer, builders[choice]))
+        choices.append({"layer": layer.name, "choice": choice,
+                        "input_shape": list(xin.shape),
+                        "timings_ms": {n: round(t * 1e3, 3)
+                                       for n, t in timings.items()}})
+    fast.kernel_choices = choices
+    return fast
+
+
+# -- quantized compilation --------------------------------------------------
+
+def _calibration_batches(calibration) -> List[np.ndarray]:
+    if isinstance(calibration, np.ndarray):
+        return [calibration]
+    return [np.asarray(b, dtype=np.float32) for b in calibration]
+
+
+def compile_quantized(net, bits: int = 8, calibration=None):
+    """Deep-copy ``net`` post-training-quantized to ``bits``-bit grids.
+
+    Weights: every parameter tensor is snapped onto its own symmetric
+    grid (scale = per-tensor max |w|, nearest rounding) — values remain
+    float32 but take at most ``2**bits - 1`` distinct levels, the
+    simulated-quantization convention of :mod:`repro.optim.quantize`.
+
+    Activations: given ``calibration`` (one ``(N, C, H, W)`` batch or an
+    iterable of batches), each leaf layer's output range is observed and
+    its forward wrapped to fake-quantize activations onto a grid scaled
+    by the calibration maximum. Without calibration only weights are
+    quantized (weight-only PTQ).
+
+    The copy records ``quant_bits`` and per-leaf ``activation_scales``;
+    accuracy pricing against the base net is :func:`measure_profile`'s
+    job, not this function's.
+    """
+    if bits < 2:
+        raise ValueError(f"bits must be >= 2, got {bits}")
+    qnet = copy.deepcopy(net)
+    qnet.eval()
+    for p in qnet.params():
+        scale = float(np.max(np.abs(p.data))) if p.data.size else 0.0
+        if scale > 0.0:
+            p.data = np.asarray(quantize_nearest(p.data, bits, scale),
+                                dtype=np.float32)
+    act_scales: Dict[str, float] = {}
+    if calibration is not None:
+        leaves = list(_leaves(qnet))
+        observed: Dict[int, float] = {}
+        saved = []
+        for leaf in leaves:
+            prev = vars(leaf).get("forward")
+            orig = leaf.forward
+
+            def observe(x, _leaf=leaf, _orig=orig):
+                out = _orig(x)
+                if isinstance(out, np.ndarray):
+                    peak = float(np.max(np.abs(out))) if out.size else 0.0
+                    prior = observed.get(id(_leaf), 0.0)
+                    observed[id(_leaf)] = max(prior, peak)
+                return out
+
+            leaf.forward = observe
+            saved.append((leaf, prev, orig))
+        try:
+            for batch in _calibration_batches(calibration):
+                qnet.forward(batch)
+        finally:
+            for leaf, prev, _ in saved:
+                if prev is None:
+                    del leaf.forward
+                else:
+                    leaf.forward = prev
+        for leaf, _, orig in saved:
+            scale = observed.get(id(leaf), 0.0)
+            if scale <= 0.0:
+                continue
+
+            def fake_quant(x, _orig=orig, _scale=scale):
+                out = _orig(x)
+                if isinstance(out, np.ndarray):
+                    out = quantize_nearest(out, bits, _scale)
+                return out
+
+            leaf.forward = fake_quant
+            act_scales[leaf.name] = scale
+    qnet.quant_bits = bits
+    qnet.activation_scales = act_scales
+    return qnet
+
+
+# -- variant profile --------------------------------------------------------
+
+@dataclass(frozen=True)
+class VariantProfile:
+    """Measured price tag of one variant against its base.
+
+    ``speedup`` is real :class:`~repro.serve.batching.BatchExecutor`
+    wall-clock (base seconds / variant seconds at ``batch_shape``);
+    ``accuracy_delta`` is ``eval_fn(variant) - eval_fn(base)`` when an
+    eval metric is supplied, otherwise the label-free mean relative
+    output drift (L2, per flattened head) — an upper-bound proxy that is
+    exactly 0.0 for bit-identical variants. ``choices`` carries the
+    kernel variant's per-layer race results; ``bits`` the quantized
+    variant's grid width.
+    """
+
+    kind: str
+    speedup: float
+    accuracy_delta: float
+    base_batch_s: float
+    variant_batch_s: float
+    batch_shape: Tuple[int, ...]
+    bits: Optional[int] = None
+    choices: Tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in VARIANT_KINDS:
+            raise ValueError(f"unknown variant kind {self.kind!r}; "
+                             f"have {VARIANT_KINDS}")
+        if not self.speedup > 0:
+            raise ValueError(f"speedup must be > 0, got {self.speedup}")
+
+    @property
+    def time_scale(self) -> float:
+        """The per-variant batch-time multiplier the simulator applies."""
+        return 1.0 / self.speedup
+
+
+def _flat_outputs(out) -> List[np.ndarray]:
+    if isinstance(out, dict):
+        return [np.asarray(v, dtype=np.float64).reshape(-1)
+                for _, v in sorted(out.items())]
+    return [np.asarray(out, dtype=np.float64).reshape(-1)]
+
+
+def output_drift(base_out, variant_out) -> float:
+    """Mean relative L2 distance between matching output heads."""
+    base = _flat_outputs(base_out)
+    var = _flat_outputs(variant_out)
+    if len(base) != len(var):
+        raise ValueError("outputs have different head structure")
+    drifts = []
+    for b, v in zip(base, var):
+        denom = float(np.linalg.norm(b))
+        drifts.append(float(np.linalg.norm(v - b)) / denom
+                      if denom > 0 else 0.0)
+    return float(np.mean(drifts)) if drifts else 0.0
+
+
+def measure_profile(base_net, variant_net, kind: str,
+                    batch_shape: Tuple[int, ...],
+                    repeats: int = 3, seed: int = 0,
+                    eval_fn: Optional[Callable] = None) -> VariantProfile:
+    """Price ``variant_net`` against ``base_net`` on real executor runs.
+
+    Times one full :meth:`BatchExecutor.run_batch` per net (best of
+    ``repeats`` after a warmup that also packs weight transforms) on a
+    seeded batch of ``batch_shape``, and measures the accuracy delta —
+    ``eval_fn(net) -> float`` when given (held-out metric), label-free
+    output drift otherwise.
+    """
+    from repro.serve.batching import BatchExecutor
+    if len(batch_shape) != 4:
+        raise ValueError(
+            f"batch_shape must be (N, C, H, W), got {batch_shape}")
+    rng = np.random.default_rng(seed)
+    samples = [np.asarray(rng.standard_normal(batch_shape[1:]),
+                          dtype=np.float32)
+               for _ in range(batch_shape[0])]
+    base_ex = BatchExecutor(base_net)
+    var_ex = BatchExecutor(variant_net)
+
+    def once(ex) -> float:
+        t0 = time.perf_counter()
+        ex.run_batch(samples)
+        return time.perf_counter() - t0
+
+    # Warm both (packs weight transforms, faults in buffers), then time
+    # the two nets *interleaved* best-of-``repeats``: a background load
+    # spike lands on both sides instead of skewing whichever net was
+    # timed during it.
+    base_ex.run_batch(samples)
+    var_ex.run_batch(samples)
+    base_s = var_s = math.inf
+    for _ in range(max(1, repeats)):
+        base_s = min(base_s, once(base_ex))
+        var_s = min(var_s, once(var_ex))
+    if eval_fn is not None:
+        delta = float(eval_fn(variant_net)) - float(eval_fn(base_net))
+    else:
+        batch = np.stack(samples)
+        delta = output_drift(base_net.forward(batch),
+                             variant_net.forward(batch))
+    choices = tuple(
+        (c["layer"], c["choice"]) for c in
+        getattr(variant_net, "kernel_choices", []))
+    return VariantProfile(
+        kind=kind, speedup=base_s / var_s, accuracy_delta=delta,
+        base_batch_s=base_s, variant_batch_s=var_s,
+        batch_shape=tuple(int(d) for d in batch_shape),
+        bits=getattr(variant_net, "quant_bits", None),
+        choices=choices)
+
+
+# -- serving policy ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class VariantPolicy:
+    """When overload should downgrade serving onto a fast variant.
+
+    ``kind`` names the registered variant to serve while downgraded.
+    ``time_scale`` is the variant's batch-time multiplier (``1/speedup``,
+    from its :class:`VariantProfile`); left ``None`` the simulator
+    resolves it from the service model's registered per-variant scales.
+
+    Triggers (at least one required):
+
+    - ``queue_threshold`` — estimated queue *seconds* across the fleet
+      (backlog requests x amortized per-request cost; the cost-aware
+      router's own unit). The plain simulator checks it on every
+      admission; the fleet reverts once backlog falls to ``hysteresis x
+      queue_threshold``.
+    - ``attainment_threshold`` — per-model epoch SLO attainment
+      (autoscaled runs). A model downgrades when its observed attainment
+      drops below the threshold and reverts once attainment recovers to
+      ``recover_attainment`` (default: the threshold itself).
+    """
+
+    kind: str = "kernel"
+    time_scale: Optional[float] = None
+    queue_threshold: Optional[float] = None
+    attainment_threshold: Optional[float] = None
+    hysteresis: float = 0.5
+    recover_attainment: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in VARIANT_KINDS:
+            raise ValueError(f"unknown variant kind {self.kind!r}; "
+                             f"have {VARIANT_KINDS}")
+        if self.time_scale is not None and not 0 < self.time_scale <= 1:
+            raise ValueError(
+                f"time_scale must be in (0, 1], got {self.time_scale}")
+        if self.queue_threshold is None \
+                and self.attainment_threshold is None:
+            raise ValueError("set queue_threshold and/or "
+                             "attainment_threshold — a policy that can "
+                             "never trigger is a configuration error")
+        if self.queue_threshold is not None \
+                and not self.queue_threshold > 0:
+            raise ValueError(f"queue_threshold must be > 0, "
+                             f"got {self.queue_threshold}")
+        if self.attainment_threshold is not None \
+                and not 0 < self.attainment_threshold <= 1:
+            raise ValueError(f"attainment_threshold must be in (0, 1], "
+                             f"got {self.attainment_threshold}")
+        if not 0 <= self.hysteresis <= 1:
+            raise ValueError(
+                f"hysteresis must be in [0, 1], got {self.hysteresis}")
+        if self.recover_attainment is not None:
+            if self.attainment_threshold is None:
+                raise ValueError("recover_attainment requires "
+                                 "attainment_threshold")
+            if not self.attainment_threshold \
+                    <= self.recover_attainment <= 1:
+                raise ValueError(
+                    "recover_attainment must lie in "
+                    f"[attainment_threshold, 1], "
+                    f"got {self.recover_attainment}")
+
+    @property
+    def recover_at(self) -> Optional[float]:
+        """Effective attainment recovery level (hysteresis default)."""
+        if self.attainment_threshold is None:
+            return None
+        if self.recover_attainment is not None:
+            return self.recover_attainment
+        return self.attainment_threshold
